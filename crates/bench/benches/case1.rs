@@ -1,0 +1,61 @@
+//! Case study 1 bench: regenerates Figs 7–10 and Tables 7–8, then times
+//! the pipelines behind them.
+
+use criterion::{BenchmarkId, Criterion};
+use ids_bench::Scale;
+use ids_core::experiments::case1;
+use ids_devices::scroll::{Flick, ScrollPhysics};
+use ids_opt::loading::{event_fetch, timer_fetch, LoadingConfig};
+use ids_simclock::{SimDuration, SimTime};
+use ids_workload::scrolling::{demand_curve, simulate_session};
+
+fn print_report() {
+    let report = case1::run(&Scale::from_env().case1());
+    println!("{}", report.render());
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("case1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    group.bench_function("fig7_inertial_roll", |b| {
+        let phys = ScrollPhysics::inertial();
+        let flicks: Vec<Flick> = (0..40)
+            .map(|i| Flick {
+                at: SimTime::from_millis(i * 500),
+                velocity: 20_000.0,
+            })
+            .collect();
+        b.iter(|| phys.roll(&flicks, SimTime::from_secs(30)));
+    });
+
+    group.bench_function("fig8_session_simulation", |b| {
+        b.iter(|| simulate_session(0, 61, 1_200));
+    });
+
+    let session = simulate_session(0, 61, 1_200);
+    let demand = demand_curve(&session);
+    for size in [12u64, 30, 58, 80] {
+        let cfg = LoadingConfig {
+            fetch_size: size,
+            fetch_exec: SimDuration::from_millis(80),
+            total_tuples: 1_200,
+        };
+        group.bench_with_input(BenchmarkId::new("fig10_event_fetch", size), &cfg, |b, cfg| {
+            b.iter(|| event_fetch(&demand, cfg, cfg.fetch_size));
+        });
+        group.bench_with_input(BenchmarkId::new("fig10_timer_fetch", size), &cfg, |b, cfg| {
+            b.iter(|| timer_fetch(&demand, cfg, SimDuration::from_secs(1)));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_report();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,62 @@
+//! Case study 2 bench: regenerates Figs 11, 13, 14, 15, then times the
+//! crossfilter replay under each optimization.
+
+use criterion::Criterion;
+use ids_bench::Scale;
+use ids_core::experiments::case2;
+use ids_devices::DeviceKind;
+use ids_engine::{Backend, DiskBackend, MemBackend, Predicate, Query};
+use ids_opt::klfilter::{replay_kl, HistogramSketch, PERCEPTIBLE_KL};
+use ids_opt::skip::{replay_raw, replay_skip};
+use ids_workload::crossfilter::{compile_query_groups, simulate_session, CrossfilterUi};
+use ids_workload::datasets;
+
+fn print_report() {
+    let report = case2::run(&Scale::from_env().case2());
+    println!("{}", report.render());
+}
+
+fn benches(c: &mut Criterion) {
+    let rows = 40_000;
+    let road = datasets::road_network_sized(72, rows);
+    let mem = MemBackend::new();
+    mem.database().register(road.clone());
+    let disk = DiskBackend::new();
+    disk.database().register(road.clone());
+    disk.execute(&Query::count("dataroad", Predicate::True)).expect("warmup");
+
+    let ui = CrossfilterUi::for_road();
+    let session = simulate_session(DeviceKind::Mouse, 0, 72, &ui);
+    let mut groups = compile_query_groups(&ui, &session.trace);
+    groups.truncate(150);
+    let sketch = HistogramSketch::new(road, 2_000, 72);
+
+    let mut group = c.benchmark_group("case2");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("replay_raw_mem", |b| {
+        b.iter(|| replay_raw(&mem, &groups).expect("replay"));
+    });
+    group.bench_function("replay_skip_mem", |b| {
+        b.iter(|| replay_skip(&mem, &groups).expect("replay"));
+    });
+    group.bench_function("replay_kl02_mem", |b| {
+        b.iter(|| replay_kl(&mem, &groups, &sketch, PERCEPTIBLE_KL).expect("replay"));
+    });
+    group.bench_function("replay_raw_disk", |b| {
+        b.iter(|| replay_raw(&disk, &groups).expect("replay"));
+    });
+    group.bench_function("histogram_query_once", |b| {
+        let q = &groups[0].queries[0];
+        b.iter(|| mem.execute(q).expect("query"));
+    });
+    group.finish();
+}
+
+fn main() {
+    print_report();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,55 @@
+//! Case study 3 bench: regenerates Table 9, Figs 18–21, Table 10, then
+//! times session simulation and the Markov tile prefetcher.
+
+use criterion::Criterion;
+use ids_bench::Scale;
+use ids_core::experiments::case3;
+use ids_opt::prefetch::{evaluate_tile_strategy, MarkovPrefetcher, TileStrategy};
+use ids_simclock::SimDuration;
+use ids_workload::composite::{simulate_session, simulate_study, CompositeConfig};
+
+fn print_report() {
+    let report = case3::run(&Scale::from_env().case3());
+    println!("{}", report.render());
+}
+
+fn benches(c: &mut Criterion) {
+    let config = CompositeConfig {
+        min_duration: SimDuration::from_secs(10 * 60),
+        request_model: None,
+    };
+    let sessions = simulate_study(83, 10, &config);
+    let mut model = MarkovPrefetcher::new();
+    model.train_sessions(&sessions);
+
+    let mut group = c.benchmark_group("case3");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("session_simulation_10min", |b| {
+        b.iter(|| simulate_session(0, 83, &config));
+    });
+    group.bench_function("markov_training", |b| {
+        b.iter(|| {
+            let mut m = MarkovPrefetcher::new();
+            m.train_sessions(&sessions);
+            m
+        });
+    });
+    group.bench_function("tile_eval_demand_only", |b| {
+        b.iter(|| evaluate_tile_strategy(&sessions, &model, TileStrategy::DemandOnly, 512));
+    });
+    group.bench_function("tile_eval_markov_top2", |b| {
+        b.iter(|| {
+            evaluate_tile_strategy(&sessions, &model, TileStrategy::Markov { top_k: 2 }, 512)
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    print_report();
+    let mut criterion = Criterion::default().configure_from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

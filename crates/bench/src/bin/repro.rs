@@ -1,0 +1,144 @@
+//! `repro`: regenerates every table and figure of *Evaluating Interactive
+//! Data Systems* from this repository's implementation.
+//!
+//! ```text
+//! repro --all                # everything
+//! repro --index              # the artifact → module → target index
+//! repro --table 8            # one table
+//! repro --figure 13          # one figure
+//! IDS_SCALE=paper repro ...  # full study scale (slower)
+//! ```
+
+use std::collections::BTreeSet;
+
+use ids_bench::Scale;
+use ids_core::experiments::{case1, case2, case3, methodology, scalability};
+use ids_core::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    match parse(&args) {
+        Command::Index => println!("{}", registry::render_index()),
+        Command::All => {
+            println!("{}", registry::render_index());
+            print_methodology(&BTreeSet::from(["1", "3", "4", "5"]), Kind::Figure);
+            print_methodology(&BTreeSet::from(["1", "2", "3", "4", "5", "6"]), Kind::Table);
+            let c1 = case1::run(&scale.case1());
+            println!("{}", c1.render());
+            let c2 = case2::run(&scale.case2());
+            println!("{}", c2.render());
+            let c3 = case3::run(&scale.case3());
+            println!("{}", c3.render());
+            println!("{}", scalability::run(&scale.scalability()).render());
+        }
+        Command::Table(n) => print_table(&n, scale),
+        Command::Figure(n) => print_figure(&n, scale),
+        Command::Scalability => {
+            println!("{}", scalability::run(&scale.scalability()).render());
+        }
+        Command::Help(err) => {
+            if let Some(e) = err {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: repro [--all | --index | --table N | --figure N]\n\
+                 scale: set IDS_SCALE=paper for full study sizes"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+enum Command {
+    All,
+    Index,
+    Table(String),
+    Figure(String),
+    Scalability,
+    Help(Option<String>),
+}
+
+enum Kind {
+    Table,
+    Figure,
+}
+
+fn parse(args: &[String]) -> Command {
+    match args {
+        [] => Command::All,
+        [a] if a == "--all" => Command::All,
+        [a] if a == "--index" => Command::Index,
+        [a] if a == "--scalability" => Command::Scalability,
+        [a, n] if a == "--table" => Command::Table(n.clone()),
+        [a, n] if a == "--figure" => Command::Figure(n.clone()),
+        [a] if a == "--help" || a == "-h" => Command::Help(None),
+        other => Command::Help(Some(format!("unrecognized arguments: {other:?}"))),
+    }
+}
+
+fn print_methodology(numbers: &BTreeSet<&str>, kind: Kind) {
+    for n in numbers {
+        match kind {
+            Kind::Figure => print_figure(n, Scale::Bench),
+            Kind::Table => print_table(n, Scale::Bench),
+        }
+    }
+}
+
+fn print_table(n: &str, scale: Scale) {
+    match n {
+        "1" => println!("{}", methodology::render_table1()),
+        "2" => println!("{}", methodology::render_table2()),
+        "3" => println!("{}", methodology::render_table3()),
+        "4" => println!("{}", methodology::render_table4()),
+        "5" => println!("{}", registry::render_table5()),
+        "6" => println!("{}", registry::render_table6()),
+        "7" => println!("{}", case1::run(&scale.case1()).render_table7()),
+        "8" => println!("{}", case1::run(&scale.case1()).render_table8()),
+        "9" => println!("{}", case3::run(&scale.case3()).render_table9()),
+        "10" => println!("{}", case3::run(&scale.case3()).render_table10()),
+        other => {
+            eprintln!("unknown table `{other}` (the paper has Tables 1-10)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_figure(n: &str, scale: Scale) {
+    match n {
+        "1" => println!("{}", methodology::render_fig1()),
+        "3" => println!("{}", methodology::render_fig3()),
+        "4" => println!("{}", methodology::render_fig4()),
+        "5" => println!("{}", methodology::render_fig5()),
+        "2" | "6" | "12" | "16" | "17" => {
+            println!(
+                "Fig {n} is an illustration (no data series); the mechanism it \
+                 depicts is implemented — see `repro --index`."
+            );
+        }
+        "7" => println!("{}", case1::run(&scale.case1()).render_fig7()),
+        "8" => println!("{}", case1::run(&scale.case1()).render_fig8()),
+        "9" => println!("{}", case1::run(&scale.case1()).render_fig9()),
+        "10" => println!("{}", case1::run(&scale.case1()).render_fig10()),
+        "11" => println!("{}", case2::run(&scale.case2()).render_fig11()),
+        "13" => println!("{}", case2::run(&scale.case2()).render_fig13()),
+        "14" => println!("{}", case2::run(&scale.case2()).render_fig14()),
+        "15" => println!("{}", case2::run(&scale.case2()).render_fig15()),
+        "18" => println!("{}", case3::run(&scale.case3()).render_fig18()),
+        "19" | "20" => {
+            let r = case3::run(&scale.case3());
+            if n == "19" {
+                println!("{}", r.render_table10());
+                println!("(Fig 19 plots the same per-zoom movements Table 10 ranges summarize.)");
+            } else {
+                println!("{}", r.render_fig20());
+            }
+        }
+        "21" => println!("{}", case3::run(&scale.case3()).render_fig21()),
+        other => {
+            eprintln!("unknown figure `{other}` (the paper has Figs 1-21)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The methodology artifacts: survey tables (1, 2), the metric taxonomy
+//! and selection guidance (Fig 1, Fig 3, Table 3), study-design decision
+//! procedures (Figs 4, 5), and the bias catalog (Table 4).
+
+use ids_metrics::qif::QifQuadrant;
+use ids_metrics::selection::when_to_use;
+use ids_metrics::taxonomy::{render_tree, Metric};
+use ids_simclock::SimDuration;
+use ids_study::bias::{Bias, BiasSide};
+use ids_study::design::{recommend_design, recommend_setting, SettingNeeds, TaskTraits};
+use ids_study::survey::{render_table, Era};
+
+use crate::report::TextTable;
+
+/// Fig 1: the metric taxonomy tree.
+pub fn render_fig1() -> String {
+    format!("Fig 1: Metrics\n{}", render_tree())
+}
+
+/// Fig 3: the QIF × backend quadrant with example classifications.
+pub fn render_fig3() -> String {
+    let mut t = TextTable::new(["QIF (q/s)", "mean service", "quadrant", "guidance"]);
+    let cases = [
+        (50.0, 5u64),
+        (50.0, 100),
+        (5.0, 5),
+        (5.0, 500),
+    ];
+    for (qif, service_ms) in cases {
+        let q = QifQuadrant::classify(qif, SimDuration::from_millis(service_ms), 40.0);
+        t.row([
+            format!("{qif}"),
+            format!("{service_ms} ms"),
+            format!("{q:?}"),
+            q.guidance().to_string(),
+        ]);
+    }
+    format!("Fig 3: Trade-offs with backend and frontend performance\n{}", t.render())
+}
+
+/// Fig 4: in-person vs remote decision, enumerated.
+pub fn render_fig4() -> String {
+    let mut t = TextTable::new(["control?", "device-dep?", "think-aloud?", "setting"]);
+    for control in [false, true] {
+        for device in [false, true] {
+            for aloud in [false, true] {
+                let s = recommend_setting(&SettingNeeds {
+                    comparison_against_control: control,
+                    device_dependent: device,
+                    think_aloud: aloud,
+                });
+                t.row([
+                    control.to_string(),
+                    device.to_string(),
+                    aloud.to_string(),
+                    format!("{s:?}"),
+                ]);
+            }
+        }
+    }
+    format!("Fig 4: In-person vs remote study design\n{}", t.render())
+}
+
+/// Fig 5: study design per metric.
+pub fn render_fig5() -> String {
+    let mut t = TextTable::new(["metric", "design"]);
+    for m in Metric::ALL {
+        let d = recommend_design(m, &TaskTraits::default());
+        t.row([m.name().to_string(), format!("{d:?}")]);
+    }
+    format!("Fig 5: Study design guidance by metric\n{}", t.render())
+}
+
+/// Table 1 rendering.
+pub fn render_table1() -> String {
+    format!("Table 1: Metrics for Data Interaction 1997-2012\n{}", render_table(Era::Early))
+}
+
+/// Table 2 rendering.
+pub fn render_table2() -> String {
+    format!("Table 2: Metrics for Data Interaction 2012-present\n{}", render_table(Era::Modern))
+}
+
+/// Table 3 rendering: metric selection guidelines.
+pub fn render_table3() -> String {
+    let mut t = TextTable::new(["metric", "when to use"]);
+    for m in Metric::ALL {
+        t.row([m.name(), when_to_use(m)]);
+    }
+    format!("Table 3: Guidelines for Selecting Metrics\n{}", t.render())
+}
+
+/// Table 4 rendering: cognitive biases and mitigations.
+pub fn render_table4() -> String {
+    let mut t = TextTable::new(["side", "bias", "mitigation"]);
+    for b in Bias::ALL {
+        let side = match b.side() {
+            BiasSide::Participant => "participant",
+            BiasSide::Experimenter => "experimenter",
+        };
+        t.row([side, &format!("{b:?}"), b.mitigation()]);
+    }
+    format!("Table 4: Cognitive Biases during User Studies\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methodology_artifacts_render() {
+        for (name, text) in [
+            ("fig1", render_fig1()),
+            ("fig3", render_fig3()),
+            ("fig4", render_fig4()),
+            ("fig5", render_fig5()),
+            ("table1", render_table1()),
+            ("table2", render_table2()),
+            ("table3", render_table3()),
+            ("table4", render_table4()),
+        ] {
+            assert!(text.lines().count() > 5, "{name} too short");
+        }
+    }
+
+    #[test]
+    fn fig3_covers_all_quadrants() {
+        let text = render_fig3();
+        for q in ["Good", "PerceivedSlow", "Unresponsive", "OverwhelmedThrottle"] {
+            assert!(text.contains(q), "missing {q}");
+        }
+    }
+
+    #[test]
+    fn fig4_has_exactly_one_remote_row() {
+        let text = render_fig4();
+        let remotes = text.matches("Remote").count();
+        assert_eq!(remotes, 1, "only the all-false row is remote");
+    }
+
+    #[test]
+    fn table3_marks_latency_always() {
+        let text = render_table3();
+        assert!(text.contains("always"));
+        assert!(text.contains("Latency Constraint Violation"));
+    }
+}

@@ -1,0 +1,13 @@
+//! The paper's three case studies as deterministic, parameterized
+//! experiments, plus the survey/methodology artifacts.
+//!
+//! Each module exposes a `Config` (with a `smoke_test()` scale for tests
+//! and a `paper()` scale matching the study), a `run` function producing
+//! a typed report, and `render` methods that print the paper's tables
+//! and figure series.
+
+pub mod case1;
+pub mod case2;
+pub mod case3;
+pub mod methodology;
+pub mod scalability;

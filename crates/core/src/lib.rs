@@ -1,0 +1,49 @@
+//! `ids-core`: the experiment harness and public facade of the `ids`
+//! workspace — a toolkit for evaluating interactive data systems, after
+//! *Evaluating Interactive Data Systems: Survey and Case Studies*
+//! (Rahman, Jiang, Nandi).
+//!
+//! The crate wires the substrates together:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | virtual time & RNG | [`ids_simclock`] |
+//! | query engine (disk + mem backends) | [`ids_engine`] |
+//! | device models | [`ids_devices`] |
+//! | user behavior & datasets | [`ids_workload`] |
+//! | metric taxonomy (LCV, QIF, ...) | [`ids_metrics`] |
+//! | study-design toolkit | [`ids_study`] |
+//! | behavior-driven optimizations | [`ids_opt`] |
+//!
+//! and exposes, per case study, an *experiment*: a deterministic,
+//! parameterized reproduction of every table and figure in the paper
+//! ([`experiments`]), a [`registry`] mapping each paper artifact to the
+//! code that regenerates it, and plain-text [`report`] rendering.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ids_core::experiments::case2::{Case2Config, run as run_case2};
+//!
+//! // A scaled-down crossfiltering study (full scale in the benches).
+//! let report = run_case2(&Case2Config::smoke_test());
+//! // Fig 15: the in-memory backend violates the latency constraint far
+//! // less often than the disk backend under the raw workload.
+//! let disk_raw = report.lcv_fraction("disk", "raw").unwrap();
+//! let mem_raw = report.lcv_fraction("mem", "raw").unwrap();
+//! assert!(mem_raw <= disk_raw);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod registry;
+pub mod report;
+
+pub use ids_devices as devices;
+pub use ids_engine as engine;
+pub use ids_metrics as metrics;
+pub use ids_opt as opt;
+pub use ids_simclock as simclock;
+pub use ids_study as study;
+pub use ids_workload as workload;

@@ -1,0 +1,169 @@
+//! Plain-text rendering of experiment results: aligned tables and
+//! sparkline series, in the spirit of the paper's tables and figures.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len().max(row.len()), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (w, h) in widths.iter_mut().zip(&self.header) {
+            *w = (*w).max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(cols);
+            for (i, &width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                parts.push(format!("{cell:<width$}"));
+            }
+            let _ = writeln!(out, "{}", parts.join("  ").trim_end());
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders a numeric series as a unicode sparkline (one glyph per point),
+/// useful for eyeballing latency-over-time shapes in terminal reports.
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - min) / span) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `points` values (mean per bucket), so
+/// long latency series fit on one terminal line.
+pub fn downsample(values: &[f64], points: usize) -> Vec<f64> {
+    if values.len() <= points || points == 0 {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(points);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "22222"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "value" column starts at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["only"]);
+        assert!(t.render().contains("only"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        // Constant series does not panic on zero span.
+        let flat = sparkline(&[2.0, 2.0]);
+        assert_eq!(flat.chars().count(), 2);
+    }
+
+    #[test]
+    fn downsample_preserves_short_series() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(downsample(&v, 10), v);
+        let d = downsample(&(0..100).map(f64::from).collect::<Vec<_>>(), 10);
+        assert_eq!(d.len(), 10);
+        assert!((d[0] - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,162 @@
+//! Classical HCI timing models used to pace simulated users.
+//!
+//! Section 4.1.3 of the paper recommends simulating user interactions and
+//! estimating per-interaction times "via various HCI models such as
+//! Fitts', GOMS and ACT-R". This module implements the two workhorses:
+//!
+//! - **Fitts' law** for pointing movement time;
+//! - the **Keystroke-Level Model** (KLM, the operator-level simplification
+//!   of GOMS) for composite action times like "point, click, type".
+
+use ids_simclock::SimDuration;
+
+/// Fitts' law coefficients `MT = a + b · log2(D/W + 1)` (Shannon
+/// formulation), with `a`, `b` in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittsParams {
+    /// Intercept (reaction / initiation), seconds.
+    pub a: f64,
+    /// Slope per bit of index of difficulty, seconds.
+    pub b: f64,
+}
+
+impl FittsParams {
+    /// Conventional mouse-pointing coefficients (MacKenzie):
+    /// `a = 0.03 s`, `b = 0.12 s/bit`.
+    pub const MOUSE: FittsParams = FittsParams { a: 0.03, b: 0.12 };
+    /// Touch pointing is faster per bit but has a higher intercept
+    /// (finger travel), per FFitts-style calibrations.
+    pub const TOUCH: FittsParams = FittsParams { a: 0.08, b: 0.09 };
+    /// In-air gestures: large slope, the hand is unsupported.
+    pub const GESTURE: FittsParams = FittsParams { a: 0.15, b: 0.22 };
+
+    /// Movement time for a reach of `distance` to a target of `width`
+    /// (same units; only the ratio matters).
+    pub fn movement_time(&self, distance: f64, width: f64) -> SimDuration {
+        let id = index_of_difficulty(distance, width);
+        SimDuration::from_secs_f64(self.a + self.b * id)
+    }
+}
+
+/// Shannon index of difficulty, bits: `log2(D/W + 1)`.
+pub fn index_of_difficulty(distance: f64, width: f64) -> f64 {
+    let d = distance.max(0.0);
+    let w = width.max(1e-9);
+    (d / w + 1.0).log2()
+}
+
+/// Mouse movement time with the default coefficients — the common case.
+pub fn fitts_movement_time(distance: f64, width: f64) -> SimDuration {
+    FittsParams::MOUSE.movement_time(distance, width)
+}
+
+/// Keystroke-Level-Model operators (Card, Moran & Newell), with the
+/// standard catalogue times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KlmOp {
+    /// Press a key or button (average skilled typist).
+    Keystroke,
+    /// Point with the mouse (average, when Fitts' inputs are unknown).
+    Point,
+    /// Press or release a mouse button.
+    ButtonPress,
+    /// Move hand between keyboard and mouse.
+    Homing,
+    /// Mentally prepare for the next unit action.
+    MentalAct,
+    /// Draw a straight line segment (per cm, approximated as fixed here).
+    Draw,
+}
+
+impl KlmOp {
+    /// Standard operator time.
+    pub fn time(self) -> SimDuration {
+        let secs = match self {
+            KlmOp::Keystroke => 0.28, // average non-secretary typist
+            KlmOp::Point => 1.10,
+            KlmOp::ButtonPress => 0.10,
+            KlmOp::Homing => 0.40,
+            KlmOp::MentalAct => 1.35,
+            KlmOp::Draw => 1.06,
+        };
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Total KLM time for a sequence of operators.
+///
+/// ```
+/// use ids_devices::hci::{klm_sequence, KlmOp};
+///
+/// // M P B (think, point, click): 1.35 + 1.10 + 0.10 s.
+/// let t = klm_sequence(&[KlmOp::MentalAct, KlmOp::Point, KlmOp::ButtonPress]);
+/// assert_eq!(t.as_millis(), 2550);
+/// ```
+pub fn klm_sequence(ops: &[KlmOp]) -> SimDuration {
+    ops.iter().map(|op| op.time()).sum()
+}
+
+/// KLM estimate for typing a string: one `Keystroke` per character plus a
+/// leading `MentalAct` — the paper's text-box query path.
+pub fn klm_type_text(text: &str) -> SimDuration {
+    KlmOp::MentalAct.time() + KlmOp::Keystroke.time() * text.chars().count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_of_difficulty_monotone_in_distance() {
+        assert!(index_of_difficulty(200.0, 20.0) > index_of_difficulty(100.0, 20.0));
+        assert!(index_of_difficulty(100.0, 10.0) > index_of_difficulty(100.0, 20.0));
+        // Zero distance → log2(1) = 0 bits.
+        assert_eq!(index_of_difficulty(0.0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn fitts_zero_distance_is_just_intercept() {
+        let t = FittsParams::MOUSE.movement_time(0.0, 20.0);
+        assert_eq!(t.as_millis(), 30);
+    }
+
+    #[test]
+    fn fitts_typical_reach_is_subsecond() {
+        // 512 px to a 32 px target: ID ≈ log2(17) ≈ 4.09 bits.
+        let t = fitts_movement_time(512.0, 32.0);
+        let ms = t.as_millis();
+        assert!((400..700).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn gesture_pointing_is_slowest() {
+        let d = 300.0;
+        let w = 30.0;
+        let m = FittsParams::MOUSE.movement_time(d, w);
+        let g = FittsParams::GESTURE.movement_time(d, w);
+        assert!(g > m);
+    }
+
+    #[test]
+    fn degenerate_width_does_not_panic() {
+        let t = fitts_movement_time(100.0, 0.0);
+        assert!(t.as_secs_f64().is_finite());
+        assert!(t > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn klm_type_text_scales_with_length() {
+        let short = klm_type_text("ab");
+        let long = klm_type_text("abcdefgh");
+        assert!(long > short);
+        // 1.35 + 2×0.28 = 1.91 s.
+        assert_eq!(short.as_millis(), 1910);
+    }
+
+    #[test]
+    fn klm_sequence_sums_operators() {
+        let t = klm_sequence(&[KlmOp::Homing, KlmOp::Point, KlmOp::ButtonPress]);
+        assert_eq!(t.as_millis(), 1600);
+        assert_eq!(klm_sequence(&[]), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,276 @@
+//! Pointer trajectory synthesis.
+//!
+//! A simulated user reaches for a target along a *minimum-jerk* path —
+//! the standard model of voluntary human reaching (Flash & Hogan, 1985) —
+//! sampled at the device's sensing rate, with the device's jitter and
+//! drift processes superimposed. Frictionless devices (Leap Motion)
+//! additionally emit spurious micro-movements. The resulting traces
+//! reproduce the qualitative contrast of the paper's Fig 11: tight paths
+//! for mouse/touch, wandering high-variance paths for in-air gestures.
+
+use ids_simclock::rng::SimRng;
+use ids_simclock::{SimDuration, SimTime};
+
+use crate::hci::fitts_movement_time;
+use crate::profile::DeviceProfile;
+
+/// One pointer sample: where the sensor saw the hand at an instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointerSample {
+    /// Sample timestamp.
+    pub at: SimTime,
+    /// Horizontal position, device units.
+    pub x: f64,
+    /// Vertical position, device units.
+    pub y: f64,
+}
+
+/// A 2-D point in device units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Generates pointer trajectories for one device.
+#[derive(Debug)]
+pub struct PointerSimulator {
+    profile: DeviceProfile,
+    rng: SimRng,
+    /// Accumulated drift offset (random walk, frictionless devices only).
+    drift: Point,
+}
+
+impl PointerSimulator {
+    /// Creates a simulator for `profile` with a dedicated RNG stream.
+    pub fn new(profile: DeviceProfile, rng: SimRng) -> PointerSimulator {
+        PointerSimulator {
+            profile,
+            rng,
+            drift: Point::new(0.0, 0.0),
+        }
+    }
+
+    /// The device being simulated.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Synthesizes a reach from `from` to `to` starting at `start`,
+    /// targeting a widget of effective width `target_width`.
+    ///
+    /// Movement time follows Fitts' law; the nominal path is minimum-jerk;
+    /// each sample adds device jitter, drift (for frictionless devices),
+    /// and occasional spurious micro-gestures.
+    pub fn reach(
+        &mut self,
+        start: SimTime,
+        from: Point,
+        to: Point,
+        target_width: f64,
+    ) -> Vec<PointerSample> {
+        let distance = from.distance(to);
+        let mt = fitts_movement_time(distance, target_width);
+        let dt = self.profile.sample_interval();
+        let n = (mt.as_secs_f64() / dt.as_secs_f64()).ceil().max(1.0) as usize;
+
+        let mut samples = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let tau = i as f64 / n as f64;
+            // Minimum-jerk position profile: s(τ) = 10τ³ − 15τ⁴ + 6τ⁵.
+            let s = 10.0 * tau.powi(3) - 15.0 * tau.powi(4) + 6.0 * tau.powi(5);
+            let nominal_x = from.x + (to.x - from.x) * s;
+            let nominal_y = from.y + (to.y - from.y) * s;
+            self.advance_drift(dt);
+            let (jx, jy) = self.sample_noise();
+            samples.push(PointerSample {
+                at: start + dt * i as u64,
+                x: nominal_x + jx + self.drift.x,
+                y: nominal_y + jy + self.drift.y,
+            });
+        }
+        samples
+    }
+
+    /// Synthesizes a *hold*: the user tries to keep the pointer still at
+    /// `at_point` for `duration`. On frictionless devices this is where
+    /// unintended queries come from — the sensor keeps seeing movement.
+    pub fn hold(
+        &mut self,
+        start: SimTime,
+        at_point: Point,
+        duration: SimDuration,
+    ) -> Vec<PointerSample> {
+        let dt = self.profile.sample_interval();
+        let n = (duration.as_secs_f64() / dt.as_secs_f64()).ceil().max(1.0) as usize;
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            self.advance_drift(dt);
+            let (jx, jy) = self.sample_noise();
+            samples.push(PointerSample {
+                at: start + dt * i as u64,
+                x: at_point.x + jx + self.drift.x,
+                y: at_point.y + jy + self.drift.y,
+            });
+        }
+        samples
+    }
+
+    fn advance_drift(&mut self, dt: SimDuration) {
+        if self.profile.drift_std_per_s > 0.0 {
+            let scale = self.profile.drift_std_per_s * dt.as_secs_f64().sqrt();
+            self.drift.x += self.rng.normal(0.0, scale);
+            self.drift.y += self.rng.normal(0.0, scale);
+            // A user notices gross drift and re-centres; soft-clamp.
+            self.drift.x *= 0.98;
+            self.drift.y *= 0.98;
+        }
+    }
+
+    fn sample_noise(&mut self) -> (f64, f64) {
+        let mut jx = self.rng.normal(0.0, self.profile.jitter_std);
+        let mut jy = self.rng.normal(0.0, self.profile.jitter_std);
+        if self.profile.spurious_rate > 0.0 && self.rng.chance(self.profile.spurious_rate) {
+            // A spurious micro-gesture: a burst several jitter-sigmas wide.
+            jx += self.rng.normal(0.0, self.profile.jitter_std * 4.0);
+            jy += self.rng.normal(0.0, self.profile.jitter_std * 4.0);
+        }
+        (jx, jy)
+    }
+}
+
+/// Path-noise summary of a trace: mean squared deviation from the
+/// straight from→to chord, the quantitative face of Fig 11.
+pub fn path_wobble(samples: &[PointerSample]) -> f64 {
+    if samples.len() < 3 {
+        return 0.0;
+    }
+    let a = samples[0];
+    let b = samples[samples.len() - 1];
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let len2 = dx * dx + dy * dy;
+    if len2 == 0.0 {
+        // Degenerate chord (a hold): wobble is variance about the mean.
+        let mx = samples.iter().map(|s| s.x).sum::<f64>() / samples.len() as f64;
+        let my = samples.iter().map(|s| s.y).sum::<f64>() / samples.len() as f64;
+        return samples
+            .iter()
+            .map(|s| (s.x - mx).powi(2) + (s.y - my).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+    }
+    samples
+        .iter()
+        .map(|s| {
+            // Perpendicular distance to the chord.
+            let t = ((s.x - a.x) * dx + (s.y - a.y) * dy) / len2;
+            let px = a.x + t * dx;
+            let py = a.y + t * dy;
+            (s.x - px).powi(2) + (s.y - py).powi(2)
+        })
+        .sum::<f64>()
+        / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    fn rng() -> SimRng {
+        SimRng::seed(2024)
+    }
+
+    #[test]
+    fn reach_starts_and_ends_near_endpoints() {
+        let mut sim = PointerSimulator::new(DeviceProfile::mouse(), rng());
+        let from = Point::new(700.0, 80.0);
+        let to = Point::new(1050.0, 85.0);
+        let trace = sim.reach(SimTime::ZERO, from, to, 20.0);
+        assert!(trace.len() > 10);
+        let first = trace.first().unwrap();
+        let last = trace.last().unwrap();
+        assert!(Point::new(first.x, first.y).distance(from) < 10.0);
+        assert!(Point::new(last.x, last.y).distance(to) < 10.0);
+    }
+
+    #[test]
+    fn samples_are_evenly_spaced_at_sensing_rate() {
+        let mut sim = PointerSimulator::new(DeviceProfile::touch(), rng());
+        let trace = sim.reach(SimTime::ZERO, Point::new(0.0, 0.0), Point::new(300.0, 0.0), 30.0);
+        let dt = DeviceProfile::touch().sample_interval().as_micros();
+        for w in trace.windows(2) {
+            assert_eq!(w[1].at.as_micros() - w[0].at.as_micros(), dt);
+        }
+    }
+
+    #[test]
+    fn leap_motion_wobbles_far_more_than_mouse() {
+        // The Fig 11 contrast: same intended movement, very different noise.
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(300.0, 0.0);
+        let mut mouse = PointerSimulator::new(DeviceProfile::mouse(), rng().split("m"));
+        let mut leap = PointerSimulator::new(DeviceProfile::leap_motion(), rng().split("l"));
+        let wm = path_wobble(&mouse.reach(SimTime::ZERO, from, to, 20.0));
+        let wl = path_wobble(&leap.reach(SimTime::ZERO, from, to, 20.0));
+        assert!(
+            wl > wm * 10.0,
+            "leap wobble {wl:.1} should dwarf mouse wobble {wm:.1}"
+        );
+    }
+
+    #[test]
+    fn hold_on_frictionless_device_keeps_moving() {
+        let p = Point::new(100.0, 100.0);
+        let dur = SimDuration::from_secs(2);
+        let mut mouse = PointerSimulator::new(DeviceProfile::mouse(), rng().split("m"));
+        let mut leap = PointerSimulator::new(DeviceProfile::leap_motion(), rng().split("l"));
+        let hm = path_wobble(&mouse.hold(SimTime::ZERO, p, dur));
+        let hl = path_wobble(&leap.hold(SimTime::ZERO, p, dur));
+        assert!(hl > hm * 20.0, "leap hold variance {hl:.1} vs mouse {hm:.3}");
+    }
+
+    #[test]
+    fn longer_reaches_take_longer() {
+        let mut sim = PointerSimulator::new(DeviceProfile::mouse(), rng());
+        let short = sim.reach(SimTime::ZERO, Point::new(0.0, 0.0), Point::new(50.0, 0.0), 20.0);
+        let long = sim.reach(SimTime::ZERO, Point::new(0.0, 0.0), Point::new(800.0, 0.0), 20.0);
+        assert!(long.len() > short.len());
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let make = || {
+            let mut sim = PointerSimulator::new(DeviceProfile::leap_motion(), SimRng::seed(7));
+            sim.reach(SimTime::ZERO, Point::new(0.0, 0.0), Point::new(100.0, 50.0), 10.0)
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wobble_of_short_traces_is_zero() {
+        assert_eq!(path_wobble(&[]), 0.0);
+        let s = PointerSample {
+            at: SimTime::ZERO,
+            x: 0.0,
+            y: 0.0,
+        };
+        assert_eq!(path_wobble(&[s, s]), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Device profiles: the parameters that make each input channel's
+//! workload unique.
+
+use ids_simclock::SimDuration;
+
+/// The input devices covered by the paper's case studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Desktop mouse.
+    Mouse,
+    /// Direct touch (iPad in case study 2).
+    Touch,
+    /// Laptop trackpad with inertial scrolling (case study 1).
+    Trackpad,
+    /// Leap Motion in-air gesture sensor.
+    LeapMotion,
+}
+
+impl DeviceKind {
+    /// All modeled devices.
+    pub const ALL: [DeviceKind; 4] = [
+        DeviceKind::Mouse,
+        DeviceKind::Touch,
+        DeviceKind::Trackpad,
+        DeviceKind::LeapMotion,
+    ];
+
+    /// Lower-case label used in reports ("mouse", "touch", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceKind::Mouse => "mouse",
+            DeviceKind::Touch => "touch",
+            DeviceKind::Trackpad => "trackpad",
+            DeviceKind::LeapMotion => "leap motion",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Kinematic and sensing parameters for one device.
+///
+/// The jitter figures are calibrated to the paper's Fig 11 traces: mouse
+/// and touch wander by a couple of pixels around the intended path (the
+/// friction of a physical surface stabilizes the hand), while the Leap
+/// Motion — frictionless, in-air — wanders by tens of millimetres and
+/// additionally *drifts*, producing the unintended repeated queries the
+/// paper highlights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Which device this profiles.
+    pub kind: DeviceKind,
+    /// Sensor sampling rate, Hz. Sets the maximum query issuing frequency.
+    pub sensing_rate_hz: f64,
+    /// Standard deviation of per-sample positional noise, device units
+    /// (px for mouse/touch/trackpad, mm for Leap Motion).
+    pub jitter_std: f64,
+    /// Standard deviation of the random-walk drift per second, device
+    /// units. Zero for devices stabilized by surface friction.
+    pub drift_std_per_s: f64,
+    /// Whether the interaction is stabilized by physical friction.
+    pub has_friction: bool,
+    /// Probability per sample of a spurious "micro-gesture" the sensor
+    /// interprets as intentional movement (Leap Motion sensitivity).
+    pub spurious_rate: f64,
+}
+
+impl DeviceProfile {
+    /// Standard mouse profile: 125 Hz polling, pixel-level noise.
+    pub const fn mouse() -> DeviceProfile {
+        DeviceProfile {
+            kind: DeviceKind::Mouse,
+            sensing_rate_hz: 125.0,
+            jitter_std: 1.2,
+            drift_std_per_s: 0.0,
+            has_friction: true,
+            spurious_rate: 0.0,
+        }
+    }
+
+    /// iPad touch profile: 60 Hz legacy sensing (the paper notes the
+    /// original iPad sensed at 30 Hz and newer panels reach 120 Hz; 60 Hz
+    /// matches the study-era device).
+    pub const fn touch() -> DeviceProfile {
+        DeviceProfile {
+            kind: DeviceKind::Touch,
+            sensing_rate_hz: 60.0,
+            jitter_std: 1.8,
+            drift_std_per_s: 0.0,
+            has_friction: true,
+            spurious_rate: 0.0,
+        }
+    }
+
+    /// 120 Hz touch profile (Apple Pencil-era panel) for QIF stress tests.
+    pub const fn touch_120hz() -> DeviceProfile {
+        DeviceProfile {
+            sensing_rate_hz: 120.0,
+            ..DeviceProfile::touch()
+        }
+    }
+
+    /// MacBook trackpad profile used by the inertial-scroll study.
+    pub const fn trackpad() -> DeviceProfile {
+        DeviceProfile {
+            kind: DeviceKind::Trackpad,
+            sensing_rate_hz: 90.0,
+            jitter_std: 0.8,
+            drift_std_per_s: 0.0,
+            has_friction: true,
+            spurious_rate: 0.0,
+        }
+    }
+
+    /// Leap Motion profile: high sampling, no friction, heavy jitter and
+    /// drift, occasional spurious micro-gestures.
+    pub const fn leap_motion() -> DeviceProfile {
+        DeviceProfile {
+            kind: DeviceKind::LeapMotion,
+            sensing_rate_hz: 110.0,
+            jitter_std: 9.0,
+            drift_std_per_s: 25.0,
+            has_friction: false,
+            spurious_rate: 0.08,
+        }
+    }
+
+    /// The default profile for a device kind.
+    pub fn for_kind(kind: DeviceKind) -> DeviceProfile {
+        match kind {
+            DeviceKind::Mouse => Self::mouse(),
+            DeviceKind::Touch => Self::touch(),
+            DeviceKind::Trackpad => Self::trackpad(),
+            DeviceKind::LeapMotion => Self::leap_motion(),
+        }
+    }
+
+    /// Interval between sensor samples.
+    pub fn sample_interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.sensing_rate_hz.max(1.0))
+    }
+
+    /// Maximum queries per second this device can drive (its sensing
+    /// rate) — the ceiling on query issuing frequency from Section 3.1.2.
+    pub fn max_qif(&self) -> f64 {
+        self.sensing_rate_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(DeviceKind::Mouse.label(), "mouse");
+        assert_eq!(DeviceKind::LeapMotion.to_string(), "leap motion");
+        assert_eq!(DeviceKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn friction_devices_have_low_jitter() {
+        for kind in DeviceKind::ALL {
+            let p = DeviceProfile::for_kind(kind);
+            assert_eq!(p.kind, kind);
+            if p.has_friction {
+                assert!(p.jitter_std < 3.0);
+                assert_eq!(p.drift_std_per_s, 0.0);
+            }
+        }
+        let leap = DeviceProfile::leap_motion();
+        assert!(!leap.has_friction);
+        assert!(leap.jitter_std > DeviceProfile::mouse().jitter_std * 4.0);
+        assert!(leap.drift_std_per_s > 0.0);
+    }
+
+    #[test]
+    fn sample_interval_inverts_rate() {
+        let p = DeviceProfile::mouse();
+        assert_eq!(p.sample_interval().as_millis(), 8); // 1/125 s
+        assert_eq!(DeviceProfile::touch().sample_interval().as_micros(), 16_667);
+    }
+
+    #[test]
+    fn high_rate_touch_has_higher_qif_ceiling() {
+        assert!(DeviceProfile::touch_120hz().max_qif() > DeviceProfile::touch().max_qif());
+    }
+}

@@ -1,0 +1,271 @@
+//! Inertial ("momentum") scrolling physics.
+//!
+//! Case study 1 contrasts inertial scrolling with plain wheel scrolling:
+//! a flick imparts velocity that decays under simulated friction, so one
+//! gesture covers hundreds of pixels per frame (the paper's Fig 7 shows
+//! wheel deltas of ~400 px with inertia vs ~4 px without — a 100×
+//! difference that breaks lazy loading). This module implements both
+//! regimes as pure physics over virtual time.
+
+use ids_simclock::{SimDuration, SimTime};
+
+/// One emitted wheel event: how far the content scrolled this frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WheelEvent {
+    /// Event timestamp.
+    pub at: SimTime,
+    /// Scroll distance this frame, pixels (positive = scrolling down).
+    pub delta: f64,
+}
+
+/// A flick gesture: the user swipes, imparting an initial velocity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flick {
+    /// When the flick lands.
+    pub at: SimTime,
+    /// Imparted content velocity, px/s (positive = down, negative = back up).
+    pub velocity: f64,
+}
+
+/// Exponential-decay scroll physics.
+///
+/// Velocity after a flick decays as `v(t) = v0 · exp(−t/τ)`; wheel events
+/// fire every `frame_interval` with `delta = v · Δt` until the speed drops
+/// below `stop_velocity` or the next flick replaces the velocity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrollPhysics {
+    /// Interval between wheel events (UI frame), typically 15–20 ms.
+    pub frame_interval: SimDuration,
+    /// Friction time constant τ, seconds. Larger = longer glide.
+    pub friction_tau_s: f64,
+    /// Speed below which the glide stops, px/s.
+    pub stop_velocity: f64,
+}
+
+impl ScrollPhysics {
+    /// iOS/macOS-style inertial scrolling: 60 Hz frames, τ ≈ 0.325 s.
+    pub fn inertial() -> ScrollPhysics {
+        ScrollPhysics {
+            frame_interval: SimDuration::from_micros(16_667),
+            friction_tau_s: 0.325,
+            stop_velocity: 30.0,
+        }
+    }
+
+    /// Simulates the wheel-event stream produced by a flick sequence,
+    /// up to `until`. Flicks must be sorted by time; a flick during a
+    /// glide replaces the current velocity (matching trackpad behavior,
+    /// where successive swipes re-energize the scroll).
+    pub fn roll(&self, flicks: &[Flick], until: SimTime) -> Vec<WheelEvent> {
+        debug_assert!(
+            flicks.windows(2).all(|w| w[0].at <= w[1].at),
+            "flicks must be sorted by time"
+        );
+        let mut events = Vec::new();
+        let dt = self.frame_interval;
+        let dt_s = dt.as_secs_f64();
+        let decay = (-dt_s / self.friction_tau_s).exp();
+
+        let mut next_flick = 0;
+        let mut velocity = 0.0_f64;
+        let mut t = match flicks.first() {
+            Some(f) => f.at,
+            None => return events,
+        };
+        while t <= until {
+            // Absorb any flick that has landed by now.
+            while next_flick < flicks.len() && flicks[next_flick].at <= t {
+                velocity = flicks[next_flick].velocity;
+                next_flick += 1;
+            }
+            if velocity.abs() < self.stop_velocity {
+                velocity = 0.0;
+                // Idle: skip ahead to the next flick, if any.
+                match flicks.get(next_flick) {
+                    Some(f) if f.at <= until => {
+                        t = f.at;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            events.push(WheelEvent {
+                at: t,
+                delta: velocity * dt_s,
+            });
+            velocity *= decay;
+            t += dt;
+        }
+        events
+    }
+}
+
+/// Plain (non-inertial) wheel scrolling: discrete notches at the user's
+/// finger rate, each moving a fixed small distance.
+///
+/// `rate_hz` is how fast the user turns the wheel, `notch_px` the distance
+/// per notch (the paper's Fig 7b shows deltas of ~2–4 px).
+pub fn plain_scroll(
+    start: SimTime,
+    duration: SimDuration,
+    rate_hz: f64,
+    notch_px: f64,
+) -> Vec<WheelEvent> {
+    if rate_hz <= 0.0 {
+        return Vec::new();
+    }
+    let dt = SimDuration::from_secs_f64(1.0 / rate_hz);
+    let n = (duration.as_secs_f64() * rate_hz).floor() as u64;
+    (0..n)
+        .map(|i| WheelEvent {
+            at: start + dt * i,
+            delta: notch_px,
+        })
+        .collect()
+}
+
+/// Integrates wheel events into cumulative scroll positions
+/// (`scrollTop` in the paper's trace schema).
+pub fn scroll_positions(events: &[WheelEvent]) -> Vec<(SimTime, f64)> {
+    let mut pos = 0.0;
+    events
+        .iter()
+        .map(|e| {
+            pos += e.delta;
+            (e.at, pos.max(0.0))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_flick(v: f64) -> Vec<Flick> {
+        vec![Flick {
+            at: SimTime::ZERO,
+            velocity: v,
+        }]
+    }
+
+    #[test]
+    fn flick_decays_to_rest() {
+        let phys = ScrollPhysics::inertial();
+        let events = phys.roll(&single_flick(20_000.0), SimTime::from_secs(10));
+        assert!(!events.is_empty());
+        // Deltas decay monotonically after the peak.
+        for w in events.windows(2) {
+            assert!(w[1].delta <= w[0].delta + 1e-9);
+        }
+        // Glide ends well before the 10 s horizon (τ = 0.325 s).
+        assert!(events.last().unwrap().at < SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn inertial_deltas_dwarf_plain_deltas() {
+        // The Fig 7 contrast: ~400 px vs ~4 px per event.
+        let phys = ScrollPhysics::inertial();
+        let inertial = phys.roll(&single_flick(24_000.0), SimTime::from_secs(5));
+        let peak = inertial.iter().map(|e| e.delta).fold(0.0, f64::max);
+        assert!(
+            (300.0..500.0).contains(&peak),
+            "peak inertial delta {peak:.0} px should be ~400"
+        );
+        let plain = plain_scroll(SimTime::ZERO, SimDuration::from_secs(5), 8.0, 4.0);
+        let plain_peak = plain.iter().map(|e| e.delta).fold(0.0, f64::max);
+        assert!(peak / plain_peak > 50.0, "ratio {}", peak / plain_peak);
+    }
+
+    #[test]
+    fn new_flick_reenergizes_glide() {
+        let phys = ScrollPhysics::inertial();
+        let flicks = vec![
+            Flick {
+                at: SimTime::ZERO,
+                velocity: 10_000.0,
+            },
+            Flick {
+                at: SimTime::from_millis(500),
+                velocity: 10_000.0,
+            },
+        ];
+        let events = phys.roll(&flicks, SimTime::from_secs(5));
+        // Find the delta just after the second flick: back near peak.
+        let after = events
+            .iter()
+            .find(|e| e.at >= SimTime::from_millis(500))
+            .unwrap();
+        let peak = events[0].delta;
+        assert!((after.delta - peak).abs() / peak < 0.05);
+    }
+
+    #[test]
+    fn idle_gap_between_flicks_emits_nothing() {
+        let phys = ScrollPhysics::inertial();
+        let flicks = vec![
+            Flick {
+                at: SimTime::ZERO,
+                velocity: 5_000.0,
+            },
+            Flick {
+                at: SimTime::from_secs(30),
+                velocity: 5_000.0,
+            },
+        ];
+        let events = phys.roll(&flicks, SimTime::from_secs(40));
+        // There must be a silent span between the two glides.
+        let mut max_gap = SimDuration::ZERO;
+        for w in events.windows(2) {
+            max_gap = max_gap.max(w[1].at.saturating_since(w[0].at)).max(max_gap);
+        }
+        assert!(max_gap > SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn backscroll_has_negative_deltas() {
+        let phys = ScrollPhysics::inertial();
+        let events = phys.roll(&single_flick(-8_000.0), SimTime::from_secs(5));
+        assert!(events.iter().all(|e| e.delta < 0.0));
+    }
+
+    #[test]
+    fn plain_scroll_spacing_and_count() {
+        let events = plain_scroll(SimTime::ZERO, SimDuration::from_secs(2), 10.0, 3.0);
+        assert_eq!(events.len(), 20);
+        assert!(events.iter().all(|e| e.delta == 3.0));
+        assert_eq!(plain_scroll(SimTime::ZERO, SimDuration::from_secs(1), 0.0, 3.0), vec![]);
+    }
+
+    #[test]
+    fn positions_accumulate_and_clamp_at_top() {
+        let events = vec![
+            WheelEvent {
+                at: SimTime::ZERO,
+                delta: 100.0,
+            },
+            WheelEvent {
+                at: SimTime::from_millis(20),
+                delta: -250.0,
+            },
+        ];
+        let pos = scroll_positions(&events);
+        assert_eq!(pos[0].1, 100.0);
+        assert_eq!(pos[1].1, 0.0, "cannot scroll above the top");
+    }
+
+    #[test]
+    fn empty_flicks_produce_no_events() {
+        let phys = ScrollPhysics::inertial();
+        assert!(phys.roll(&[], SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn events_are_frame_spaced_during_glide() {
+        let phys = ScrollPhysics::inertial();
+        let events = phys.roll(&single_flick(20_000.0), SimTime::from_secs(5));
+        let dt = phys.frame_interval.as_micros();
+        for w in events.windows(2) {
+            assert_eq!(w[1].at.as_micros() - w[0].at.as_micros(), dt);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Adaptive indexing (database cracking) for interactive range queries.
+//!
+//! The survey's related-work section lists adaptive indexing — database
+//! cracking and its merged variants — among the general techniques for
+//! interactive performance. Cracking fits interactive workloads
+//! perfectly: each range query physically reorganizes a little of the
+//! column around its bounds, so the column self-organizes exactly where
+//! the user is exploring, with no upfront index build.
+//!
+//! [`CrackedColumn`] keeps a permutation of row ids plus a sorted list of
+//! *crack points*; [`CrackedColumn::range`] answers a `[lo, hi]` range by
+//! cracking both bounds (two partition passes over the narrowest known
+//! piece) and then returning a contiguous slice of the permutation.
+
+use std::collections::BTreeMap;
+
+use crate::column::Column;
+use crate::error::{EngineError, EngineResult};
+
+/// A crackable copy of a numeric column: values plus a row-id
+/// permutation that gets increasingly range-partitioned as queries
+/// arrive.
+#[derive(Debug, Clone)]
+pub struct CrackedColumn {
+    /// `perm[i]` = original row id at partition position `i`.
+    perm: Vec<u32>,
+    /// Values aligned with `perm` (copied so partitioning is cache-local).
+    values: Vec<f64>,
+    /// Crack points: value `v` → first partition position whose value is
+    /// `>= v`. All positions before it hold values `< v`.
+    cracks: BTreeMap<OrderedF64, usize>,
+    /// Cumulative elements touched by partition passes (work counter).
+    work: u64,
+}
+
+/// Total-ordered f64 key for the crack map (NaNs rejected at insert).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl CrackedColumn {
+    /// Builds a crackable copy of a numeric column.
+    pub fn new(column: &Column) -> EngineResult<CrackedColumn> {
+        let values: Vec<f64> = match column {
+            Column::Float(v) => v.to_vec(),
+            Column::Int(v) => v.iter().map(|&x| x as f64).collect(),
+            Column::Str { .. } => {
+                return Err(EngineError::TypeMismatch {
+                    column: "<cracked>".into(),
+                    expected: "numeric column for cracking",
+                })
+            }
+        };
+        Ok(CrackedColumn {
+            perm: (0..values.len() as u32).collect(),
+            values,
+            cracks: BTreeMap::new(),
+            work: 0,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of crack points accumulated so far.
+    pub fn crack_count(&self) -> usize {
+        self.cracks.len()
+    }
+
+    /// Cumulative elements moved/compared by partition passes — the cost
+    /// proxy that shrinks as the column self-organizes.
+    pub fn total_work(&self) -> u64 {
+        self.work
+    }
+
+    /// Answers `lo <= value <= hi`, cracking the column on both bounds.
+    /// Returns the matching *original row ids* (order unspecified).
+    pub fn range(&mut self, lo: f64, hi: f64) -> Vec<u32> {
+        if self.values.is_empty() || lo > hi || lo.is_nan() || hi.is_nan() {
+            return Vec::new();
+        }
+        let start = self.crack_at(lo); // first pos with value >= lo
+        // hi bound: first pos with value > hi == first pos with value >= next_up(hi).
+        let end = self.crack_at(next_up(hi));
+        self.perm[start..end].to_vec()
+    }
+
+    /// The work done by one range on a fully-cracked region is ~0; on a
+    /// cold column it is O(n). This returns positions `[start, end)` via
+    /// cracking at `v` (first position with value >= v).
+    fn crack_at(&mut self, v: f64) -> usize {
+        let key = OrderedF64(v);
+        if let Some(&pos) = self.cracks.get(&key) {
+            return pos;
+        }
+        // Narrowest piece containing v: between the nearest cracks.
+        let lo_bound = self
+            .cracks
+            .range(..key)
+            .next_back()
+            .map(|(_, &p)| p)
+            .unwrap_or(0);
+        let hi_bound = self
+            .cracks
+            .range(key..)
+            .next()
+            .map(|(_, &p)| p)
+            .unwrap_or(self.values.len());
+        // Partition [lo_bound, hi_bound) around v: values < v left.
+        let mut i = lo_bound;
+        let mut j = hi_bound;
+        self.work += (hi_bound - lo_bound) as u64;
+        while i < j {
+            if self.values[i] < v {
+                i += 1;
+            } else {
+                j -= 1;
+                self.values.swap(i, j);
+                self.perm.swap(i, j);
+            }
+        }
+        self.cracks.insert(key, i);
+        i
+    }
+}
+
+fn next_up(x: f64) -> f64 {
+    // Smallest float strictly greater than x (finite inputs).
+    if x == f64::INFINITY {
+        return x;
+    }
+    let bits = x.to_bits();
+    let next = if x >= 0.0 { bits + 1 } else { bits - 1 };
+    f64::from_bits(if x == 0.0 { 1 } else { next })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use ids_simclock::rng::SimRng;
+
+    fn shuffled(n: usize, seed: u64) -> (Column, Vec<f64>) {
+        let mut vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        SimRng::seed(seed).shuffle(&mut vals);
+        (ColumnBuilder::float(vals.clone()).build(), vals)
+    }
+
+    fn naive_range(vals: &[f64], lo: f64, hi: f64) -> Vec<u32> {
+        let mut out: Vec<u32> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v >= lo && v <= hi)
+            .map(|(i, _)| i as u32)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn cracked_ranges_match_naive_scans() {
+        let (col, vals) = shuffled(5_000, 1);
+        let mut cracked = CrackedColumn::new(&col).unwrap();
+        let mut rng = SimRng::seed(2);
+        for _ in 0..100 {
+            let lo = rng.uniform(-100.0, 5_100.0);
+            let hi = lo + rng.uniform(0.0, 1_000.0);
+            let mut got = cracked.range(lo, hi);
+            got.sort_unstable();
+            assert_eq!(got, naive_range(&vals, lo, hi), "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn inclusive_bounds() {
+        let col = ColumnBuilder::float([5.0, 1.0, 3.0, 5.0, 2.0]).build();
+        let mut cracked = CrackedColumn::new(&col).unwrap();
+        let mut got = cracked.range(3.0, 5.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2, 3]);
+        // Point query.
+        let mut got = cracked.range(5.0, 5.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 3]);
+    }
+
+    #[test]
+    fn work_per_query_shrinks_as_the_column_cracks() {
+        let (col, _) = shuffled(100_000, 3);
+        let mut cracked = CrackedColumn::new(&col).unwrap();
+        let mut rng = SimRng::seed(4);
+        // A crossfilter-ish session of 200 range queries.
+        let mut works = Vec::new();
+        for _ in 0..200 {
+            let lo = rng.uniform(0.0, 90_000.0);
+            let before = cracked.total_work();
+            cracked.range(lo, lo + 5_000.0);
+            works.push(cracked.total_work() - before);
+        }
+        let head: u64 = works[..20].iter().sum();
+        let tail: u64 = works[works.len() - 20..].iter().sum();
+        assert!(
+            tail * 10 < head,
+            "late queries should be ~free: first-20 work {head}, last-20 work {tail}"
+        );
+        assert!(cracked.crack_count() > 100);
+    }
+
+    #[test]
+    fn repeated_query_is_free() {
+        let (col, _) = shuffled(10_000, 5);
+        let mut cracked = CrackedColumn::new(&col).unwrap();
+        cracked.range(100.0, 500.0);
+        let before = cracked.total_work();
+        cracked.range(100.0, 500.0);
+        assert_eq!(cracked.total_work(), before, "both cracks already exist");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let col = ColumnBuilder::float([1.0, 2.0]).build();
+        let mut cracked = CrackedColumn::new(&col).unwrap();
+        assert!(cracked.range(5.0, 1.0).is_empty(), "inverted range");
+        assert!(cracked.range(f64::NAN, 1.0).is_empty());
+        assert_eq!(cracked.range(0.0, 10.0).len(), 2);
+
+        let empty = ColumnBuilder::float([]).build();
+        let mut cracked = CrackedColumn::new(&empty).unwrap();
+        assert!(cracked.is_empty());
+        assert!(cracked.range(0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn int_columns_crack_too() {
+        let col = ColumnBuilder::int([30, 10, 20, 40]).build();
+        let mut cracked = CrackedColumn::new(&col).unwrap();
+        let mut got = cracked.range(15.0, 35.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn string_columns_are_rejected() {
+        let col = ColumnBuilder::str(["a", "b"]).build();
+        assert!(CrackedColumn::new(&col).is_err());
+    }
+
+    #[test]
+    fn duplicates_partition_correctly() {
+        let col = ColumnBuilder::float(vec![2.0; 1_000]).build();
+        let mut cracked = CrackedColumn::new(&col).unwrap();
+        assert_eq!(cracked.range(2.0, 2.0).len(), 1_000);
+        assert!(cracked.range(2.1, 3.0).is_empty());
+        assert!(cracked.range(0.0, 1.9).is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Execution backends: one logical query layer, two latency regimes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ids_simclock::SimDuration;
+use parking_lot::RwLock;
+
+use crate::buffer::{BufferPool, BufferPoolStats, EvictionPolicy};
+use crate::cost::{CostModel, CostParams, LinearCostModel, QueryFootprint};
+use crate::error::{EngineError, EngineResult};
+use crate::exec::run_query;
+use crate::page::Pager;
+use crate::predicate::Predicate;
+use crate::query::Query;
+use crate::result::ResultSet;
+use crate::table::Table;
+
+/// A registry of tables shared by backends, schedulers, and tests.
+/// Cloning yields another handle to the same registry.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    inner: Arc<RwLock<DbInner>>,
+}
+
+#[derive(Debug, Default)]
+struct DbInner {
+    tables: HashMap<Arc<str>, (u32, Table)>,
+    next_id: u32,
+}
+
+impl Database {
+    /// Creates an empty registry.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Registers (or replaces) a table under its own name and returns its
+    /// stable numeric id.
+    pub fn register(&self, table: Table) -> u32 {
+        let mut inner = self.inner.write();
+        let name: Arc<str> = Arc::from(table.name());
+        if let Some(existing_id) = inner.tables.get(&name).map(|(id, _)| *id) {
+            inner.tables.insert(name, (existing_id, table));
+            return existing_id;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.tables.insert(name, (id, table));
+        id
+    }
+
+    /// Fetches a table by name (cheap clone of column handles).
+    pub fn table(&self, name: &str) -> EngineResult<Table> {
+        self.inner
+            .read()
+            .tables
+            .get(name)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// The numeric id assigned to a table.
+    pub fn table_id(&self, name: &str) -> EngineResult<u32> {
+        self.inner
+            .read()
+            .tables
+            .get(name)
+            .map(|(id, _)| *id)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all registered tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().tables.keys().map(|k| k.to_string()).collect()
+    }
+}
+
+/// Result of executing one query on a backend: the answer, the work done,
+/// and the *virtual* execution time.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query answer.
+    pub result: ResultSet,
+    /// Work counters (including page I/O for disk backends).
+    pub footprint: QueryFootprint,
+    /// Virtual execution time charged by the backend's cost model.
+    pub cost: SimDuration,
+}
+
+impl QueryOutcome {
+    /// Convenience accessor mirroring `ResultSet::scalar_count`.
+    pub fn scalar_count(&self) -> Option<u64> {
+        self.result.scalar_count()
+    }
+}
+
+/// A query execution backend with a deterministic virtual-time cost.
+pub trait Backend: Send + Sync {
+    /// Short backend name ("mem", "disk"), used in experiment reports.
+    fn name(&self) -> &str;
+    /// A handle to the backend's table registry.
+    fn database(&self) -> Database;
+    /// Executes a query and prices its cost.
+    fn execute(&self, query: &Query) -> EngineResult<QueryOutcome>;
+}
+
+/// In-memory columnar backend — the MemSQL role in case study 2.
+#[derive(Debug)]
+pub struct MemBackend {
+    db: Database,
+    model: LinearCostModel,
+}
+
+impl Default for MemBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemBackend {
+    /// Creates a backend with the default in-memory cost calibration.
+    pub fn new() -> MemBackend {
+        MemBackend::with_params(CostParams::mem_default())
+    }
+
+    /// Creates a backend with explicit cost parameters.
+    pub fn with_params(params: CostParams) -> MemBackend {
+        MemBackend {
+            db: Database::new(),
+            model: LinearCostModel::new(params),
+        }
+    }
+
+    /// Creates a backend over an existing registry (sharing tables with
+    /// another backend, as the paper's study runs both DBMSs on one
+    /// dataset).
+    pub fn over(db: Database) -> MemBackend {
+        Self::over_with(db, CostParams::mem_default())
+    }
+
+    /// Creates a backend over an existing registry with explicit cost
+    /// parameters.
+    pub fn over_with(db: Database, params: CostParams) -> MemBackend {
+        MemBackend {
+            db,
+            model: LinearCostModel::new(params),
+        }
+    }
+}
+
+impl Backend for MemBackend {
+    fn name(&self) -> &str {
+        "mem"
+    }
+
+    fn database(&self) -> Database {
+        self.db.clone()
+    }
+
+    fn execute(&self, query: &Query) -> EngineResult<QueryOutcome> {
+        let (result, footprint) = run_query(&self.db, query)?;
+        let cost = self.model.price(&footprint);
+        Ok(QueryOutcome {
+            result,
+            footprint,
+            cost,
+        })
+    }
+}
+
+/// Disk-based row-store backend — the PostgreSQL role in case study 2.
+///
+/// Every scan is routed through a [`BufferPool`]; cold pages are charged
+/// at disk-read cost, resident pages at buffered cost.
+#[derive(Debug)]
+pub struct DiskBackend {
+    db: Database,
+    model: LinearCostModel,
+    pool: BufferPool,
+}
+
+impl Default for DiskBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DiskBackend {
+    /// Default pool capacity in pages (32 MiB at 8 KiB pages).
+    pub const DEFAULT_POOL_PAGES: usize = 4_096;
+
+    /// Creates a backend with the default disk calibration and pool.
+    pub fn new() -> DiskBackend {
+        DiskBackend::with_config(
+            CostParams::disk_default(),
+            Self::DEFAULT_POOL_PAGES,
+            EvictionPolicy::Lru,
+        )
+    }
+
+    /// Creates a backend with explicit cost and pool configuration.
+    pub fn with_config(
+        params: CostParams,
+        pool_pages: usize,
+        policy: EvictionPolicy,
+    ) -> DiskBackend {
+        DiskBackend {
+            db: Database::new(),
+            model: LinearCostModel::new(params),
+            pool: BufferPool::new(pool_pages, policy),
+        }
+    }
+
+    /// Creates a backend over an existing registry.
+    pub fn over(db: Database) -> DiskBackend {
+        Self::over_with(db, CostParams::disk_default())
+    }
+
+    /// Creates a backend over an existing registry with explicit cost
+    /// parameters and the default pool.
+    pub fn over_with(db: Database, params: CostParams) -> DiskBackend {
+        DiskBackend {
+            db,
+            model: LinearCostModel::new(params),
+            pool: BufferPool::new(Self::DEFAULT_POOL_PAGES, EvictionPolicy::Lru),
+        }
+    }
+
+    /// Buffer pool statistics (the paper's cache-hit-rate metric).
+    pub fn pool_stats(&self) -> BufferPoolStats {
+        self.pool.stats()
+    }
+
+    /// Drops the buffer pool contents (cold restart).
+    pub fn flush_pool(&self) {
+        self.pool.reset();
+    }
+
+    /// Charges page touches for scanning `rows` leading rows (or the whole
+    /// table for a filtered scan) and returns `(hits, misses)`.
+    fn charge_scan(&self, table: &Table, rows: usize) -> EngineResult<(u64, u64)> {
+        let id = self.db.table_id(table.name())?;
+        let pager = Pager::new(table.rows(), table.row_disk_width());
+        let pages = pager.pages_for_range(0, rows);
+        Ok(self.pool.touch_range(id, pages))
+    }
+}
+
+impl Backend for DiskBackend {
+    fn name(&self) -> &str {
+        "disk"
+    }
+
+    fn database(&self) -> Database {
+        self.db.clone()
+    }
+
+    fn execute(&self, query: &Query) -> EngineResult<QueryOutcome> {
+        let (result, mut footprint) = run_query(&self.db, query)?;
+
+        // Charge page I/O for every base-table scan the query performed.
+        let (mut hits, mut misses) = (0u64, 0u64);
+        match query {
+            Query::Select(spec) => {
+                let table = self.db.table(&spec.table)?;
+                // Early-terminating scans touch only the leading pages.
+                let rows = match &spec.filter {
+                    Predicate::True => footprint.rows_scanned as usize,
+                    _ => table.rows(),
+                };
+                let (h, m) = self.charge_scan(&table, rows)?;
+                hits += h;
+                misses += m;
+            }
+            Query::Join(spec) => {
+                let left = self.db.table(&spec.left)?;
+                let right = self.db.table(&spec.right)?;
+                // The paginated left side touches its slice's pages; the
+                // probe side is a full scan.
+                let end = match spec.limit {
+                    Some(l) => (spec.offset + l).min(left.rows()),
+                    None => left.rows(),
+                };
+                let id = self.db.table_id(left.name())?;
+                let pager = Pager::new(left.rows(), left.row_disk_width());
+                let (h, m) = self
+                    .pool
+                    .touch_range(id, pager.pages_for_range(spec.offset.min(end), end));
+                hits += h;
+                misses += m;
+                let (h, m) = self.charge_scan(&right, right.rows())?;
+                hits += h;
+                misses += m;
+            }
+            Query::Histogram { table, .. } | Query::Count { table, .. } => {
+                let table = self.db.table(table)?;
+                let (h, m) = self.charge_scan(&table, table.rows())?;
+                hits += h;
+                misses += m;
+            }
+        }
+        footprint.pages_hot = hits;
+        footprint.pages_cold = misses;
+
+        let cost = self.model.price(&footprint);
+        Ok(QueryOutcome {
+            result,
+            footprint,
+            cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::query::BinSpec;
+    use crate::table::TableBuilder;
+
+    fn road(n: usize) -> Table {
+        TableBuilder::new("road")
+            .column("x", ColumnBuilder::float((0..n).map(|i| i as f64)))
+            .column("y", ColumnBuilder::float((0..n).map(|i| (i * 2) as f64)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn database_registry() {
+        let db = Database::new();
+        let id = db.register(road(10));
+        assert_eq!(db.table_id("road").unwrap(), id);
+        assert_eq!(db.table("road").unwrap().rows(), 10);
+        assert!(db.table("nope").is_err());
+        // Re-registering keeps the id.
+        let id2 = db.register(road(20));
+        assert_eq!(id, id2);
+        assert_eq!(db.table("road").unwrap().rows(), 20);
+        assert_eq!(db.table_names(), vec!["road".to_string()]);
+    }
+
+    #[test]
+    fn mem_and_disk_agree_on_results() {
+        let mem = MemBackend::new();
+        mem.database().register(road(1000));
+        let disk = DiskBackend::new();
+        disk.database().register(road(1000));
+
+        let q = Query::histogram(
+            "road",
+            BinSpec::new("y", 0.0, 2000.0, 20),
+            Predicate::between("x", 100.0, 499.0),
+        );
+        let a = mem.execute(&q).unwrap();
+        let b = disk.execute(&q).unwrap();
+        assert_eq!(a.result, b.result);
+        assert!(b.cost > a.cost, "disk must be slower than mem");
+    }
+
+    #[test]
+    fn disk_warms_its_buffer_pool() {
+        let disk = DiskBackend::new();
+        disk.database().register(road(100_000));
+        let q = Query::count("road", Predicate::True);
+        let cold = disk.execute(&q).unwrap();
+        let warm = disk.execute(&q).unwrap();
+        assert!(cold.footprint.pages_cold > 0);
+        assert_eq!(warm.footprint.pages_cold, 0);
+        assert!(warm.footprint.pages_hot > 0);
+        assert!(warm.cost < cold.cost);
+        assert!(disk.pool_stats().hit_rate() > 0.0);
+        disk.flush_pool();
+        let recold = disk.execute(&q).unwrap();
+        assert!(recold.footprint.pages_cold > 0);
+    }
+
+    #[test]
+    fn early_terminating_select_touches_few_pages() {
+        let disk = DiskBackend::new();
+        disk.database().register(road(100_000));
+        let q = Query::select("road", vec![], Predicate::True, Some(100), 0);
+        let out = disk.execute(&q).unwrap();
+        let full = disk.execute(&Query::count("road", Predicate::True)).unwrap();
+        assert!(
+            out.footprint.pages_cold + out.footprint.pages_hot
+                < full.footprint.pages_cold + full.footprint.pages_hot
+        );
+    }
+
+    #[test]
+    fn shared_registry_across_backends() {
+        let db = Database::new();
+        db.register(road(50));
+        let mem = MemBackend::over(db.clone());
+        let disk = DiskBackend::over(db);
+        let q = Query::count("road", Predicate::True);
+        assert_eq!(mem.execute(&q).unwrap().scalar_count(), Some(50));
+        assert_eq!(disk.execute(&q).unwrap().scalar_count(), Some(50));
+    }
+}

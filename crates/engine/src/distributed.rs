@@ -1,0 +1,330 @@
+//! Simulated distributed execution: the substrate for the paper's
+//! throughput and scalability metrics (Section 3.1.1).
+//!
+//! The survey grounds two backend metrics in distributed systems:
+//! **throughput** (Atlas measures speedup as query throughput vs server
+//! count) and **scalability** (DICE's node sweep shows diminishing
+//! returns past ~8 nodes, and its dimension sweep shows per-tuple
+//! predicate cost overtaking the benefit of selectivity). This module
+//! models a shared-nothing cluster over the columnar engine:
+//!
+//! - a table is hash-partitioned across `nodes` workers;
+//! - each worker scans its partition in parallel (virtual time = the
+//!   slowest partition);
+//! - partial results are merged by a coordinator, which pays a per-node,
+//!   per-group **summarization** cost — the part that does *not* get
+//!   faster with more nodes, plus a fixed per-query coordination
+//!   overhead that *grows* with the cluster.
+
+use ids_simclock::SimDuration;
+
+use crate::backend::Database;
+use crate::cost::{CostModel, CostParams, LinearCostModel};
+use crate::error::{EngineError, EngineResult};
+use crate::exec::run_query;
+use crate::query::Query;
+use crate::result::{Histogram, ResultSet};
+
+/// Cost knobs specific to the cluster layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// Per-query coordination overhead per participating node, ns
+    /// (scheduling, result collection).
+    pub per_node_overhead_ns: u64,
+    /// Merging one partial group/row from one node, ns.
+    pub merge_per_group_ns: u64,
+    /// Fixed coordinator startup, ns.
+    pub coordinator_ns: u64,
+}
+
+impl ClusterParams {
+    /// A calibration that yields near-linear speedup to ~8 nodes and
+    /// diminishing returns beyond — the DICE shape.
+    pub const fn default_cluster() -> ClusterParams {
+        ClusterParams {
+            per_node_overhead_ns: 500_000, // 0.5 ms per node per query
+            merge_per_group_ns: 10_000,    // 10 µs per partial group
+            coordinator_ns: 1_000_000,     // 1 ms
+        }
+    }
+}
+
+/// Outcome of one distributed query.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    /// Merged result (identical to single-node execution).
+    pub result: ResultSet,
+    /// Virtual wall time: slowest worker + coordination + merge.
+    pub elapsed: SimDuration,
+    /// Sum of all workers' compute time (the throughput denominator).
+    pub total_work: SimDuration,
+    /// Number of partitions that participated.
+    pub nodes: usize,
+}
+
+/// A simulated shared-nothing cluster executing queries over hash
+/// partitions of the registered tables.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Per-node databases holding the partitions.
+    partitions: Vec<Database>,
+    model: LinearCostModel,
+    params: ClusterParams,
+}
+
+impl Cluster {
+    /// Partitions every table of `db` across `nodes` workers
+    /// (round-robin on row index — a hash partition on a synthetic key).
+    pub fn partition(db: &Database, nodes: usize) -> EngineResult<Cluster> {
+        Self::partition_with(db, nodes, CostParams::disk_default(), ClusterParams::default_cluster())
+    }
+
+    /// [`partition`](Self::partition) with explicit cost calibrations.
+    pub fn partition_with(
+        db: &Database,
+        nodes: usize,
+        node_costs: CostParams,
+        params: ClusterParams,
+    ) -> EngineResult<Cluster> {
+        let nodes = nodes.max(1);
+        let partitions: Vec<Database> = (0..nodes).map(|_| Database::new()).collect();
+        for name in db.table_names() {
+            let table = db.table(&name)?;
+            // Round-robin row split.
+            let mut selections: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+            for row in 0..table.rows() {
+                selections[row % nodes].push(row);
+            }
+            for (node, rows) in selections.iter().enumerate() {
+                let mut builder = crate::table::TableBuilder::new(table.name());
+                for (col_idx, col_name) in table.column_names().enumerate() {
+                    let col = table.column_at(col_idx).take(rows);
+                    builder = builder.column(col_name, column_to_builder(&col));
+                }
+                partitions[node].register(builder.build()?);
+            }
+        }
+        Ok(Cluster {
+            partitions,
+            model: LinearCostModel::new(node_costs),
+            params,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Executes a query across all partitions and merges.
+    ///
+    /// Only mergeable shapes are supported: `Count` (sum) and
+    /// `Histogram` (bin-wise sum). Paginated selects and joins are not
+    /// distributable under a row-partition without a shuffle, which this
+    /// simulator intentionally does not model.
+    pub fn execute(&self, query: &Query) -> EngineResult<DistributedOutcome> {
+        match query {
+            Query::Count { .. } | Query::Histogram { .. } => {}
+            _ => {
+                return Err(EngineError::TypeMismatch {
+                    column: query.table().to_string(),
+                    expected: "a mergeable query (COUNT or histogram) for distributed execution",
+                })
+            }
+        }
+
+        let mut slowest = SimDuration::ZERO;
+        let mut total_work = SimDuration::ZERO;
+        let mut merged: Option<ResultSet> = None;
+        let mut merge_groups = 0u64;
+        for db in &self.partitions {
+            let (partial, footprint) = run_query(db, query)?;
+            let cost = self.model.price(&footprint);
+            slowest = slowest.max(cost);
+            total_work += cost;
+            merge_groups += partial.len() as u64;
+            merged = Some(match merged.take() {
+                None => partial,
+                Some(acc) => merge_partials(acc, partial)?,
+            });
+        }
+
+        let coordination = SimDuration::from_micros(
+            (self.params.coordinator_ns
+                + self.params.per_node_overhead_ns * self.nodes() as u64
+                + self.params.merge_per_group_ns * merge_groups)
+                / 1_000,
+        );
+        Ok(DistributedOutcome {
+            result: merged.expect("at least one partition"),
+            elapsed: slowest + coordination,
+            total_work: total_work + coordination,
+            nodes: self.nodes(),
+        })
+    }
+}
+
+fn merge_partials(a: ResultSet, b: ResultSet) -> EngineResult<ResultSet> {
+    match (a, b) {
+        (ResultSet::Count(x), ResultSet::Count(y)) => Ok(ResultSet::Count(x + y)),
+        (ResultSet::Histogram(x), ResultSet::Histogram(y)) => {
+            if x.bins() != y.bins() {
+                return Err(EngineError::InvalidBinSpec(
+                    "partition histograms disagree on bin count".into(),
+                ));
+            }
+            let counts = x
+                .counts()
+                .iter()
+                .zip(y.counts())
+                .map(|(&p, &q)| p + q)
+                .collect();
+            Ok(ResultSet::Histogram(Histogram::from_counts(counts)))
+        }
+        _ => Err(EngineError::TypeMismatch {
+            column: "<merge>".into(),
+            expected: "matching partial result shapes",
+        }),
+    }
+}
+
+fn column_to_builder(col: &crate::column::Column) -> crate::column::ColumnBuilder {
+    use crate::column::{Column, ColumnBuilder};
+    match col {
+        Column::Int(v) => ColumnBuilder::int(v.iter().copied()),
+        Column::Float(v) => ColumnBuilder::float(v.iter().copied()),
+        Column::Str { codes, dict } => {
+            ColumnBuilder::str(codes.iter().map(|&c| dict[c as usize].as_ref()))
+        }
+    }
+}
+
+/// Throughput of a cluster on a query mix: queries per second of virtual
+/// time, with queries load-balanced round-robin and executed back to
+/// back (the Atlas measurement).
+pub fn cluster_throughput(cluster: &Cluster, queries: &[Query]) -> EngineResult<f64> {
+    if queries.is_empty() {
+        return Ok(0.0);
+    }
+    let mut elapsed = SimDuration::ZERO;
+    for q in queries {
+        elapsed += cluster.execute(q)?.elapsed;
+    }
+    Ok(queries.len() as f64 / elapsed.as_secs_f64().max(1e-12))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::predicate::Predicate;
+    use crate::query::BinSpec;
+    use crate::table::TableBuilder;
+    use crate::{Backend, MemBackend};
+
+    fn db(rows: usize) -> Database {
+        let db = Database::new();
+        db.register(
+            TableBuilder::new("pts")
+                .column("x", ColumnBuilder::float((0..rows).map(|i| (i % 1000) as f64)))
+                .column("label", ColumnBuilder::str((0..rows).map(|i| {
+                    if i % 2 == 0 { "even" } else { "odd" }
+                })))
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    fn histogram_query() -> Query {
+        Query::histogram(
+            "pts",
+            BinSpec::new("x", 0.0, 1000.0, 20),
+            Predicate::between("x", 100.0, 900.0),
+        )
+    }
+
+    #[test]
+    fn distributed_results_match_single_node() {
+        let database = db(30_000);
+        let single = MemBackend::over(database.clone());
+        let expected = single.execute(&histogram_query()).unwrap().result;
+        for nodes in [1usize, 2, 4, 8] {
+            let cluster = Cluster::partition(&database, nodes).unwrap();
+            let out = cluster.execute(&histogram_query()).unwrap();
+            assert_eq!(out.result, expected, "{nodes} nodes");
+            assert_eq!(out.nodes, nodes);
+        }
+    }
+
+    #[test]
+    fn count_merges_across_partitions() {
+        let database = db(10_001); // odd count exercises uneven partitions
+        let cluster = Cluster::partition(&database, 4).unwrap();
+        let out = cluster.execute(&Query::count("pts", Predicate::True)).unwrap();
+        assert_eq!(out.result.scalar_count(), Some(10_001));
+    }
+
+    #[test]
+    fn speedup_is_near_linear_then_diminishes() {
+        let database = db(200_000);
+        let q = histogram_query();
+        let mut elapsed = Vec::new();
+        for nodes in [1usize, 2, 4, 8, 16, 32] {
+            let cluster = Cluster::partition(&database, nodes).unwrap();
+            elapsed.push((nodes, cluster.execute(&q).unwrap().elapsed));
+        }
+        let t1 = elapsed[0].1.as_secs_f64();
+        let speedup: Vec<(usize, f64)> = elapsed
+            .iter()
+            .map(|&(n, t)| (n, t1 / t.as_secs_f64()))
+            .collect();
+        // Near-linear at small scale.
+        let s2 = speedup[1].1;
+        assert!(s2 > 1.6, "2-node speedup {s2:.2}");
+        let s8 = speedup[3].1;
+        assert!(s8 > 4.0, "8-node speedup {s8:.2}");
+        // Diminishing returns: the 16→32 step gains far less than 2x.
+        let s16 = speedup[4].1;
+        let s32 = speedup[5].1;
+        assert!(
+            s32 / s16 < 1.5,
+            "16->32 nodes should flatten: {s16:.1} -> {s32:.1}"
+        );
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected() {
+        let database = db(100);
+        let cluster = Cluster::partition(&database, 2).unwrap();
+        let select = Query::select("pts", vec![], Predicate::True, Some(10), 0);
+        assert!(cluster.execute(&select).is_err());
+    }
+
+    #[test]
+    fn throughput_grows_with_nodes() {
+        let database = db(100_000);
+        let queries: Vec<Query> = (0..10).map(|_| histogram_query()).collect();
+        let one = Cluster::partition(&database, 1).unwrap();
+        let eight = Cluster::partition(&database, 8).unwrap();
+        let t1 = cluster_throughput(&one, &queries).unwrap();
+        let t8 = cluster_throughput(&eight, &queries).unwrap();
+        assert!(t8 > t1 * 3.0, "throughput {t1:.1} -> {t8:.1} q/s");
+    }
+
+    #[test]
+    fn empty_query_mix() {
+        let database = db(10);
+        let cluster = Cluster::partition(&database, 2).unwrap();
+        assert_eq!(cluster_throughput(&cluster, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn string_columns_survive_partitioning() {
+        let database = db(1_000);
+        let cluster = Cluster::partition(&database, 3).unwrap();
+        let q = Query::count("pts", Predicate::eq("label", "even"));
+        let out = cluster.execute(&q).unwrap();
+        assert_eq!(out.result.scalar_count(), Some(500));
+    }
+}

@@ -1,0 +1,162 @@
+//! Histogram and count aggregation.
+
+use crate::cost::QueryFootprint;
+use crate::error::{EngineError, EngineResult};
+use crate::predicate::Predicate;
+use crate::query::BinSpec;
+use crate::result::{Histogram, ResultSet};
+use crate::table::Table;
+
+/// Executes the crossfiltering histogram:
+/// `SELECT ROUND((col - min) / width), COUNT(*) FROM t WHERE f GROUP BY 1 ORDER BY 1`.
+pub fn run_histogram(
+    table: &Table,
+    bins: &BinSpec,
+    filter: &Predicate,
+) -> EngineResult<(ResultSet, QueryFootprint)> {
+    if bins.bins == 0 {
+        return Err(EngineError::InvalidBinSpec("zero bins".into()));
+    }
+    if bins.width() <= 0.0 || bins.width().is_nan() {
+        return Err(EngineError::InvalidBinSpec(format!(
+            "non-positive width over [{}, {}]",
+            bins.min, bins.max
+        )));
+    }
+    filter.validate(table)?;
+    let col = table.column(&bins.column)?;
+    if col.f64_at(0).is_none() && !col.is_empty() {
+        return Err(EngineError::TypeMismatch {
+            column: bins.column.to_string(),
+            expected: "numeric column for binning",
+        });
+    }
+
+    let selected = filter.select(table)?;
+    let predicate_evals = table.rows() as u64 * filter.condition_count() as u64;
+    let mut hist = Histogram::zeros(bins.bucket_count());
+    for &row in &selected {
+        if let Some(b) = col.f64_at(row).and_then(|x| bins.bin_of(x)) {
+            hist.bump(b);
+        }
+    }
+
+    let footprint = QueryFootprint {
+        rows_scanned: table.rows() as u64,
+        rows_matched: selected.len() as u64,
+        rows_aggregated: selected.len() as u64,
+        groups: hist.bins() as u64,
+        rows_output: hist.bins() as u64,
+        predicate_evals,
+        ..QueryFootprint::default()
+    };
+    Ok((ResultSet::Histogram(hist), footprint))
+}
+
+/// Executes `SELECT COUNT(*) FROM t WHERE f`.
+pub fn run_count(table: &Table, filter: &Predicate) -> EngineResult<(ResultSet, QueryFootprint)> {
+    filter.validate(table)?;
+    let selected = filter.select(table)?;
+    let footprint = QueryFootprint {
+        rows_scanned: table.rows() as u64,
+        rows_matched: selected.len() as u64,
+        rows_aggregated: selected.len() as u64,
+        groups: 1,
+        rows_output: 1,
+        predicate_evals: table.rows() as u64 * filter.condition_count() as u64,
+        ..QueryFootprint::default()
+    };
+    Ok((ResultSet::Count(selected.len() as u64), footprint))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::table::TableBuilder;
+
+    fn road() -> Table {
+        // x in [0, 10), y = x * 2, z constant.
+        TableBuilder::new("road")
+            .column("x", ColumnBuilder::float((0..100).map(|i| i as f64 / 10.0)))
+            .column("y", ColumnBuilder::float((0..100).map(|i| i as f64 / 5.0)))
+            .column("z", ColumnBuilder::float((0..100).map(|_| 1.0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn histogram_counts_filtered_rows() {
+        let t = road();
+        let bins = BinSpec::new("y", 0.0, 20.0, 20);
+        let filter = Predicate::between("x", 0.0, 4.95);
+        let (rs, fp) = run_histogram(&t, &bins, &filter).unwrap();
+        let h = rs.histogram().unwrap();
+        assert_eq!(h.bins(), 21);
+        // 50 rows match (x 0.0..=4.9); all land in bins for y 0..=9.8.
+        assert_eq!(h.total(), 50);
+        assert_eq!(fp.rows_matched, 50);
+        assert_eq!(fp.rows_scanned, 100);
+        assert_eq!(fp.groups, 21);
+    }
+
+    #[test]
+    fn histogram_excludes_out_of_domain_values() {
+        let t = road();
+        // Domain covers only half of y's actual range.
+        let bins = BinSpec::new("y", 0.0, 9.0, 9);
+        let (rs, _) = run_histogram(&t, &bins, &Predicate::True).unwrap();
+        let h = rs.histogram().unwrap();
+        assert!(h.total() < 100, "values above max must be dropped");
+    }
+
+    #[test]
+    fn histogram_matches_manual_binning() {
+        let t = road();
+        let bins = BinSpec::new("x", 0.0, 10.0, 10);
+        let (rs, _) = run_histogram(&t, &bins, &Predicate::True).unwrap();
+        let h = rs.histogram().unwrap();
+        let mut manual = [0u64; 11];
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            let b = (x / 1.0).round() as usize;
+            manual[b.min(10)] += 1;
+        }
+        assert_eq!(h.counts(), &manual[..]);
+    }
+
+    #[test]
+    fn invalid_bin_specs_error() {
+        let t = road();
+        assert!(matches!(
+            run_histogram(&t, &BinSpec::new("y", 0.0, 20.0, 0), &Predicate::True),
+            Err(EngineError::InvalidBinSpec(_))
+        ));
+        assert!(matches!(
+            run_histogram(&t, &BinSpec::new("y", 5.0, 5.0, 10), &Predicate::True),
+            Err(EngineError::InvalidBinSpec(_))
+        ));
+    }
+
+    #[test]
+    fn binning_string_column_errors() {
+        let t = TableBuilder::new("s")
+            .column("s", ColumnBuilder::str(["a", "b"]))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            run_histogram(&t, &BinSpec::new("s", 0.0, 1.0, 2), &Predicate::True),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn count_matches_selection() {
+        let t = road();
+        let (rs, fp) = run_count(&t, &Predicate::between("x", 2.0, 3.0)).unwrap();
+        assert_eq!(rs.scalar_count(), Some(11));
+        assert_eq!(fp.rows_matched, 11);
+        let (all, _) = run_count(&t, &Predicate::True).unwrap();
+        assert_eq!(all.scalar_count(), Some(100));
+    }
+}

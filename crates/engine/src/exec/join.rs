@@ -1,0 +1,275 @@
+//! Hash join over a paginated subquery.
+//!
+//! Implements the streaming-join shape from case study 1 (Q2):
+//!
+//! ```sql
+//! SELECT ... FROM (
+//!   (SELECT id, rating FROM imdbrating LIMIT k OFFSET n) tmp
+//!   INNER JOIN movie ON tmp.id = movie.id
+//! )
+//! ```
+//!
+//! The left (paginated) side builds the hash table — it is the small side
+//! by construction — and the right table probes it.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::cost::QueryFootprint;
+use crate::error::{EngineError, EngineResult};
+use crate::query::{JoinSpec, Projection};
+use crate::result::{ResultSet, Row};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Executes a paginated-subquery inner join.
+pub fn run_join(
+    left: &Table,
+    right: &Table,
+    spec: &JoinSpec,
+) -> EngineResult<(ResultSet, QueryFootprint)> {
+    let left_key = int_key_column(left, &spec.left_key)?;
+    let right_key = int_key_column(right, &spec.right_key)?;
+
+    // Page the left side: rows offset..offset+limit.
+    let end = match spec.limit {
+        Some(l) => (spec.offset + l).min(left.rows()),
+        None => left.rows(),
+    };
+    let start = spec.offset.min(end);
+
+    // Build phase over the paginated slice.
+    let mut build: HashMap<i64, Vec<usize>> = HashMap::with_capacity(end - start);
+    for (row, key) in left_key.iter().enumerate().take(end).skip(start) {
+        build.entry(*key).or_default().push(row);
+    }
+
+    // Probe phase over the full right table, preserving left (pagination)
+    // order in the output by collecting matches per left row.
+    let mut matches_per_left: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (r_row, key) in right_key.iter().enumerate() {
+        if let Some(l_rows) = build.get(key) {
+            for &l_row in l_rows {
+                matches_per_left.entry(l_row).or_default().push(r_row);
+            }
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for l_row in start..end {
+        let Some(r_rows) = matches_per_left.get(&l_row) else {
+            continue;
+        };
+        for &r_row in r_rows {
+            rows.push(project_joined(left, right, l_row, r_row, &spec.projection)?);
+        }
+    }
+
+    let footprint = QueryFootprint {
+        rows_scanned: (end - start) as u64 + right.rows() as u64,
+        rows_matched: rows.len() as u64,
+        build_rows: (end - start) as u64,
+        probe_rows: right.rows() as u64,
+        rows_output: rows.len() as u64,
+        ..QueryFootprint::default()
+    };
+    Ok((ResultSet::Rows(rows), footprint))
+}
+
+fn int_key_column<'t>(table: &'t Table, key: &str) -> EngineResult<&'t [i64]> {
+    match table.column(key)? {
+        Column::Int(v) => Ok(v),
+        _ => Err(EngineError::TypeMismatch {
+            column: key.to_string(),
+            expected: "integer join key",
+        }),
+    }
+}
+
+/// Projects a joined row; column references resolve against the left
+/// table first, then the right (matching the unqualified names in the
+/// paper's SQL, where projected columns come from the `movie` side).
+fn project_joined(
+    left: &Table,
+    right: &Table,
+    l_row: usize,
+    r_row: usize,
+    projection: &[Projection],
+) -> EngineResult<Row> {
+    let resolve = |name: &str| -> EngineResult<Value> {
+        if left.column(name).is_ok() {
+            left.value(l_row, name)
+        } else {
+            right.value(r_row, name)
+        }
+    };
+    if projection.is_empty() {
+        let mut row: Row = Vec::with_capacity(left.width() + right.width());
+        for c in 0..left.width() {
+            row.push(left.column_at(c).value(l_row));
+        }
+        for c in 0..right.width() {
+            row.push(right.column_at(c).value(r_row));
+        }
+        return Ok(row);
+    }
+    let mut row = Vec::with_capacity(projection.len());
+    for p in projection {
+        match p {
+            Projection::Column(c) => row.push(resolve(c)?),
+            Projection::Concat(parts) => {
+                let mut s = String::new();
+                for part in parts {
+                    match part {
+                        crate::query::ConcatPart::Column(c) => {
+                            s.push_str(&resolve(c)?.to_string());
+                        }
+                        crate::query::ConcatPart::Literal(l) => s.push_str(l),
+                    }
+                }
+                row.push(Value::from(s));
+            }
+        }
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::table::TableBuilder;
+
+    fn ratings() -> Table {
+        TableBuilder::new("imdbrating")
+            .column("id", ColumnBuilder::int(0..20))
+            .column("rating", ColumnBuilder::float((0..20).map(|i| i as f64 / 2.0)))
+            .build()
+            .unwrap()
+    }
+
+    fn movie() -> Table {
+        // Only even ids exist on the movie side.
+        TableBuilder::new("movie")
+            .column("id", ColumnBuilder::int((0..10).map(|i| i * 2)))
+            .column("title", ColumnBuilder::str((0..10).map(|i| format!("t{}", i * 2))))
+            .build()
+            .unwrap()
+    }
+
+    fn spec(limit: Option<usize>, offset: usize) -> JoinSpec {
+        JoinSpec {
+            left: "imdbrating".into(),
+            right: "movie".into(),
+            left_key: "id".into(),
+            right_key: "id".into(),
+            projection: vec![
+                Projection::column("title"),
+                Projection::column("rating"),
+            ],
+            limit,
+            offset,
+        }
+    }
+
+    #[test]
+    fn join_pages_the_left_side() {
+        let (l, r) = (ratings(), movie());
+        // Left rows 4..8 → ids 4,5,6,7; evens 4 and 6 match.
+        let (rs, fp) = run_join(&l, &r, &spec(Some(4), 4)).unwrap();
+        let rows = rs.rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0].as_str(), Some("t4"));
+        assert_eq!(rows[0][1].as_f64(), Some(2.0));
+        assert_eq!(rows[1][0].as_str(), Some("t6"));
+        assert_eq!(fp.build_rows, 4);
+        assert_eq!(fp.probe_rows, 10);
+    }
+
+    #[test]
+    fn join_without_limit_matches_all_evens() {
+        let (l, r) = (ratings(), movie());
+        let (rs, _) = run_join(&l, &r, &spec(None, 0)).unwrap();
+        assert_eq!(rs.rows().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn join_preserves_left_pagination_order() {
+        let (l, r) = (ratings(), movie());
+        let (rs, _) = run_join(&l, &r, &spec(Some(10), 0)).unwrap();
+        let titles: Vec<&str> = rs
+            .rows()
+            .unwrap()
+            .iter()
+            .map(|row| row[0].as_str().unwrap())
+            .collect();
+        assert_eq!(titles, vec!["t0", "t2", "t4", "t6", "t8"]);
+    }
+
+    #[test]
+    fn join_offset_past_end_is_empty() {
+        let (l, r) = (ratings(), movie());
+        let (rs, _) = run_join(&l, &r, &spec(Some(5), 99)).unwrap();
+        assert!(rs.rows().unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_produce_cross_matches() {
+        let l = TableBuilder::new("l")
+            .column("id", ColumnBuilder::int([1, 1]))
+            .build()
+            .unwrap();
+        let r = TableBuilder::new("r")
+            .column("id", ColumnBuilder::int([1, 1, 1]))
+            .build()
+            .unwrap();
+        let spec = JoinSpec {
+            left: "l".into(),
+            right: "r".into(),
+            left_key: "id".into(),
+            right_key: "id".into(),
+            projection: vec![],
+            limit: None,
+            offset: 0,
+        };
+        let (rs, _) = run_join(&l, &r, &spec).unwrap();
+        assert_eq!(rs.rows().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn non_integer_key_errors() {
+        let l = TableBuilder::new("l")
+            .column("id", ColumnBuilder::str(["a"]))
+            .build()
+            .unwrap();
+        let r = movie();
+        let spec = JoinSpec {
+            left: "l".into(),
+            right: "r".into(),
+            left_key: "id".into(),
+            right_key: "id".into(),
+            projection: vec![],
+            limit: None,
+            offset: 0,
+        };
+        assert!(matches!(
+            run_join(&l, &r, &spec),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn concat_projection_resolves_across_sides() {
+        let (l, r) = (ratings(), movie());
+        let spec = JoinSpec {
+            projection: vec![Projection::Concat(vec![
+                crate::query::ConcatPart::Column("title".into()),
+                crate::query::ConcatPart::Literal(":".into()),
+                crate::query::ConcatPart::Column("rating".into()),
+            ])],
+            ..spec(Some(2), 0)
+        };
+        let (rs, _) = run_join(&l, &r, &spec).unwrap();
+        assert_eq!(rs.rows().unwrap()[0][0].as_str(), Some("t0:0"));
+    }
+}

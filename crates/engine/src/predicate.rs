@@ -1,0 +1,459 @@
+//! Filter predicates: the `WHERE` clauses of interactive workloads.
+//!
+//! Crossfiltering and composite-interface queries are dominated by
+//! conjunctions of numeric range predicates (one per slider / map bound),
+//! so `Between` is first-class and evaluation is a tight per-column loop.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::error::EngineResult;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Comparison operators for scalar predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean filter over table rows.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Always true — scan everything.
+    True,
+    /// `column <op> literal`.
+    Cmp {
+        /// Column name.
+        column: Arc<str>,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        value: Value,
+    },
+    /// `column BETWEEN lo AND hi` (inclusive), numeric columns only.
+    Between {
+        /// Column name.
+        column: Arc<str>,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column BETWEEN lo AND hi`.
+    pub fn between(column: impl Into<Arc<str>>, lo: f64, hi: f64) -> Predicate {
+        Predicate::Between {
+            column: column.into(),
+            lo,
+            hi,
+        }
+    }
+
+    /// `column = value`.
+    pub fn eq(column: impl Into<Arc<str>>, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `column >= value` (numeric).
+    pub fn ge(column: impl Into<Arc<str>>, value: f64) -> Predicate {
+        Predicate::Cmp {
+            column: column.into(),
+            op: CmpOp::Ge,
+            value: Value::Float(value),
+        }
+    }
+
+    /// `column <= value` (numeric).
+    pub fn le(column: impl Into<Arc<str>>, value: f64) -> Predicate {
+        Predicate::Cmp {
+            column: column.into(),
+            op: CmpOp::Le,
+            value: Value::Float(value),
+        }
+    }
+
+    /// Conjunction of predicates; flattens nested `And`s and drops `True`s.
+    pub fn and(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
+        let mut flat = Vec::new();
+        for p in preds {
+            match p {
+                Predicate::True => {}
+                Predicate::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Predicate::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Predicate::And(flat),
+        }
+    }
+
+    /// Number of atomic conditions (leaf comparisons) in this predicate —
+    /// the "number of filter conditions" measured in case study 3 (Fig 20).
+    pub fn condition_count(&self) -> usize {
+        match self {
+            Predicate::True => 0,
+            Predicate::Cmp { .. } | Predicate::Between { .. } => 1,
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                ps.iter().map(Predicate::condition_count).sum()
+            }
+            Predicate::Not(p) => p.condition_count(),
+        }
+    }
+
+    /// Evaluates the predicate on one row.
+    pub fn matches(&self, table: &Table, row: usize) -> EngineResult<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Cmp { column, op, value } => {
+                let col = table.column(column)?;
+                cmp_matches(col, row, *op, value)
+            }
+            Predicate::Between { column, lo, hi } => {
+                let col = table.column(column)?;
+                match col.f64_at(row) {
+                    Some(x) => x >= *lo && x <= *hi,
+                    None => false,
+                }
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    if !p.matches(table, row)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            Predicate::Or(ps) => {
+                for p in ps {
+                    if p.matches(table, row)? {
+                        return Ok(true);
+                    }
+                }
+                false
+            }
+            Predicate::Not(p) => !p.matches(table, row)?,
+        })
+    }
+
+    /// Evaluates the predicate over all rows, returning selected row indices.
+    ///
+    /// The common fast path — a conjunction of numeric `Between`s — is
+    /// evaluated column-at-a-time over the raw slices.
+    pub fn select(&self, table: &Table) -> EngineResult<Vec<usize>> {
+        if let Some(ranges) = self.as_range_conjunction() {
+            return select_ranges(table, &ranges);
+        }
+        let mut out = Vec::new();
+        for row in 0..table.rows() {
+            if self.matches(table, row)? {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// If this predicate is `True` or a conjunction of `Between`s, returns
+    /// the `(column, lo, hi)` triples; otherwise `None`.
+    fn as_range_conjunction(&self) -> Option<Vec<(&str, f64, f64)>> {
+        match self {
+            Predicate::True => Some(Vec::new()),
+            Predicate::Between { column, lo, hi } => Some(vec![(column.as_ref(), *lo, *hi)]),
+            Predicate::And(ps) => {
+                let mut out = Vec::with_capacity(ps.len());
+                for p in ps {
+                    match p {
+                        Predicate::Between { column, lo, hi } => {
+                            out.push((column.as_ref(), *lo, *hi));
+                        }
+                        _ => return None,
+                    }
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Validates that all referenced columns exist in `table`.
+    pub fn validate(&self, table: &Table) -> EngineResult<()> {
+        match self {
+            Predicate::True => Ok(()),
+            Predicate::Cmp { column, .. } | Predicate::Between { column, .. } => {
+                table.column(column).map(|_| ())
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                ps.iter().try_for_each(|p| p.validate(table))
+            }
+            Predicate::Not(p) => p.validate(table),
+        }
+    }
+}
+
+fn cmp_matches(col: &Column, row: usize, op: CmpOp, value: &Value) -> bool {
+    // Numeric comparison when both sides are numeric; string comparison
+    // when both are strings; cross-type comparisons are false (except Ne).
+    if let (Some(x), Some(v)) = (col.f64_at(row), value.as_f64()) {
+        return match op {
+            CmpOp::Eq => x == v,
+            CmpOp::Ne => x != v,
+            CmpOp::Lt => x < v,
+            CmpOp::Le => x <= v,
+            CmpOp::Gt => x > v,
+            CmpOp::Ge => x >= v,
+        };
+    }
+    if let (Some(s), Some(v)) = (col.value(row).as_str().map(str::to_owned), value.as_str()) {
+        return match op {
+            CmpOp::Eq => s == v,
+            CmpOp::Ne => s != v,
+            CmpOp::Lt => s.as_str() < v,
+            CmpOp::Le => s.as_str() <= v,
+            CmpOp::Gt => s.as_str() > v,
+            CmpOp::Ge => s.as_str() >= v,
+        };
+    }
+    op == CmpOp::Ne
+}
+
+/// Column-at-a-time evaluation of a conjunction of numeric ranges.
+fn select_ranges(table: &Table, ranges: &[(&str, f64, f64)]) -> EngineResult<Vec<usize>> {
+    let rows = table.rows();
+    if ranges.is_empty() {
+        return Ok((0..rows).collect());
+    }
+    // Start with the first range, then intersect in place.
+    let mut sel: Vec<usize> = Vec::with_capacity(rows / 4);
+    {
+        let (name, lo, hi) = ranges[0];
+        let col = table.column(name)?;
+        match col {
+            Column::Float(v) => {
+                sel.extend(
+                    v.iter()
+                        .enumerate()
+                        .filter(|(_, &x)| x >= lo && x <= hi)
+                        .map(|(i, _)| i),
+                );
+            }
+            Column::Int(v) => {
+                sel.extend(
+                    v.iter()
+                        .enumerate()
+                        .filter(|(_, &x)| (x as f64) >= lo && (x as f64) <= hi)
+                        .map(|(i, _)| i),
+                );
+            }
+            Column::Str { .. } => {}
+        }
+    }
+    for &(name, lo, hi) in &ranges[1..] {
+        let col = table.column(name)?;
+        sel.retain(|&i| col.f64_at(i).is_some_and(|x| x >= lo && x <= hi));
+    }
+    Ok(sel)
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Cmp { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::Between { column, lo, hi } => {
+                write!(f, "{column} BETWEEN {lo} AND {hi}")
+            }
+            Predicate::And(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| format!("({p})")).collect();
+                write!(f, "{}", parts.join(" AND "))
+            }
+            Predicate::Or(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| format!("({p})")).collect();
+                write!(f, "{}", parts.join(" OR "))
+            }
+            Predicate::Not(p) => write!(f, "NOT ({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::table::TableBuilder;
+
+    fn table() -> Table {
+        TableBuilder::new("t")
+            .column("x", ColumnBuilder::float([0.0, 1.0, 2.0, 3.0, 4.0]))
+            .column("n", ColumnBuilder::int([5, 4, 3, 2, 1]))
+            .column("s", ColumnBuilder::str(["a", "b", "a", "c", "b"]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn between_selects_inclusive_range() {
+        let t = table();
+        let sel = Predicate::between("x", 1.0, 3.0).select(&t).unwrap();
+        assert_eq!(sel, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn between_on_int_column() {
+        let t = table();
+        let sel = Predicate::between("n", 2.0, 4.0).select(&t).unwrap();
+        assert_eq!(sel, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn conjunction_of_ranges_fast_path() {
+        let t = table();
+        let p = Predicate::and([
+            Predicate::between("x", 1.0, 4.0),
+            Predicate::between("n", 1.0, 3.0),
+        ]);
+        assert_eq!(p.select(&t).unwrap(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn fast_path_matches_slow_path() {
+        let t = table();
+        let p = Predicate::and([
+            Predicate::between("x", 0.5, 3.5),
+            Predicate::between("n", 2.0, 5.0),
+        ]);
+        let fast = p.select(&t).unwrap();
+        let slow: Vec<usize> = (0..t.rows())
+            .filter(|&r| p.matches(&t, r).unwrap())
+            .collect();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn string_equality() {
+        let t = table();
+        let sel = Predicate::eq("s", "a").select(&t).unwrap();
+        assert_eq!(sel, vec![0, 2]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = table();
+        let p = Predicate::Or(vec![Predicate::eq("s", "c"), Predicate::eq("n", 5i64)]);
+        assert_eq!(p.select(&t).unwrap(), vec![0, 3]);
+        let not = Predicate::Not(Box::new(p));
+        assert_eq!(not.select(&t).unwrap(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn comparison_ops() {
+        let t = table();
+        assert_eq!(Predicate::ge("x", 3.0).select(&t).unwrap(), vec![3, 4]);
+        assert_eq!(Predicate::le("x", 1.0).select(&t).unwrap(), vec![0, 1]);
+        let ne = Predicate::Cmp {
+            column: "s".into(),
+            op: CmpOp::Ne,
+            value: Value::from("a"),
+        };
+        assert_eq!(ne.select(&t).unwrap(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn cross_type_comparison_is_false_except_ne() {
+        let t = table();
+        let eq = Predicate::eq("s", 1i64);
+        assert!(eq.select(&t).unwrap().is_empty());
+        let ne = Predicate::Cmp {
+            column: "s".into(),
+            op: CmpOp::Ne,
+            value: Value::from(1i64),
+        };
+        assert_eq!(ne.select(&t).unwrap().len(), t.rows());
+    }
+
+    #[test]
+    fn and_flattens_and_simplifies() {
+        let p = Predicate::and([
+            Predicate::True,
+            Predicate::and([Predicate::between("x", 0.0, 1.0)]),
+        ]);
+        assert!(matches!(p, Predicate::Between { .. }));
+        assert_eq!(Predicate::and([]).condition_count(), 0);
+    }
+
+    #[test]
+    fn condition_count_counts_leaves() {
+        let p = Predicate::and([
+            Predicate::between("x", 0.0, 1.0),
+            Predicate::Or(vec![Predicate::eq("s", "a"), Predicate::eq("s", "b")]),
+        ]);
+        assert_eq!(p.condition_count(), 3);
+    }
+
+    #[test]
+    fn validate_reports_unknown_columns() {
+        let t = table();
+        assert!(Predicate::between("x", 0.0, 1.0).validate(&t).is_ok());
+        assert!(Predicate::between("zzz", 0.0, 1.0).validate(&t).is_err());
+        assert!(Predicate::and([
+            Predicate::between("x", 0.0, 1.0),
+            Predicate::eq("nope", 1i64)
+        ])
+        .validate(&t)
+        .is_err());
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let p = Predicate::and([
+            Predicate::between("x", 1.0, 2.0),
+            Predicate::eq("s", "a"),
+        ]);
+        assert_eq!(p.to_string(), "(x BETWEEN 1 AND 2) AND (s = a)");
+    }
+
+    #[test]
+    fn true_selects_everything() {
+        let t = table();
+        assert_eq!(Predicate::True.select(&t).unwrap().len(), t.rows());
+    }
+}

@@ -1,0 +1,324 @@
+//! Progressive (online-aggregation-style) query execution.
+//!
+//! Section 3.1.1 of the paper singles out progressive rendering — "online
+//! aggregation, where approximate results with increasing accuracy over
+//! time are presented to the user" and Incvisage's incrementally refining
+//! visualizations — as the payoff of measuring latency at fine
+//! granularity. This module executes histogram and count queries over a
+//! growing row sample, yielding a refinement sequence: each step has a
+//! virtual-time cost proportional to the rows it consumed and an
+//! estimated result scaled to the full population.
+
+use ids_simclock::SimDuration;
+
+use crate::backend::Database;
+use crate::cost::{CostModel, CostParams, LinearCostModel, QueryFootprint};
+use crate::error::{EngineError, EngineResult};
+use crate::query::Query;
+use crate::result::{Histogram, ResultSet};
+
+/// One refinement step of a progressive execution.
+#[derive(Debug, Clone)]
+pub struct Refinement {
+    /// Fraction of the table consumed so far, in `(0, 1]`.
+    pub fraction: f64,
+    /// Estimated result, scaled to the full population.
+    pub estimate: ResultSet,
+    /// Cumulative virtual time spent up to (and including) this step.
+    pub elapsed: SimDuration,
+}
+
+/// Progressive executor over a database.
+#[derive(Debug)]
+pub struct ProgressiveExecutor {
+    db: Database,
+    model: LinearCostModel,
+    /// Sample fractions at which estimates are emitted, ascending,
+    /// ending at 1.0.
+    schedule: Vec<f64>,
+}
+
+impl ProgressiveExecutor {
+    /// Creates an executor with the default doubling schedule
+    /// (1% → 2% → 4% → ... → 100%) and memory-regime costs.
+    pub fn new(db: Database) -> ProgressiveExecutor {
+        let mut schedule = Vec::new();
+        let mut f = 0.01;
+        while f < 1.0 {
+            schedule.push(f);
+            f *= 2.0;
+        }
+        schedule.push(1.0);
+        ProgressiveExecutor {
+            db,
+            model: LinearCostModel::new(CostParams::mem_default()),
+            schedule,
+        }
+    }
+
+    /// Overrides the refinement schedule (fractions in `(0, 1]`,
+    /// ascending; a final `1.0` is appended if missing).
+    pub fn with_schedule(mut self, mut schedule: Vec<f64>) -> ProgressiveExecutor {
+        schedule.retain(|f| *f > 0.0 && *f <= 1.0);
+        schedule.sort_by(f64::total_cmp);
+        schedule.dedup();
+        if schedule.last().copied() != Some(1.0) {
+            schedule.push(1.0);
+        }
+        self.schedule = schedule;
+        self
+    }
+
+    /// Executes `query` progressively, returning every refinement step.
+    ///
+    /// Rows `0..fraction·n` form the sample at each step (the synthetic
+    /// datasets are generated in random order, so a prefix is an
+    /// unbiased sample). Counts and histogram bins are scaled by
+    /// `1/fraction`.
+    pub fn run(&self, query: &Query) -> EngineResult<Vec<Refinement>> {
+        let (table_name, filter) = match query {
+            Query::Count { table, filter } => (table.clone(), filter.clone()),
+            Query::Histogram { table, filter, .. } => (table.clone(), filter.clone()),
+            _ => {
+                return Err(EngineError::TypeMismatch {
+                    column: query.table().to_string(),
+                    expected: "a COUNT or histogram query for progressive execution",
+                })
+            }
+        };
+        let table = self.db.table(&table_name)?;
+        let n = table.rows();
+        let _ = filter;
+
+        let mut out = Vec::with_capacity(self.schedule.len());
+        let mut elapsed = SimDuration::ZERO;
+        let mut consumed_rows = 0usize;
+        for (step, &fraction) in self.schedule.iter().enumerate() {
+            let upto = ((n as f64) * fraction).round() as usize;
+            let upto = upto.clamp(1, n);
+            // Charge only the *new* rows this step consumes.
+            let new_rows = upto.saturating_sub(consumed_rows);
+            consumed_rows = upto;
+
+            let partial = self.execute_prefix(query, &table, upto)?;
+            let footprint = QueryFootprint {
+                rows_scanned: new_rows as u64,
+                rows_aggregated: new_rows as u64,
+                rows_output: partial.len() as u64,
+                ..QueryFootprint::default()
+            };
+            let mut step_cost = self.model.price(&footprint);
+            if step > 0 {
+                // One cursor, one query: startup is paid once, not per
+                // refinement.
+                step_cost = step_cost
+                    .saturating_sub(SimDuration::from_micros(self.model.params.startup_ns / 1_000));
+            }
+            elapsed += step_cost;
+
+            let scale = n as f64 / upto as f64;
+            out.push(Refinement {
+                fraction: upto as f64 / n as f64,
+                estimate: scale_result(partial, scale),
+                elapsed,
+            });
+        }
+        Ok(out)
+    }
+
+    fn execute_prefix(
+        &self,
+        query: &Query,
+        table: &crate::table::Table,
+        upto: usize,
+    ) -> EngineResult<ResultSet> {
+        // Evaluate over rows 0..upto only.
+        match query {
+            Query::Count { filter, .. } => {
+                let mut count = 0u64;
+                for row in 0..upto {
+                    if filter.matches(table, row)? {
+                        count += 1;
+                    }
+                }
+                Ok(ResultSet::Count(count))
+            }
+            Query::Histogram { bins, filter, .. } => {
+                let col = table.column(&bins.column)?;
+                let mut hist = Histogram::zeros(bins.bucket_count());
+                for row in 0..upto {
+                    if filter.matches(table, row)? {
+                        if let Some(b) = col.f64_at(row).and_then(|x| bins.bin_of(x)) {
+                            hist.bump(b);
+                        }
+                    }
+                }
+                Ok(ResultSet::Histogram(hist))
+            }
+            _ => unreachable!("shape checked in run()"),
+        }
+    }
+}
+
+fn scale_result(partial: ResultSet, scale: f64) -> ResultSet {
+    match partial {
+        ResultSet::Count(c) => ResultSet::Count((c as f64 * scale).round() as u64),
+        ResultSet::Histogram(h) => ResultSet::Histogram(Histogram::from_counts(
+            h.counts()
+                .iter()
+                .map(|&c| (c as f64 * scale).round() as u64)
+                .collect(),
+        )),
+        other => other,
+    }
+}
+
+/// Mean squared error of a refinement's estimate against the exact
+/// result, normalized per bin (for histograms) or absolute (for counts).
+pub fn refinement_error(estimate: &ResultSet, exact: &ResultSet) -> f64 {
+    match (estimate, exact) {
+        (ResultSet::Count(a), ResultSet::Count(b)) => {
+            let d = *a as f64 - *b as f64;
+            d * d
+        }
+        (ResultSet::Histogram(a), ResultSet::Histogram(b)) if a.bins() == b.bins() => {
+            a.counts()
+                .iter()
+                .zip(b.counts())
+                .map(|(&x, &y)| (x as f64 - y as f64).powi(2))
+                .sum::<f64>()
+                / a.bins().max(1) as f64
+        }
+        _ => f64::INFINITY,
+    }
+}
+
+/// `true` if a progressive run's final refinement matches exact
+/// execution and intermediate errors are (weakly) non-increasing past
+/// some small sample floor — the "increasing accuracy over time"
+/// contract.
+pub fn is_anytime_consistent(refinements: &[Refinement], exact: &ResultSet) -> bool {
+    let Some(last) = refinements.last() else {
+        return false;
+    };
+    if refinement_error(&last.estimate, exact) != 0.0 {
+        return false;
+    }
+    refinements
+        .windows(2)
+        .all(|w| w[0].elapsed <= w[1].elapsed && w[0].fraction <= w[1].fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::predicate::Predicate;
+    use crate::query::BinSpec;
+    use crate::table::TableBuilder;
+    use crate::{Backend, MemBackend};
+    use ids_simclock::rng::SimRng;
+
+    fn shuffled_db(rows: usize, seed: u64) -> Database {
+        // Shuffled values so prefixes are unbiased samples.
+        let mut values: Vec<f64> = (0..rows).map(|i| (i % 500) as f64).collect();
+        SimRng::seed(seed).shuffle(&mut values);
+        let db = Database::new();
+        db.register(
+            TableBuilder::new("pts")
+                .column("x", ColumnBuilder::float(values))
+                .build()
+                .unwrap(),
+        );
+        db
+    }
+
+    fn query() -> Query {
+        Query::histogram(
+            "pts",
+            BinSpec::new("x", 0.0, 500.0, 10),
+            Predicate::between("x", 50.0, 450.0),
+        )
+    }
+
+    #[test]
+    fn final_refinement_is_exact() {
+        let db = shuffled_db(20_000, 1);
+        let exact = MemBackend::over(db.clone()).execute(&query()).unwrap().result;
+        let refinements = ProgressiveExecutor::new(db).run(&query()).unwrap();
+        let last = refinements.last().unwrap();
+        assert_eq!(last.fraction, 1.0);
+        assert_eq!(last.estimate, exact);
+        assert!(is_anytime_consistent(&refinements, &exact));
+    }
+
+    #[test]
+    fn early_estimates_are_cheap_and_close() {
+        let db = shuffled_db(50_000, 2);
+        let exact = MemBackend::over(db.clone()).execute(&query()).unwrap().result;
+        let refinements = ProgressiveExecutor::new(db).run(&query()).unwrap();
+        let first = &refinements[0];
+        let last = refinements.last().unwrap();
+        // The 1% estimate costs a small fraction of the full run (the
+        // fixed startup keeps it from being a strict 1%).
+        assert!(first.elapsed.as_secs_f64() < last.elapsed.as_secs_f64() * 0.15);
+        // And its relative error per bin is modest on shuffled data.
+        let total = exact.histogram().unwrap().total() as f64;
+        let rmse = refinement_error(&first.estimate, &exact).sqrt();
+        assert!(
+            rmse / (total / 11.0) < 0.35,
+            "1% sample rmse {rmse:.0} vs mean bin {:.0}",
+            total / 11.0
+        );
+    }
+
+    #[test]
+    fn error_decreases_broadly_over_refinements() {
+        let db = shuffled_db(50_000, 3);
+        let exact = MemBackend::over(db.clone()).execute(&query()).unwrap().result;
+        let refinements = ProgressiveExecutor::new(db).run(&query()).unwrap();
+        let errors: Vec<f64> = refinements
+            .iter()
+            .map(|r| refinement_error(&r.estimate, &exact))
+            .collect();
+        // Compare first to last quartile averages (sampling noise makes
+        // strict monotonicity too strong).
+        let q = errors.len() / 4;
+        let head: f64 = errors[..q.max(1)].iter().sum::<f64>() / q.max(1) as f64;
+        let tail: f64 = errors[errors.len() - q.max(1)..].iter().sum::<f64>() / q.max(1) as f64;
+        assert!(tail < head, "errors {errors:?}");
+        assert_eq!(*errors.last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn progressive_count_scales() {
+        let db = shuffled_db(10_000, 4);
+        let q = Query::count("pts", Predicate::between("x", 0.0, 249.0));
+        let exact = MemBackend::over(db.clone()).execute(&q).unwrap().result;
+        let refinements = ProgressiveExecutor::new(db).run(&q).unwrap();
+        let last = refinements.last().unwrap();
+        assert_eq!(last.estimate, exact);
+        // Mid refinement is within 10% of the truth.
+        let mid = &refinements[refinements.len() / 2];
+        let est = mid.estimate.scalar_count().unwrap() as f64;
+        let truth = exact.scalar_count().unwrap() as f64;
+        assert!((est - truth).abs() / truth < 0.1, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn custom_schedule_is_normalized() {
+        let db = shuffled_db(1_000, 5);
+        let exec = ProgressiveExecutor::new(db).with_schedule(vec![0.5, 0.1, 0.1, 2.0, -0.3]);
+        let refinements = exec.run(&Query::count("pts", Predicate::True)).unwrap();
+        let fractions: Vec<f64> = refinements.iter().map(|r| r.fraction).collect();
+        assert_eq!(fractions, vec![0.1, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn unsupported_shapes_rejected() {
+        let db = shuffled_db(100, 6);
+        let exec = ProgressiveExecutor::new(db);
+        let select = Query::select("pts", vec![], Predicate::True, Some(5), 0);
+        assert!(exec.run(&select).is_err());
+    }
+}

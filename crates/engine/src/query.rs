@@ -1,0 +1,331 @@
+//! The logical query AST.
+//!
+//! Covers exactly the SQL shapes issued by the paper's interactive
+//! workloads (Sections 6–8):
+//!
+//! - **Select** — projected, filtered scan with `LIMIT`/`OFFSET`
+//!   (inertial-scroll lazy loading, Q1 of case study 1);
+//! - **Join** — a paginated subquery inner-joined to a dimension table
+//!   (the streaming-join variant, Q2 of case study 1);
+//! - **Histogram** — filtered `GROUP BY ROUND((col - min)/width)` counts
+//!   (crossfiltering, case study 2);
+//! - **Count** — filtered cardinality (widget result counts, case study 3).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::predicate::Predicate;
+
+/// One projected output expression.
+#[derive(Debug, Clone)]
+pub enum Projection {
+    /// A bare column reference.
+    Column(Arc<str>),
+    /// String concatenation of columns and literals, e.g.
+    /// `title || '(' || year || ')'`.
+    Concat(Vec<ConcatPart>),
+}
+
+/// A piece of a [`Projection::Concat`] expression.
+#[derive(Debug, Clone)]
+pub enum ConcatPart {
+    /// A column whose value is stringified.
+    Column(Arc<str>),
+    /// A literal fragment.
+    Literal(Arc<str>),
+}
+
+impl Projection {
+    /// Projects a column by name.
+    pub fn column(name: impl Into<Arc<str>>) -> Projection {
+        Projection::Column(name.into())
+    }
+
+    /// The `title || '(' || year || ')'` pattern from the paper's Q1/Q2.
+    pub fn title_with_year(
+        title: impl Into<Arc<str>>,
+        year: impl Into<Arc<str>>,
+    ) -> Projection {
+        Projection::Concat(vec![
+            ConcatPart::Column(title.into()),
+            ConcatPart::Literal(Arc::from("(")),
+            ConcatPart::Column(year.into()),
+            ConcatPart::Literal(Arc::from(")")),
+        ])
+    }
+
+    /// Column names this projection reads.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        match self {
+            Projection::Column(c) => vec![c.as_ref()],
+            Projection::Concat(parts) => parts
+                .iter()
+                .filter_map(|p| match p {
+                    ConcatPart::Column(c) => Some(c.as_ref()),
+                    ConcatPart::Literal(_) => None,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A projected, filtered, paginated scan of one table.
+#[derive(Debug, Clone)]
+pub struct SelectSpec {
+    /// Source table name.
+    pub table: Arc<str>,
+    /// Output expressions (empty means "all columns").
+    pub projection: Vec<Projection>,
+    /// Filter predicate.
+    pub filter: Predicate,
+    /// Maximum rows returned (`None` = unlimited).
+    pub limit: Option<usize>,
+    /// Rows skipped before the first returned row.
+    pub offset: usize,
+}
+
+/// A paginated subquery joined to a dimension table:
+/// `(SELECT key, .. FROM left LIMIT .. OFFSET ..) INNER JOIN right ON key`.
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// Fact-side table (paginated subquery source).
+    pub left: Arc<str>,
+    /// Dimension-side table.
+    pub right: Arc<str>,
+    /// Join key column name on the left table.
+    pub left_key: Arc<str>,
+    /// Join key column name on the right table.
+    pub right_key: Arc<str>,
+    /// Projections over the *joined* row; columns are resolved against the
+    /// left table first, then the right.
+    pub projection: Vec<Projection>,
+    /// LIMIT applied to the left subquery.
+    pub limit: Option<usize>,
+    /// OFFSET applied to the left subquery.
+    pub offset: usize,
+}
+
+/// Equi-width binning for histogram queries:
+/// `ROUND((col - min) / width)` with `bins` buckets.
+#[derive(Debug, Clone)]
+pub struct BinSpec {
+    /// Binned column.
+    pub column: Arc<str>,
+    /// Domain minimum (bin 0 starts here).
+    pub min: f64,
+    /// Domain maximum.
+    pub max: f64,
+    /// Number of bins.
+    pub bins: usize,
+}
+
+impl BinSpec {
+    /// Creates a bin spec over `[min, max]` with `bins` buckets.
+    pub fn new(column: impl Into<Arc<str>>, min: f64, max: f64, bins: usize) -> BinSpec {
+        BinSpec {
+            column: column.into(),
+            min,
+            max,
+            bins,
+        }
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> f64 {
+        (self.max - self.min) / self.bins as f64
+    }
+
+    /// The bin index for value `x`, mirroring the paper's
+    /// `ROUND((x - min) / width)` SQL — note `ROUND`, not `FLOOR`, so the
+    /// result ranges over `0..=bins` and edge bins are half-width.
+    /// Returns `None` for values outside `[min, max]`.
+    pub fn bin_of(&self, x: f64) -> Option<usize> {
+        if x < self.min || x > self.max || self.width() <= 0.0 {
+            return None;
+        }
+        let idx = ((x - self.min) / self.width()).round();
+        // Guard against float edge effects at the top boundary.
+        Some((idx as usize).min(self.bins))
+    }
+
+    /// Total number of output bins (`bins + 1` because of `ROUND`).
+    pub fn bucket_count(&self) -> usize {
+        self.bins + 1
+    }
+}
+
+/// A logical query.
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// Projected, filtered, paginated scan.
+    Select(SelectSpec),
+    /// Paginated subquery inner join.
+    Join(JoinSpec),
+    /// Filtered equi-width histogram with COUNT(*) per bin.
+    Histogram {
+        /// Source table name.
+        table: Arc<str>,
+        /// Binning of the grouped column.
+        bins: BinSpec,
+        /// Filter predicate.
+        filter: Predicate,
+    },
+    /// `SELECT COUNT(*) FROM table WHERE filter`.
+    Count {
+        /// Source table name.
+        table: Arc<str>,
+        /// Filter predicate.
+        filter: Predicate,
+    },
+}
+
+impl Query {
+    /// Convenience constructor for a paginated select.
+    pub fn select(
+        table: impl Into<Arc<str>>,
+        projection: Vec<Projection>,
+        filter: Predicate,
+        limit: Option<usize>,
+        offset: usize,
+    ) -> Query {
+        Query::Select(SelectSpec {
+            table: table.into(),
+            projection,
+            filter,
+            limit,
+            offset,
+        })
+    }
+
+    /// Convenience constructor for a filtered histogram.
+    pub fn histogram(table: impl Into<Arc<str>>, bins: BinSpec, filter: Predicate) -> Query {
+        Query::Histogram {
+            table: table.into(),
+            bins,
+            filter,
+        }
+    }
+
+    /// Convenience constructor for a filtered count.
+    pub fn count(table: impl Into<Arc<str>>, filter: Predicate) -> Query {
+        Query::Count {
+            table: table.into(),
+            filter,
+        }
+    }
+
+    /// The primary table this query scans.
+    pub fn table(&self) -> &str {
+        match self {
+            Query::Select(s) => &s.table,
+            Query::Join(j) => &j.left,
+            Query::Histogram { table, .. } | Query::Count { table, .. } => table,
+        }
+    }
+
+    /// The filter predicate, if this query shape carries one.
+    pub fn filter(&self) -> Option<&Predicate> {
+        match self {
+            Query::Select(s) => Some(&s.filter),
+            Query::Histogram { filter, .. } | Query::Count { filter, .. } => Some(filter),
+            Query::Join(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Select(s) => {
+                write!(f, "SELECT ... FROM {} WHERE {}", s.table, s.filter)?;
+                if let Some(l) = s.limit {
+                    write!(f, " LIMIT {l}")?;
+                }
+                if s.offset > 0 {
+                    write!(f, " OFFSET {}", s.offset)?;
+                }
+                Ok(())
+            }
+            Query::Join(j) => write!(
+                f,
+                "SELECT ... FROM (SELECT .. FROM {} LIMIT {} OFFSET {}) JOIN {} ON {} = {}",
+                j.left,
+                j.limit.map_or_else(|| "ALL".into(), |l| l.to_string()),
+                j.offset,
+                j.right,
+                j.left_key,
+                j.right_key
+            ),
+            Query::Histogram { table, bins, filter } => write!(
+                f,
+                "SELECT ROUND(({} - {}) / {:.6}), COUNT(*) FROM {table} WHERE {filter} GROUP BY 1 ORDER BY 1",
+                bins.column,
+                bins.min,
+                bins.width(),
+            ),
+            Query::Count { table, filter } => {
+                write!(f, "SELECT COUNT(*) FROM {table} WHERE {filter}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_of_matches_round_semantics() {
+        let b = BinSpec::new("y", 0.0, 20.0, 20);
+        assert_eq!(b.width(), 1.0);
+        assert_eq!(b.bin_of(0.0), Some(0));
+        assert_eq!(b.bin_of(0.49), Some(0));
+        assert_eq!(b.bin_of(0.5), Some(1)); // ROUND, not FLOOR
+        assert_eq!(b.bin_of(20.0), Some(20));
+        assert_eq!(b.bin_of(20.1), None);
+        assert_eq!(b.bin_of(-0.1), None);
+        assert_eq!(b.bucket_count(), 21);
+    }
+
+    #[test]
+    fn degenerate_bins_select_nothing() {
+        let b = BinSpec::new("y", 5.0, 5.0, 10);
+        assert_eq!(b.bin_of(5.0), None);
+    }
+
+    #[test]
+    fn projection_referenced_columns() {
+        let p = Projection::title_with_year("title", "year");
+        assert_eq!(p.referenced_columns(), vec!["title", "year"]);
+        assert_eq!(Projection::column("x").referenced_columns(), vec!["x"]);
+    }
+
+    #[test]
+    fn query_accessors() {
+        let q = Query::count("t", Predicate::True);
+        assert_eq!(q.table(), "t");
+        assert!(q.filter().is_some());
+        let j = Query::Join(JoinSpec {
+            left: "l".into(),
+            right: "r".into(),
+            left_key: "id".into(),
+            right_key: "id".into(),
+            projection: vec![],
+            limit: Some(10),
+            offset: 100,
+        });
+        assert_eq!(j.table(), "l");
+        assert!(j.filter().is_none());
+    }
+
+    #[test]
+    fn display_shapes() {
+        let q = Query::select("imdb", vec![], Predicate::True, Some(100), 200);
+        assert_eq!(
+            q.to_string(),
+            "SELECT ... FROM imdb WHERE TRUE LIMIT 100 OFFSET 200"
+        );
+        let h = Query::histogram("road", BinSpec::new("y", 0.0, 20.0, 20), Predicate::True);
+        assert!(h.to_string().contains("GROUP BY 1 ORDER BY 1"));
+    }
+}

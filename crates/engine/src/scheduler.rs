@@ -1,0 +1,254 @@
+//! Virtual-time query scheduling: replaying an issued-query stream
+//! through a multi-worker FIFO queue.
+//!
+//! This is the substrate for the paper's **latency constraint violation**
+//! analysis (Fig 2): when a user issues queries faster than the backend
+//! drains them, execution delay cascades — Q4's perceived latency includes
+//! the queueing time behind Q1–Q3. The scheduler computes, for every query
+//! in a trace, when it started (queue head reached + worker free) and when
+//! it finished, in *virtual* time.
+
+use ids_simclock::{SimDuration, SimTime};
+
+use crate::backend::{Backend, QueryOutcome};
+use crate::error::EngineResult;
+use crate::query::Query;
+
+/// A query stamped with the virtual time the frontend issued it.
+#[derive(Debug, Clone)]
+pub struct IssuedQuery {
+    /// Frontend issue timestamp.
+    pub issued_at: SimTime,
+    /// The query.
+    pub query: Query,
+    /// Caller-assigned tag (e.g. trace event index) carried through to
+    /// the timing record.
+    pub tag: u64,
+}
+
+impl IssuedQuery {
+    /// Creates an issued query.
+    pub fn new(issued_at: SimTime, query: Query, tag: u64) -> IssuedQuery {
+        IssuedQuery {
+            issued_at,
+            query,
+            tag,
+        }
+    }
+}
+
+/// When one query was issued, started, and finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTiming {
+    /// Caller-assigned tag.
+    pub tag: u64,
+    /// Frontend issue time.
+    pub issued_at: SimTime,
+    /// Execution start (after queueing).
+    pub started_at: SimTime,
+    /// Execution end.
+    pub finished_at: SimTime,
+}
+
+impl QueryTiming {
+    /// Query-scheduling latency: time spent waiting in the queue.
+    pub fn scheduling_delay(&self) -> SimDuration {
+        self.started_at.saturating_since(self.issued_at)
+    }
+
+    /// Pure execution time.
+    pub fn execution(&self) -> SimDuration {
+        self.finished_at.saturating_since(self.started_at)
+    }
+
+    /// End-to-end latency perceived from issue to completion.
+    pub fn latency(&self) -> SimDuration {
+        self.finished_at.saturating_since(self.issued_at)
+    }
+}
+
+/// A FIFO queue in front of `workers` equivalent execution slots.
+///
+/// The paper's setup forks one OS process per concurrent query with
+/// independent database connections; `workers` models that connection
+/// pool size.
+#[derive(Debug, Clone)]
+pub struct ReplayScheduler {
+    workers: usize,
+}
+
+impl ReplayScheduler {
+    /// Creates a scheduler with the given number of parallel slots.
+    pub fn new(workers: usize) -> ReplayScheduler {
+        ReplayScheduler {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Replays an issued-query stream, returning per-query timings.
+    ///
+    /// `stream` must be sorted by `issued_at`; queries execute in issue
+    /// order (FIFO), each starting at
+    /// `max(issued_at, earliest worker free time)`.
+    pub fn replay(
+        &self,
+        backend: &dyn Backend,
+        stream: &[IssuedQuery],
+    ) -> EngineResult<Vec<QueryTiming>> {
+        Ok(self
+            .replay_with_outcomes(backend, stream)?
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect())
+    }
+
+    /// Like [`replay`](Self::replay) but also returns each query's outcome
+    /// (result + footprint + cost), for optimizers that inspect results.
+    pub fn replay_with_outcomes(
+        &self,
+        backend: &dyn Backend,
+        stream: &[IssuedQuery],
+    ) -> EngineResult<Vec<(QueryTiming, QueryOutcome)>> {
+        debug_assert!(
+            stream.windows(2).all(|w| w[0].issued_at <= w[1].issued_at),
+            "issued-query stream must be sorted by issue time"
+        );
+        // Min-heap of worker free times, fixed size `workers`.
+        let mut free: Vec<SimTime> = vec![SimTime::ZERO; self.workers];
+        let mut out = Vec::with_capacity(stream.len());
+        for iq in stream {
+            let outcome = backend.execute(&iq.query)?;
+            // Earliest-free worker takes the query.
+            let (slot, &slot_free) = free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("at least one worker");
+            let started_at = iq.issued_at.max(slot_free);
+            let finished_at = started_at + outcome.cost;
+            free[slot] = finished_at;
+            out.push((
+                QueryTiming {
+                    tag: iq.tag,
+                    issued_at: iq.issued_at,
+                    started_at,
+                    finished_at,
+                },
+                outcome,
+            ));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, MemBackend};
+    use crate::column::ColumnBuilder;
+    use crate::cost::CostParams;
+    use crate::predicate::Predicate;
+    use crate::table::TableBuilder;
+
+    /// A backend whose every query costs exactly `cost_ms` of virtual time.
+    fn fixed_cost_backend(cost_ms: u64, rows: usize) -> MemBackend {
+        // Zero all marginal costs; put everything in startup.
+        let params = CostParams {
+            startup_ns: cost_ms * 1_000_000,
+            page_cold_ns: 0,
+            page_hot_ns: 0,
+            tuple_scan_ns: 0,
+            tuple_agg_ns: 0,
+            join_build_ns: 0,
+            join_probe_ns: 0,
+            row_output_ns: 0,
+            predicate_eval_ns: 0,
+        };
+        let backend = MemBackend::with_params(params);
+        backend.database().register(
+            TableBuilder::new("t")
+                .column("x", ColumnBuilder::float((0..rows).map(|i| i as f64)))
+                .build()
+                .unwrap(),
+        );
+        backend
+    }
+
+    fn stream(intervals_ms: &[u64]) -> Vec<IssuedQuery> {
+        let mut t = 0;
+        intervals_ms
+            .iter()
+            .enumerate()
+            .map(|(i, &dt)| {
+                t += dt;
+                IssuedQuery::new(
+                    SimTime::from_millis(t),
+                    Query::count("t", Predicate::True),
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_backend_keeps_up() {
+        let backend = fixed_cost_backend(5, 10);
+        let sched = ReplayScheduler::new(1);
+        // Queries 20 ms apart, each costing 5 ms: no queueing.
+        let timings = sched.replay(&backend, &stream(&[20, 20, 20])).unwrap();
+        for t in &timings {
+            assert_eq!(t.scheduling_delay(), SimDuration::ZERO);
+            assert_eq!(t.latency().as_millis(), 5);
+        }
+    }
+
+    #[test]
+    fn slow_backend_cascades_delay() {
+        let backend = fixed_cost_backend(50, 10);
+        let sched = ReplayScheduler::new(1);
+        // Queries 10 ms apart, each costing 50 ms: delay accumulates.
+        let timings = sched.replay(&backend, &stream(&[10, 10, 10, 10])).unwrap();
+        assert_eq!(timings[0].latency().as_millis(), 50);
+        assert_eq!(timings[1].scheduling_delay().as_millis(), 40);
+        assert_eq!(timings[1].latency().as_millis(), 90);
+        assert_eq!(timings[3].latency().as_millis(), 170);
+        // Latency grows monotonically — the Fig 2 cascade.
+        assert!(timings.windows(2).all(|w| w[0].latency() <= w[1].latency()));
+    }
+
+    #[test]
+    fn more_workers_absorb_bursts() {
+        let backend = fixed_cost_backend(50, 10);
+        let one = ReplayScheduler::new(1)
+            .replay(&backend, &stream(&[10, 10, 10, 10]))
+            .unwrap();
+        let four = ReplayScheduler::new(4)
+            .replay(&backend, &stream(&[10, 10, 10, 10]))
+            .unwrap();
+        let total_one: u64 = one.iter().map(|t| t.latency().as_millis()).sum();
+        let total_four: u64 = four.iter().map(|t| t.latency().as_millis()).sum();
+        assert!(total_four < total_one);
+        assert!(four.iter().all(|t| t.scheduling_delay() == SimDuration::ZERO));
+    }
+
+    #[test]
+    fn outcomes_are_returned_in_issue_order() {
+        let backend = fixed_cost_backend(1, 7);
+        let sched = ReplayScheduler::new(2);
+        let out = sched
+            .replay_with_outcomes(&backend, &stream(&[1, 1, 1]))
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        for (i, (timing, outcome)) in out.iter().enumerate() {
+            assert_eq!(timing.tag, i as u64);
+            assert_eq!(outcome.scalar_count(), Some(7));
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let sched = ReplayScheduler::new(0);
+        let backend = fixed_cost_backend(1, 1);
+        assert!(sched.replay(&backend, &stream(&[1])).is_ok());
+    }
+}

@@ -1,0 +1,146 @@
+//! Table statistics used for selectivity estimation by the cost model.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::column::Column;
+
+/// Per-column summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Minimum numeric value (string columns report `None`).
+    pub min: Option<f64>,
+    /// Maximum numeric value (string columns report `None`).
+    pub max: Option<f64>,
+    /// Number of distinct values (exact).
+    pub distinct: usize,
+}
+
+/// Statistics for every column of a table, computed once at build time.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Computes statistics for the given named columns.
+    pub fn compute(names: &[Arc<str>], columns: &[Column]) -> TableStats {
+        let columns = names
+            .iter()
+            .zip(columns.iter())
+            .map(|(name, col)| {
+                let (min, max, distinct) = match col {
+                    Column::Int(v) => {
+                        let min = v.iter().min().map(|&m| m as f64);
+                        let max = v.iter().max().map(|&m| m as f64);
+                        let distinct = v.iter().collect::<HashSet<_>>().len();
+                        (min, max, distinct)
+                    }
+                    Column::Float(v) => {
+                        let mut min = f64::INFINITY;
+                        let mut max = f64::NEG_INFINITY;
+                        for &x in v.iter() {
+                            min = min.min(x);
+                            max = max.max(x);
+                        }
+                        let distinct = v.iter().map(|x| x.to_bits()).collect::<HashSet<_>>().len();
+                        if v.is_empty() {
+                            (None, None, 0)
+                        } else {
+                            (Some(min), Some(max), distinct)
+                        }
+                    }
+                    Column::Str { codes, dict } => {
+                        let _ = codes;
+                        (None, None, dict.len())
+                    }
+                };
+                ColumnStats {
+                    name: name.to_string(),
+                    min,
+                    max,
+                    distinct,
+                }
+            })
+            .collect();
+        TableStats { columns }
+    }
+
+    /// Statistics for a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Iterates over all per-column stats.
+    pub fn iter(&self) -> impl Iterator<Item = &ColumnStats> {
+        self.columns.iter()
+    }
+
+    /// Estimated fraction of rows a numeric range predicate on `column`
+    /// selects, assuming a uniform distribution between min and max. Falls
+    /// back to `1.0` when statistics are unavailable — the conservative
+    /// choice for a cost model charging scan work.
+    pub fn range_selectivity(&self, column: &str, lo: f64, hi: f64) -> f64 {
+        let Some(stats) = self.column(column) else {
+            return 1.0;
+        };
+        let (Some(min), Some(max)) = (stats.min, stats.max) else {
+            return 1.0;
+        };
+        if max <= min {
+            return 1.0;
+        }
+        let lo = lo.max(min);
+        let hi = hi.min(max);
+        ((hi - lo) / (max - min)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+
+    fn stats() -> TableStats {
+        let names: Vec<Arc<str>> = vec![Arc::from("a"), Arc::from("b"), Arc::from("c")];
+        let cols = vec![
+            ColumnBuilder::int([1, 5, 5, 9]).build(),
+            ColumnBuilder::float([0.0, 10.0, 5.0, 5.0]).build(),
+            ColumnBuilder::str(["x", "y", "x", "z"]).build(),
+        ];
+        TableStats::compute(&names, &cols)
+    }
+
+    #[test]
+    fn min_max_distinct() {
+        let s = stats();
+        let a = s.column("a").unwrap();
+        assert_eq!((a.min, a.max, a.distinct), (Some(1.0), Some(9.0), 3));
+        let b = s.column("b").unwrap();
+        assert_eq!((b.min, b.max, b.distinct), (Some(0.0), Some(10.0), 3));
+        let c = s.column("c").unwrap();
+        assert_eq!((c.min, c.max, c.distinct), (None, None, 3));
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let s = stats();
+        assert!((s.range_selectivity("b", 0.0, 5.0) - 0.5).abs() < 1e-12);
+        assert!((s.range_selectivity("b", -100.0, 100.0) - 1.0).abs() < 1e-12);
+        assert_eq!(s.range_selectivity("b", 7.0, 3.0), 0.0);
+        // Unknown column or non-numeric → conservative 1.0.
+        assert_eq!(s.range_selectivity("zzz", 0.0, 1.0), 1.0);
+        assert_eq!(s.range_selectivity("c", 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn empty_float_column() {
+        let names: Vec<Arc<str>> = vec![Arc::from("e")];
+        let cols = vec![ColumnBuilder::float([]).build()];
+        let s = TableStats::compute(&names, &cols);
+        let e = s.column("e").unwrap();
+        assert_eq!((e.min, e.max, e.distinct), (None, None, 0));
+    }
+}

@@ -1,0 +1,244 @@
+//! Tables: named collections of equal-length columns.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::column::{Column, ColumnBuilder};
+use crate::error::{EngineError, EngineResult};
+use crate::stats::TableStats;
+use crate::value::{DataType, Value};
+
+/// An immutable table: a schema plus columnar data, cheap to clone.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: Arc<str>,
+    column_names: Arc<[Arc<str>]>,
+    columns: Arc<[Column]>,
+    index: Arc<HashMap<Arc<str>, usize>>,
+    rows: usize,
+    stats: Arc<TableStats>,
+}
+
+impl Table {
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in schema order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.column_names.iter().map(|s| s.as_ref())
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> EngineResult<&Column> {
+        self.index
+            .get(name)
+            .map(|&i| &self.columns[i])
+            .ok_or_else(|| EngineError::UnknownColumn {
+                table: self.name.to_string(),
+                column: name.to_string(),
+            })
+    }
+
+    /// The positional index of a column.
+    pub fn column_index(&self, name: &str) -> EngineResult<usize> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| EngineError::UnknownColumn {
+                table: self.name.to_string(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// The value at (`row`, `column name`).
+    pub fn value(&self, row: usize, column: &str) -> EngineResult<Value> {
+        Ok(self.column(column)?.value(row))
+    }
+
+    /// Per-column min/max/distinct statistics, computed once at build time.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Estimated width of one row on disk, in bytes (used by the pager).
+    pub fn row_disk_width(&self) -> usize {
+        // Charge a small per-row header like a slotted-page row store does.
+        const ROW_HEADER: usize = 8;
+        ROW_HEADER
+            + self
+                .columns
+                .iter()
+                .map(|c| c.data_type().disk_width())
+                .sum::<usize>()
+    }
+
+    /// The schema as `(name, type)` pairs.
+    pub fn schema(&self) -> Vec<(String, DataType)> {
+        self.column_names
+            .iter()
+            .zip(self.columns.iter())
+            .map(|(n, c)| (n.to_string(), c.data_type()))
+            .collect()
+    }
+}
+
+/// Builder for [`Table`].
+///
+/// ```
+/// use ids_engine::{ColumnBuilder, TableBuilder};
+///
+/// let t = TableBuilder::new("movies")
+///     .column("id", ColumnBuilder::int(0..3))
+///     .column("title", ColumnBuilder::str(["a", "b", "c"]))
+///     .build()
+///     .unwrap();
+/// assert_eq!(t.rows(), 3);
+/// ```
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<(String, ColumnBuilder)>,
+}
+
+impl TableBuilder {
+    /// Starts a table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Adds a column.
+    pub fn column(mut self, name: impl Into<String>, builder: ColumnBuilder) -> Self {
+        self.columns.push((name.into(), builder));
+        self
+    }
+
+    /// Validates lengths and freezes the table.
+    pub fn build(self) -> EngineResult<Table> {
+        if self.columns.is_empty() {
+            return Err(EngineError::EmptyTable(self.name));
+        }
+        let rows = self.columns[0].1.len();
+        let mut index = HashMap::with_capacity(self.columns.len());
+        let mut names: Vec<Arc<str>> = Vec::with_capacity(self.columns.len());
+        let mut cols: Vec<Column> = Vec::with_capacity(self.columns.len());
+        for (name, builder) in self.columns {
+            if builder.len() != rows {
+                return Err(EngineError::RaggedColumns {
+                    table: self.name,
+                    expected: rows,
+                    got: (name, builder.len()),
+                });
+            }
+            let shared: Arc<str> = Arc::from(name.as_str());
+            if index.insert(Arc::clone(&shared), cols.len()).is_some() {
+                return Err(EngineError::DuplicateColumn(name));
+            }
+            names.push(shared);
+            cols.push(builder.build());
+        }
+        let stats = TableStats::compute(&names, &cols);
+        Ok(Table {
+            name: Arc::from(self.name.as_str()),
+            column_names: names.into(),
+            columns: cols.into(),
+            index: Arc::new(index),
+            rows,
+            stats: Arc::new(stats),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        TableBuilder::new("t")
+            .column("a", ColumnBuilder::int([1, 2, 3]))
+            .column("b", ColumnBuilder::float([0.1, 0.2, 0.3]))
+            .column("c", ColumnBuilder::str(["x", "y", "x"]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = sample();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.width(), 3);
+        assert_eq!(t.column_names().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(t.value(1, "a").unwrap(), Value::Int(2));
+        assert_eq!(t.column_index("c").unwrap(), 2);
+        assert_eq!(t.column_at(0).len(), 3);
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let t = sample();
+        assert!(matches!(
+            t.column("zzz"),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let err = TableBuilder::new("bad")
+            .column("a", ColumnBuilder::int([1, 2]))
+            .column("b", ColumnBuilder::int([1]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::RaggedColumns { .. }));
+    }
+
+    #[test]
+    fn empty_and_duplicate_rejected() {
+        assert!(matches!(
+            TableBuilder::new("e").build(),
+            Err(EngineError::EmptyTable(_))
+        ));
+        assert!(matches!(
+            TableBuilder::new("d")
+                .column("a", ColumnBuilder::int([1]))
+                .column("a", ColumnBuilder::int([2]))
+                .build(),
+            Err(EngineError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn row_disk_width_counts_types() {
+        let t = sample();
+        // 8 header + 8 (int) + 8 (float) + 24 (str)
+        assert_eq!(t.row_disk_width(), 48);
+    }
+
+    #[test]
+    fn schema_reports_types() {
+        let t = sample();
+        let schema = t.schema();
+        assert_eq!(schema[0], ("a".to_string(), DataType::Int));
+        assert_eq!(schema[2], ("c".to_string(), DataType::Str));
+    }
+}

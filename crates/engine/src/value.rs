@@ -1,0 +1,171 @@
+//! Scalar values and data types.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The data types supported by the engine's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string (dictionary encoded in columns).
+    Str,
+}
+
+impl DataType {
+    /// Approximate on-disk width in bytes of one value of this type, used
+    /// by the pager to compute rows-per-page. Strings are charged an
+    /// average inline width, mirroring how a row store pays for short
+    /// VARCHARs.
+    pub const fn disk_width(self) -> usize {
+        match self {
+            DataType::Int | DataType::Float => 8,
+            DataType::Str => 24,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A dynamically typed scalar, used in projected rows and query literals.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// Shared string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// This value's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// The value as `f64` if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            // Cross-numeric comparison mirrors SQL's implicit cast.
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            _ => false,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typing_and_casts() {
+        assert_eq!(Value::from(3i64).data_type(), DataType::Int);
+        assert_eq!(Value::from(3.5).data_type(), DataType::Float);
+        assert_eq!(Value::from("x").data_type(), DataType::Str);
+        assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(7i64).as_i64(), Some(7));
+    }
+
+    #[test]
+    fn cross_numeric_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+        assert_ne!(Value::Int(2), Value::from("2"));
+    }
+
+    #[test]
+    fn nan_equals_itself_for_result_comparison() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn disk_widths() {
+        assert_eq!(DataType::Int.disk_width(), 8);
+        assert_eq!(DataType::Str.disk_width(), 24);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::from(1i64).to_string(), "1");
+        assert_eq!(DataType::Float.to_string(), "FLOAT");
+    }
+}

@@ -1,0 +1,132 @@
+//! Accuracy metrics for approximate and speculative systems.
+//!
+//! "The old contract with databases was unbounded execution time but
+//! accurate results. In interactive systems this is flipped: strict
+//! latency requirements but approximate answers." The catalog covers
+//! mean-squared error (Incvisage's visualization comparison),
+//! precision/recall (Icarus-style set retrieval), and *scored accuracy* —
+//! error weighted by how quickly the user/system produced the answer.
+
+use ids_simclock::SimDuration;
+
+/// Mean squared error between an approximation and ground truth.
+/// Panics if lengths differ — comparing unlike visualizations is a bug.
+pub fn mean_squared_error(approx: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(approx.len(), truth.len(), "series lengths must match");
+    if approx.is_empty() {
+        return 0.0;
+    }
+    approx
+        .iter()
+        .zip(truth)
+        .map(|(a, t)| (a - t).powi(2))
+        .sum::<f64>()
+        / approx.len() as f64
+}
+
+/// Precision and recall of a retrieved set against a relevant set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// |retrieved ∩ relevant| / |retrieved|.
+    pub precision: f64,
+    /// |retrieved ∩ relevant| / |relevant|.
+    pub recall: f64,
+}
+
+impl PrecisionRecall {
+    /// Computes precision/recall from sorted-or-not id slices.
+    pub fn of(retrieved: &[u64], relevant: &[u64]) -> PrecisionRecall {
+        use std::collections::HashSet;
+        let retrieved_set: HashSet<u64> = retrieved.iter().copied().collect();
+        let relevant_set: HashSet<u64> = relevant.iter().copied().collect();
+        let hits = retrieved_set.intersection(&relevant_set).count() as f64;
+        PrecisionRecall {
+            precision: if retrieved_set.is_empty() {
+                0.0
+            } else {
+                hits / retrieved_set.len() as f64
+            },
+            recall: if relevant_set.is_empty() {
+                0.0
+            } else {
+                hits / relevant_set.len() as f64
+            },
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision, self.recall);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Incvisage-style scored accuracy: the error of a submitted answer
+/// weighted by submission time — early wrong answers and late right
+/// answers both score poorly. Returns a value in `(0, 1]`, higher better.
+///
+/// `score = exp(-|answer - truth| / scale) · exp(-t / t_scale)` — a
+/// smooth, monotone-in-both-arguments scoring rule.
+pub fn scored_accuracy(
+    answer: f64,
+    truth: f64,
+    submitted_after: SimDuration,
+    error_scale: f64,
+    time_scale: SimDuration,
+) -> f64 {
+    let err_term = (-((answer - truth).abs() / error_scale.max(1e-12))).exp();
+    let t_term = (-(submitted_after.as_secs_f64() / time_scale.as_secs_f64().max(1e-12))).exp();
+    err_term * t_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mean_squared_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mean_squared_error(&[0.0, 0.0], &[3.0, 4.0]), 12.5);
+        assert_eq!(mean_squared_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mse_length_mismatch_panics() {
+        mean_squared_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn precision_recall_partial_overlap() {
+        let pr = PrecisionRecall::of(&[1, 2, 3, 4], &[3, 4, 5, 6, 7, 8]);
+        assert_eq!(pr.precision, 0.5);
+        assert!((pr.recall - 2.0 / 6.0).abs() < 1e-12);
+        assert!(pr.f1() > 0.0 && pr.f1() < 1.0);
+    }
+
+    #[test]
+    fn precision_recall_edges() {
+        let perfect = PrecisionRecall::of(&[1, 2], &[1, 2]);
+        assert_eq!((perfect.precision, perfect.recall), (1.0, 1.0));
+        assert_eq!(perfect.f1(), 1.0);
+        let nothing = PrecisionRecall::of(&[], &[1]);
+        assert_eq!((nothing.precision, nothing.recall), (0.0, 0.0));
+        assert_eq!(nothing.f1(), 0.0);
+    }
+
+    #[test]
+    fn scored_accuracy_rewards_fast_and_correct() {
+        let scale = 10.0;
+        let tscale = SimDuration::from_secs(60);
+        let fast_right = scored_accuracy(100.0, 100.0, SimDuration::from_secs(5), scale, tscale);
+        let slow_right = scored_accuracy(100.0, 100.0, SimDuration::from_secs(50), scale, tscale);
+        let fast_wrong = scored_accuracy(130.0, 100.0, SimDuration::from_secs(5), scale, tscale);
+        assert!(fast_right > slow_right);
+        assert!(fast_right > fast_wrong);
+        assert!(fast_right <= 1.0 && fast_right > 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Cache hit-rate accounting.
+//!
+//! The paper distinguishes *frontend* caches (cut backend load, hard to
+//! invalidate) from *backend* caches (still pay network latency but give
+//! constant lookup time). Both report the same metric; this counter
+//! serves any cache location, while `ids-engine`'s buffer pool keeps its
+//! own page-level statistics.
+
+/// Where the cache sits in the stack — affects which latency component a
+/// hit removes (Section 3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLocation {
+    /// In the client: a hit removes network + backend latency entirely.
+    Frontend,
+    /// In the server: a hit removes execution latency, network remains.
+    Backend,
+}
+
+/// A hit/miss counter for one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitRateCounter {
+    /// Cache placement.
+    pub location: CacheLocation,
+    hits: u64,
+    misses: u64,
+}
+
+impl HitRateCounter {
+    /// Creates a counter for a cache at `location`.
+    pub fn new(location: CacheLocation) -> HitRateCounter {
+        HitRateCounter {
+            location,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Records a hit.
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records a lookup outcome.
+    pub fn record(&mut self, was_hit: bool) {
+        if was_hit {
+            self.hit();
+        } else {
+            self.miss();
+        }
+    }
+
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rate() {
+        let mut c = HitRateCounter::new(CacheLocation::Backend);
+        c.hit();
+        c.hit();
+        c.miss();
+        c.record(true);
+        c.record(false);
+        assert_eq!(c.lookups(), 5);
+        assert_eq!(c.hits(), 3);
+        assert!((c.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = HitRateCounter::new(CacheLocation::Frontend);
+        assert_eq!(c.hit_rate(), 0.0);
+        assert_eq!(c.location, CacheLocation::Frontend);
+    }
+}

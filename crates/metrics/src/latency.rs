@@ -1,0 +1,187 @@
+//! Latency with the Section 3.1.1 decomposition and the perceptual
+//! thresholds the paper surveys.
+//!
+//! "Latency encompasses a lot more than just query execution time. It is
+//! calculated from the moment the user hits submit till they get back
+//! results" — and reporting execution time alone "can be misleading".
+//! [`LatencyBreakdown`] carries all five components so experiments can
+//! report at the granularity where optimizations (prefetching,
+//! progressive rendering) apply.
+
+use ids_simclock::SimDuration;
+
+/// End-to-end latency decomposed into the paper's five components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Request + response transfer time.
+    pub network: SimDuration,
+    /// Queue time between arrival and execution start.
+    pub scheduling: SimDuration,
+    /// Query execution proper.
+    pub execution: SimDuration,
+    /// Summarize/rank/bin/highlight before presentation.
+    pub post_aggregation: SimDuration,
+    /// Painting results on screen.
+    pub rendering: SimDuration,
+}
+
+impl LatencyBreakdown {
+    /// A breakdown with only an execution component.
+    pub fn execution_only(execution: SimDuration) -> LatencyBreakdown {
+        LatencyBreakdown {
+            execution,
+            ..LatencyBreakdown::default()
+        }
+    }
+
+    /// Total perceived latency: the sum of all components.
+    pub fn total(&self) -> SimDuration {
+        self.network + self.scheduling + self.execution + self.post_aggregation + self.rendering
+    }
+
+    /// The largest component, with its name — where optimization effort
+    /// should go first.
+    pub fn bottleneck(&self) -> (&'static str, SimDuration) {
+        let parts = [
+            ("network", self.network),
+            ("scheduling", self.scheduling),
+            ("execution", self.execution),
+            ("post-aggregation", self.post_aggregation),
+            ("rendering", self.rendering),
+        ];
+        parts
+            .into_iter()
+            .max_by_key(|&(_, d)| d)
+            .expect("five components")
+    }
+
+    /// The fraction of total latency due to `execution` — when this is
+    /// small, reporting execution time alone misleads (Section 3.1.1).
+    pub fn execution_fraction(&self) -> f64 {
+        let total = self.total().as_micros();
+        if total == 0 {
+            return 0.0;
+        }
+        self.execution.as_micros() as f64 / total as f64
+    }
+}
+
+/// Task-specific perceptual latency thresholds surveyed in Section 3.1.1.
+/// Spending resources to get below a threshold the user cannot perceive
+/// is waste; exceeding it degrades the user's analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerceptualThreshold {
+    /// Visual analytics: +500 ms is noticeable and harms exploration
+    /// (Liu & Heer).
+    VisualAnalysis,
+    /// Head-mounted displays: +50 ms already measurable in sickness
+    /// scores (Nelson et al.).
+    HeadMounted,
+    /// Mouse target acquisition degrades above 50 ms added latency
+    /// (Pavlovych & Gutwin).
+    TargetAcquisition,
+    /// Mouse target *tracking* degrades above 110 ms (same study).
+    TargetTracking,
+    /// Direct touch pointing: users can discriminate 20 ms differences
+    /// (Jota et al.).
+    TouchPointing,
+}
+
+impl PerceptualThreshold {
+    /// The threshold value.
+    pub fn limit(self) -> SimDuration {
+        let ms = match self {
+            PerceptualThreshold::VisualAnalysis => 500,
+            PerceptualThreshold::HeadMounted => 50,
+            PerceptualThreshold::TargetAcquisition => 50,
+            PerceptualThreshold::TargetTracking => 110,
+            PerceptualThreshold::TouchPointing => 20,
+        };
+        SimDuration::from_millis(ms)
+    }
+
+    /// Source study, for reports.
+    pub fn source(self) -> &'static str {
+        match self {
+            PerceptualThreshold::VisualAnalysis => "Liu & Heer 2014",
+            PerceptualThreshold::HeadMounted => "Nelson et al. 2000",
+            PerceptualThreshold::TargetAcquisition | PerceptualThreshold::TargetTracking => {
+                "Pavlovych & Gutwin 2012"
+            }
+            PerceptualThreshold::TouchPointing => "Jota et al. 2013",
+        }
+    }
+
+    /// `true` if `latency` stays within this task's perceptual budget.
+    pub fn is_imperceptible(self, latency: SimDuration) -> bool {
+        latency <= self.limit()
+    }
+
+    /// All thresholds, for catalog rendering.
+    pub const ALL: [PerceptualThreshold; 5] = [
+        PerceptualThreshold::VisualAnalysis,
+        PerceptualThreshold::HeadMounted,
+        PerceptualThreshold::TargetAcquisition,
+        PerceptualThreshold::TargetTracking,
+        PerceptualThreshold::TouchPointing,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn total_sums_components() {
+        let b = LatencyBreakdown {
+            network: ms(5),
+            scheduling: ms(10),
+            execution: ms(100),
+            post_aggregation: ms(15),
+            rendering: ms(20),
+        };
+        assert_eq!(b.total(), ms(150));
+        assert_eq!(b.bottleneck(), ("execution", ms(100)));
+        assert!((b.execution_fraction() - 100.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execution_only_constructor() {
+        let b = LatencyBreakdown::execution_only(ms(42));
+        assert_eq!(b.total(), ms(42));
+        assert_eq!(b.execution_fraction(), 1.0);
+    }
+
+    #[test]
+    fn bottleneck_can_be_nonexecution() {
+        let b = LatencyBreakdown {
+            scheduling: ms(300),
+            execution: ms(50),
+            ..LatencyBreakdown::default()
+        };
+        assert_eq!(b.bottleneck().0, "scheduling");
+        assert!(b.execution_fraction() < 0.2, "execution alone would mislead");
+    }
+
+    #[test]
+    fn zero_breakdown() {
+        let b = LatencyBreakdown::default();
+        assert_eq!(b.total(), SimDuration::ZERO);
+        assert_eq!(b.execution_fraction(), 0.0);
+    }
+
+    #[test]
+    fn thresholds_match_surveyed_values() {
+        assert_eq!(PerceptualThreshold::VisualAnalysis.limit(), ms(500));
+        assert_eq!(PerceptualThreshold::TouchPointing.limit(), ms(20));
+        assert_eq!(PerceptualThreshold::TargetTracking.limit(), ms(110));
+        assert!(PerceptualThreshold::VisualAnalysis.is_imperceptible(ms(400)));
+        assert!(!PerceptualThreshold::TouchPointing.is_imperceptible(ms(25)));
+        assert_eq!(PerceptualThreshold::ALL.len(), 5);
+        assert!(PerceptualThreshold::HeadMounted.source().contains("Nelson"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Latency Constraint Violations (LCV) — the paper's first novel metric.
+//!
+//! Mean or max latency misses what the user actually *perceives* in a
+//! session of dependent queries. LCV counts the times the zero-latency
+//! rule is broken. The paper instantiates it twice:
+//!
+//! - **Cascade form** (crossfiltering, Fig 2 / Fig 15): a query violates
+//!   the constraint when the user issues the next query before the
+//!   previous one finished — delays then cascade, since each execution
+//!   queues behind its predecessors.
+//! - **Supply form** (inertial scrolling, Table 8): a violation occurs
+//!   when the number of tuples the user has scrolled past exceeds the
+//!   number the loader has cached — the user stares at an empty viewport.
+
+use ids_simclock::SimTime;
+
+/// The issue and completion instants of one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuerySpan {
+    /// When the frontend issued the query.
+    pub issued_at: SimTime,
+    /// When results returned to the frontend.
+    pub finished_at: SimTime,
+}
+
+/// An LCV measurement: how many of the observed events violated the
+/// latency constraint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LcvReport {
+    /// Total events considered.
+    pub total: usize,
+    /// Events that violated the constraint.
+    pub violations: usize,
+}
+
+impl LcvReport {
+    /// Fraction of events in violation (0 when no events).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.total as f64
+        }
+    }
+
+    /// `true` if at least one violation occurred — the per-user yes/no
+    /// that Table 8 counts across the participant pool.
+    pub fn any(&self) -> bool {
+        self.violations > 0
+    }
+}
+
+/// Cascade-form LCV over a query stream sorted by issue time: query *i*
+/// violates when the next query is issued strictly before *i* finishes.
+///
+/// The final query has no successor and cannot violate under this
+/// definition, matching the paper's Fig 2 reading (Q1–Q3 violate, Q4's
+/// delay is the consequence).
+pub fn cascade_violations(spans: &[QuerySpan]) -> LcvReport {
+    debug_assert!(
+        spans.windows(2).all(|w| w[0].issued_at <= w[1].issued_at),
+        "spans must be sorted by issue time"
+    );
+    let violations = spans
+        .windows(2)
+        .filter(|w| w[1].issued_at < w[0].finished_at)
+        .count();
+    LcvReport {
+        total: spans.len(),
+        violations,
+    }
+}
+
+/// Supply-form LCV: at each demand event, the cumulative units demanded
+/// (tuples scrolled past) must not exceed the cumulative units supplied
+/// (tuples cached) by that instant.
+///
+/// `demand` and `supply` are step functions given as sorted
+/// `(time, cumulative)` points; supply between points holds its last
+/// value (zero before the first point).
+pub fn supply_violations(demand: &[(SimTime, u64)], supply: &[(SimTime, u64)]) -> LcvReport {
+    debug_assert!(demand.windows(2).all(|w| w[0].0 <= w[1].0));
+    debug_assert!(supply.windows(2).all(|w| w[0].0 <= w[1].0));
+    let mut supplied: u64 = 0;
+    let mut si = 0;
+    let mut violations = 0;
+    for &(t, demanded) in demand {
+        while si < supply.len() && supply[si].0 <= t {
+            supplied = supply[si].1;
+            si += 1;
+        }
+        if demanded > supplied {
+            violations += 1;
+        }
+    }
+    LcvReport {
+        total: demand.len(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn span(issue: u64, finish: u64) -> QuerySpan {
+        QuerySpan {
+            issued_at: t(issue),
+            finished_at: t(finish),
+        }
+    }
+
+    #[test]
+    fn fast_backend_no_cascade() {
+        // Finish before the next issue: no violations.
+        let spans = vec![span(0, 5), span(20, 25), span(40, 45)];
+        let r = cascade_violations(&spans);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.total, 3);
+        assert!(!r.any());
+        assert_eq!(r.fraction(), 0.0);
+    }
+
+    #[test]
+    fn slow_backend_cascades() {
+        // Fig 2: each query still running when the next is issued.
+        let spans = vec![span(0, 50), span(10, 100), span(20, 150), span(30, 200)];
+        let r = cascade_violations(&spans);
+        assert_eq!(r.violations, 3, "Q1-Q3 violate; Q4 has no successor");
+        assert!((r.fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_is_not_a_violation() {
+        // Next query issued exactly at completion: not a violation.
+        let spans = vec![span(0, 20), span(20, 40)];
+        assert_eq!(cascade_violations(&spans).violations, 0);
+    }
+
+    #[test]
+    fn empty_and_singleton_streams() {
+        assert_eq!(cascade_violations(&[]).total, 0);
+        let one = cascade_violations(&[span(0, 1_000_000)]);
+        assert_eq!(one.violations, 0);
+        assert_eq!(one.total, 1);
+    }
+
+    #[test]
+    fn supply_meets_demand() {
+        // Loader always ahead of the reader.
+        let demand = vec![(t(10), 10), (t(20), 30), (t(30), 50)];
+        let supply = vec![(t(0), 40), (t(25), 100)];
+        let r = supply_violations(&demand, &supply);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.total, 3);
+    }
+
+    #[test]
+    fn fast_scroll_outruns_loader() {
+        // User scrolls 100 tuples by 30 ms; loader has cached only 20.
+        let demand = vec![(t(10), 40), (t(20), 70), (t(30), 100)];
+        let supply = vec![(t(0), 20), (t(50), 200)];
+        let r = supply_violations(&demand, &supply);
+        assert_eq!(r.violations, 3);
+        assert!(r.any());
+    }
+
+    #[test]
+    fn supply_step_function_semantics() {
+        // Supply jumps at t=20; demand at t=20 sees the new value.
+        let demand = vec![(t(20), 50)];
+        let supply = vec![(t(20), 50)];
+        assert_eq!(supply_violations(&demand, &supply).violations, 0);
+        // But one microsecond earlier it would have violated.
+        let early = vec![(SimTime::from_micros(19_999), 50)];
+        assert_eq!(supply_violations(&early, &supply).violations, 1);
+    }
+
+    #[test]
+    fn no_supply_at_all() {
+        let demand = vec![(t(1), 1)];
+        let r = supply_violations(&demand, &[]);
+        assert_eq!(r.violations, 1);
+    }
+}

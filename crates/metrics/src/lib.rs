@@ -1,0 +1,45 @@
+//! The metric taxonomy of *Evaluating Interactive Data Systems* as an
+//! executable library.
+//!
+//! Section 3 of the paper catalogs the metrics used to evaluate
+//! interactive (human-in-the-loop) data systems and contributes two novel
+//! frontend metrics — **Latency Constraint Violation** (LCV) and **Query
+//! Issuing Frequency** (QIF). This crate implements the whole catalog:
+//!
+//! - [`taxonomy`] — the Fig 1 metric tree (human vs system factors,
+//!   frontend vs backend) as queryable data.
+//! - [`latency`] — end-to-end latency with the Section 3.1.1 breakdown
+//!   (network / scheduling / execution / post-aggregation / rendering) and
+//!   the perceptual thresholds the paper surveys.
+//! - [`lcv`] — latency constraint violations: both the cascade form used
+//!   in crossfiltering (a new query issued before the previous finished,
+//!   Fig 2) and the supply form used in scrolling (demand outruns cache).
+//! - [`qif`] — query issuing frequency: rates, interval histograms
+//!   (Fig 14), and the Fig 3 frontend/backend trade-off quadrant.
+//! - [`throughput`] — throughput and scalability (speedup curves with
+//!   diminishing-returns detection, the DICE-style experiment).
+//! - [`accuracy`] — approximate-answer quality: MSE, precision/recall,
+//!   and time-weighted scored accuracy.
+//! - [`cache`] — frontend/backend cache hit-rate counters.
+//! - [`stats`] — the streaming statistics (mean/std/percentiles, CDFs,
+//!   interval histograms) every case-study report is built from.
+//! - [`selection`] — the Table 3 metric-selection guidelines as a
+//!   decision procedure over system traits.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod cache;
+pub mod latency;
+pub mod lcv;
+pub mod qif;
+pub mod selection;
+pub mod stats;
+pub mod taxonomy;
+pub mod throughput;
+
+pub use latency::{LatencyBreakdown, PerceptualThreshold};
+pub use lcv::{cascade_violations, supply_violations, LcvReport};
+pub use qif::{BackendSpeed, QifQuadrant, QifReport};
+pub use stats::{Cdf, IntervalHistogram, Summary};
+pub use taxonomy::{Metric, MetricCategory};

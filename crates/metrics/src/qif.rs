@@ -1,0 +1,222 @@
+//! Query Issuing Frequency (QIF) — the paper's second novel metric.
+//!
+//! Modern sensors can push 120 events/s to the backend; whether that is a
+//! smooth experience or a meltdown depends on the backend's drain rate.
+//! [`QifReport`] summarizes an issue-timestamp stream (rate, interval
+//! histogram à la Fig 14); [`QifQuadrant`] encodes the Fig 3 trade-off
+//! matrix between frontend issuing rate and backend speed, including the
+//! "overwhelmed backend — need to throttle" corner.
+
+use ids_simclock::{SimDuration, SimTime};
+
+use crate::stats::{IntervalHistogram, Summary};
+
+/// Summary of a query-issue timestamp stream.
+#[derive(Debug, Clone)]
+pub struct QifReport {
+    /// Number of queries issued.
+    pub queries: usize,
+    /// Observation span from first to last issue.
+    pub span: SimDuration,
+    /// Inter-issue interval statistics (milliseconds).
+    pub intervals_ms: Summary,
+    /// Histogram of inter-issue intervals over `[0, 60)` ms, 30 bins —
+    /// the Fig 14 presentation.
+    pub interval_histogram: IntervalHistogram,
+}
+
+impl QifReport {
+    /// Builds a report from sorted issue timestamps.
+    pub fn from_timestamps(timestamps: &[SimTime]) -> QifReport {
+        debug_assert!(timestamps.windows(2).all(|w| w[0] <= w[1]));
+        let mut intervals_ms = Summary::new();
+        let mut interval_histogram = IntervalHistogram::new(0.0, 60.0, 30);
+        for w in timestamps.windows(2) {
+            let dt = w[1].saturating_since(w[0]).as_millis_f64();
+            intervals_ms.push(dt);
+            interval_histogram.push(dt);
+        }
+        let span = match (timestamps.first(), timestamps.last()) {
+            (Some(&a), Some(&b)) => b.saturating_since(a),
+            _ => SimDuration::ZERO,
+        };
+        QifReport {
+            queries: timestamps.len(),
+            span,
+            intervals_ms,
+            interval_histogram,
+        }
+    }
+
+    /// Mean queries issued per second over the observation span.
+    pub fn queries_per_second(&self) -> f64 {
+        let secs = self.span.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        // n queries span n-1 intervals.
+        (self.queries.saturating_sub(1)) as f64 / secs
+    }
+
+    /// The modal inter-issue interval in ms, if any interval landed in
+    /// the histogram domain. Leap Motion concentrates at 20–25 ms.
+    pub fn modal_interval_ms(&self) -> Option<f64> {
+        self.interval_histogram
+            .mode()
+            .map(|(bin, _)| self.interval_histogram.bin_center(bin))
+    }
+}
+
+/// Frontend issuing-rate class, relative to what the backend can drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSpeed {
+    /// Mean service time comfortably under the mean issue interval.
+    Fast,
+    /// Mean service time at or above the mean issue interval.
+    Slow,
+}
+
+/// The four cells of the paper's Fig 3 trade-off matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QifQuadrant {
+    /// High QIF × fast backend: smooth, responsive interaction.
+    Good,
+    /// Low QIF × fast backend: capacity wasted; interaction *feels* slow
+    /// because the frontend undersamples.
+    PerceivedSlow,
+    /// Low QIF × slow backend: every query waits; unresponsive.
+    Unresponsive,
+    /// High QIF × slow backend: queue explodes — throttle the frontend.
+    OverwhelmedThrottle,
+}
+
+impl QifQuadrant {
+    /// Classifies a workload: `qif` in queries/s, `mean_service` the
+    /// backend's mean per-query time. "High QIF" means the frontend
+    /// issues at ≥ `high_qif_threshold` queries/s (the paper's examples
+    /// use UI frame rates, ~50/s).
+    pub fn classify(
+        qif: f64,
+        mean_service: SimDuration,
+        high_qif_threshold: f64,
+    ) -> QifQuadrant {
+        let high = qif >= high_qif_threshold;
+        // The backend keeps up when it can serve faster than queries arrive.
+        let service_rate = if mean_service.is_zero() {
+            f64::INFINITY
+        } else {
+            1.0 / mean_service.as_secs_f64()
+        };
+        let fast = service_rate >= qif && !mean_service.is_zero() || mean_service.is_zero();
+        match (high, fast) {
+            (true, true) => QifQuadrant::Good,
+            (false, true) => QifQuadrant::PerceivedSlow,
+            (false, false) => QifQuadrant::Unresponsive,
+            (true, false) => QifQuadrant::OverwhelmedThrottle,
+        }
+    }
+
+    /// The recommended action, as Fig 3 annotates.
+    pub fn guidance(self) -> &'static str {
+        match self {
+            QifQuadrant::Good => "good: frontend and backend are matched",
+            QifQuadrant::PerceivedSlow => {
+                "perceived slow: raise the frontend rate or interpolate results"
+            }
+            QifQuadrant::Unresponsive => "unresponsive: speed up the backend",
+            QifQuadrant::OverwhelmedThrottle => {
+                "overwhelmed backend: throttle QIF to match backend capacity"
+            }
+        }
+    }
+}
+
+/// Computes a throttled issue-rate suggestion: the highest rate the
+/// backend sustains, capped at the device's sensing rate.
+pub fn throttle_suggestion(mean_service: SimDuration, device_rate_hz: f64) -> f64 {
+    if mean_service.is_zero() {
+        return device_rate_hz;
+    }
+    (1.0 / mean_service.as_secs_f64()).min(device_rate_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamps(interval_ms: u64, n: usize) -> Vec<SimTime> {
+        (0..n)
+            .map(|i| SimTime::from_millis(interval_ms * i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn qif_rate_from_uniform_stream() {
+        // 20 ms apart → 50 queries/s.
+        let r = QifReport::from_timestamps(&stamps(20, 101));
+        assert!((r.queries_per_second() - 50.0).abs() < 0.01);
+        assert_eq!(r.queries, 101);
+        assert_eq!(r.intervals_ms.mean(), 20.0);
+        let modal = r.modal_interval_ms().unwrap();
+        assert!((19.0..23.0).contains(&modal));
+    }
+
+    #[test]
+    fn degenerate_streams() {
+        assert_eq!(QifReport::from_timestamps(&[]).queries_per_second(), 0.0);
+        let one = QifReport::from_timestamps(&[SimTime::from_millis(5)]);
+        assert_eq!(one.queries_per_second(), 0.0);
+        assert_eq!(one.modal_interval_ms(), None);
+    }
+
+    #[test]
+    fn quadrant_classification() {
+        let ms = SimDuration::from_millis;
+        // 50 q/s, 5 ms service (200/s capacity) → Good.
+        assert_eq!(QifQuadrant::classify(50.0, ms(5), 40.0), QifQuadrant::Good);
+        // 50 q/s, 100 ms service → overwhelmed.
+        assert_eq!(
+            QifQuadrant::classify(50.0, ms(100), 40.0),
+            QifQuadrant::OverwhelmedThrottle
+        );
+        // 5 q/s, fast backend → perceived slow.
+        assert_eq!(
+            QifQuadrant::classify(5.0, ms(5), 40.0),
+            QifQuadrant::PerceivedSlow
+        );
+        // 5 q/s, 500 ms service → unresponsive.
+        assert_eq!(
+            QifQuadrant::classify(5.0, ms(500), 40.0),
+            QifQuadrant::Unresponsive
+        );
+    }
+
+    #[test]
+    fn quadrant_guidance_strings() {
+        assert!(QifQuadrant::OverwhelmedThrottle.guidance().contains("throttle"));
+        assert!(QifQuadrant::Good.guidance().contains("matched"));
+    }
+
+    #[test]
+    fn throttle_suggestion_respects_both_limits() {
+        // 25 ms service → 40/s, under a 120 Hz device.
+        let s = throttle_suggestion(SimDuration::from_millis(25), 120.0);
+        assert!((s - 40.0).abs() < 1e-9);
+        // 1 ms service → capacity 1000/s, capped at device rate.
+        let s = throttle_suggestion(SimDuration::from_millis(1), 120.0);
+        assert_eq!(s, 120.0);
+        assert_eq!(throttle_suggestion(SimDuration::ZERO, 60.0), 60.0);
+    }
+
+    #[test]
+    fn histogram_feeds_fig14_shape() {
+        let r = QifReport::from_timestamps(&stamps(22, 200));
+        // All intervals land in the 20-24 ms region.
+        let total = r.interval_histogram.total();
+        assert_eq!(total, 199);
+        let (bin, count) = r.interval_histogram.mode().unwrap();
+        assert_eq!(count, 199);
+        let center = r.interval_histogram.bin_center(bin);
+        assert!((21.0..25.0).contains(&center));
+    }
+}

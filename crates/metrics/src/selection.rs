@@ -1,0 +1,256 @@
+//! Metric selection: Table 3 and the Section 3.3 best practices as a
+//! decision procedure.
+//!
+//! Given a description of the system under evaluation
+//! ([`SystemTraits`]), [`recommend`] returns the metrics the paper's
+//! guidelines call for, and [`when_to_use`] reproduces the Table 3
+//! guidance strings verbatim-in-spirit for catalog rendering.
+
+use crate::taxonomy::Metric;
+
+/// A characterization of the system being evaluated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemTraits {
+    /// Guides users toward insights (SeeDB/Zenvisage-style exploration).
+    pub exploratory_guidance: bool,
+    /// Users complete defined tasks.
+    pub task_based: bool,
+    /// Returns approximate / speculative answers.
+    pub approximate: bool,
+    /// Aims to reduce user effort on a specific task vs a baseline.
+    pub effort_reducing: bool,
+    /// Complex tool used frequently by experts.
+    pub expert_tool: bool,
+    /// Designed for walk-up use by untrained users.
+    pub walk_up_tool: bool,
+    /// Issues many queries in short bursts (continuous interaction).
+    pub bursty_queries: bool,
+    /// Driven by a high-frame-rate input device.
+    pub high_frame_rate_device: bool,
+    /// Large data volumes.
+    pub large_data: bool,
+    /// Distributed across servers.
+    pub distributed: bool,
+    /// Performs prefetching or speculative caching.
+    pub prefetching: bool,
+    /// Built for a specific practitioner domain.
+    pub domain_specific: bool,
+}
+
+/// Metrics recommended by the paper's guidelines for a system with the
+/// given traits. `UserFeedback` and `Latency` are always included —
+/// Table 3 marks both "Always".
+pub fn recommend(traits: &SystemTraits) -> Vec<Metric> {
+    let mut metrics = vec![Metric::UserFeedback, Metric::Latency];
+    if traits.domain_specific {
+        metrics.push(Metric::DesignStudy);
+        metrics.push(Metric::FocusGroups);
+    }
+    if traits.exploratory_guidance {
+        metrics.push(Metric::NumberOfInsights);
+        metrics.push(Metric::UniquenessOfInsights);
+    }
+    if traits.task_based {
+        metrics.push(Metric::TaskCompletionTime);
+    }
+    if traits.approximate || traits.prefetching {
+        metrics.push(Metric::Accuracy);
+    }
+    if traits.effort_reducing {
+        metrics.push(Metric::NumberOfInteractions);
+    }
+    if traits.expert_tool {
+        metrics.push(Metric::Learnability);
+    }
+    if traits.walk_up_tool {
+        metrics.push(Metric::Discoverability);
+    }
+    if traits.bursty_queries {
+        metrics.push(Metric::LatencyConstraintViolation);
+    }
+    if traits.high_frame_rate_device {
+        metrics.push(Metric::QueryIssuingFrequency);
+        if !metrics.contains(&Metric::LatencyConstraintViolation) {
+            metrics.push(Metric::LatencyConstraintViolation);
+        }
+    }
+    if traits.large_data {
+        metrics.push(Metric::Scalability);
+    }
+    if traits.distributed {
+        metrics.push(Metric::Throughput);
+    }
+    if traits.prefetching {
+        metrics.push(Metric::CacheHitRate);
+    }
+    metrics
+}
+
+/// The Table 3 "when to use" guidance for each metric.
+pub fn when_to_use(metric: Metric) -> &'static str {
+    use Metric::*;
+    match metric {
+        DesignStudy => "for formulating system specifications and evaluation tasks",
+        FocusGroups => "to get consensus feedback from a group",
+        UserFeedback => "always",
+        NumberOfInsights => "exploratory systems that provide user guidance",
+        UniquenessOfInsights => "exploratory systems that provide user guidance",
+        TaskCompletionTime => "task-based systems",
+        Accuracy => "approximate and speculative systems",
+        NumberOfInteractions => {
+            "systems that aim to reduce user effort for a specific task, usually vs a baseline"
+        }
+        Learnability => "complex systems that will be used frequently by experts",
+        Discoverability => "systems designed for everyday use by naive/untrained users",
+        LatencyConstraintViolation => {
+            "systems where multiple queries are issued consecutively in a short time frame"
+        }
+        QueryIssuingFrequency => "devices with high frame rate",
+        Latency => "always",
+        Scalability => "systems that deal with large amounts of data",
+        Throughput => "distributed systems",
+        CacheHitRate => "systems that perform prefetching",
+    }
+}
+
+/// Validation failures for a proposed evaluation plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanIssue {
+    /// Best practice 1: at least one human and one system metric.
+    MissingHumanFactor,
+    /// Best practice 1 (other half).
+    MissingSystemFactor,
+    /// Table 3: user feedback should always be collected.
+    MissingUserFeedback,
+    /// Table 3: latency should always be measured.
+    MissingLatency,
+    /// A trait-indicated metric is absent from the plan.
+    MissingRecommended(Metric),
+}
+
+/// Checks a metric plan against the guidelines; empty result = sound.
+pub fn validate_plan(traits: &SystemTraits, plan: &[Metric]) -> Vec<PlanIssue> {
+    let mut issues = Vec::new();
+    if !plan.iter().any(|m| m.requires_humans()) {
+        issues.push(PlanIssue::MissingHumanFactor);
+    }
+    if !plan.iter().any(|m| !m.requires_humans()) {
+        issues.push(PlanIssue::MissingSystemFactor);
+    }
+    if !plan.contains(&Metric::UserFeedback) {
+        issues.push(PlanIssue::MissingUserFeedback);
+    }
+    if !plan.contains(&Metric::Latency) {
+        issues.push(PlanIssue::MissingLatency);
+    }
+    for m in recommend(traits) {
+        if !plan.contains(&m)
+            && !matches!(m, Metric::UserFeedback | Metric::Latency)
+        {
+            issues.push(PlanIssue::MissingRecommended(m));
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_recommendation_is_feedback_and_latency() {
+        let metrics = recommend(&SystemTraits::default());
+        assert_eq!(metrics, vec![Metric::UserFeedback, Metric::Latency]);
+    }
+
+    #[test]
+    fn crossfilter_system_gets_novel_metrics() {
+        // Case study 2's profile: bursty, high-frame-rate, large data.
+        let traits = SystemTraits {
+            bursty_queries: true,
+            high_frame_rate_device: true,
+            large_data: true,
+            ..SystemTraits::default()
+        };
+        let metrics = recommend(&traits);
+        assert!(metrics.contains(&Metric::LatencyConstraintViolation));
+        assert!(metrics.contains(&Metric::QueryIssuingFrequency));
+        assert!(metrics.contains(&Metric::Scalability));
+    }
+
+    #[test]
+    fn high_frame_rate_alone_implies_lcv_too() {
+        // Guideline 8: high-frame-rate devices measure QIF *and* LCV.
+        let traits = SystemTraits {
+            high_frame_rate_device: true,
+            ..SystemTraits::default()
+        };
+        let metrics = recommend(&traits);
+        assert!(metrics.contains(&Metric::LatencyConstraintViolation));
+        // No duplicates.
+        let mut dedup = metrics.clone();
+        dedup.dedup();
+        assert_eq!(metrics.len(), {
+            use std::collections::HashSet;
+            metrics.iter().collect::<HashSet<_>>().len()
+        });
+    }
+
+    #[test]
+    fn prefetching_gets_accuracy_and_cache_hit_rate() {
+        let traits = SystemTraits {
+            prefetching: true,
+            ..SystemTraits::default()
+        };
+        let metrics = recommend(&traits);
+        assert!(metrics.contains(&Metric::CacheHitRate));
+        assert!(metrics.contains(&Metric::Accuracy));
+    }
+
+    #[test]
+    fn expert_vs_walkup_split() {
+        let expert = recommend(&SystemTraits {
+            expert_tool: true,
+            ..SystemTraits::default()
+        });
+        assert!(expert.contains(&Metric::Learnability));
+        assert!(!expert.contains(&Metric::Discoverability));
+        let walkup = recommend(&SystemTraits {
+            walk_up_tool: true,
+            ..SystemTraits::default()
+        });
+        assert!(walkup.contains(&Metric::Discoverability));
+    }
+
+    #[test]
+    fn table3_strings_exist_for_all_metrics() {
+        for m in Metric::ALL {
+            assert!(!when_to_use(m).is_empty());
+        }
+        assert_eq!(when_to_use(Metric::Latency), "always");
+    }
+
+    #[test]
+    fn plan_validation_flags_gaps() {
+        let traits = SystemTraits {
+            distributed: true,
+            ..SystemTraits::default()
+        };
+        // System-only plan: missing human factor, feedback, throughput.
+        let issues = validate_plan(&traits, &[Metric::Latency]);
+        assert!(issues.contains(&PlanIssue::MissingHumanFactor));
+        assert!(issues.contains(&PlanIssue::MissingUserFeedback));
+        assert!(issues.contains(&PlanIssue::MissingRecommended(Metric::Throughput)));
+
+        // A complete plan passes.
+        let plan = [Metric::UserFeedback, Metric::Latency, Metric::Throughput];
+        assert!(validate_plan(&traits, &plan).is_empty());
+    }
+
+    #[test]
+    fn human_only_plan_flags_missing_system_factor() {
+        let issues = validate_plan(&SystemTraits::default(), &[Metric::UserFeedback]);
+        assert!(issues.contains(&PlanIssue::MissingSystemFactor));
+        assert!(issues.contains(&PlanIssue::MissingLatency));
+    }
+}

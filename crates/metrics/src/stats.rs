@@ -1,0 +1,321 @@
+//! Streaming statistics, CDFs, and interval histograms.
+//!
+//! Every case-study table in the paper is a statistic over a trace:
+//! ranges/means/medians of scroll speed (Table 7), CDFs of request and
+//! exploration time (Figs 20–21), histograms of query-issuing intervals
+//! (Fig 14). This module provides those building blocks.
+
+/// Online mean/variance (Welford) plus min/max over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Summary {
+        Summary {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Summary::default()
+        }
+    }
+
+    /// Builds a summary from a slice.
+    pub fn of(samples: &[f64]) -> Summary {
+        let mut s = Summary::new();
+        for &x in samples {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.samples.push(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on a sorted copy.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metric samples"));
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// `[min, max]` range, as the paper's Table 7 reports.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        (self.n > 0).then_some((self.min, self.max))
+    }
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are rejected by debug assertion).
+    pub fn of(samples: &[f64]) -> Cdf {
+        debug_assert!(samples.iter().all(|x| !x.is_nan()));
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(X > x)` — e.g. "80% of exploration times are greater than 1 s".
+    pub fn fraction_gt(&self, x: f64) -> f64 {
+        1.0 - self.fraction_le(x)
+    }
+
+    /// The value at cumulative probability `p` (inverse CDF).
+    pub fn value_at(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * p).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// `(x, P(X ≤ x))` points for plotting, one per distinct sample.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let p = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = p,
+                _ => out.push((x, p)),
+            }
+        }
+        out
+    }
+}
+
+/// A fixed-width histogram over a bounded interval, used for the Fig 14
+/// query-issuing-interval plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples outside `[lo, hi)`.
+    outliers: u64,
+}
+
+impl IntervalHistogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` buckets.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> IntervalHistogram {
+        assert!(hi > lo && bins > 0, "degenerate histogram domain");
+        IntervalHistogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo || x >= self.hi || x.is_nan() {
+            self.outliers += 1;
+            return;
+        }
+        let bins = self.counts.len();
+        let idx = (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize;
+        let idx = idx.min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples that fell outside the domain.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total in-domain samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Index and count of the fullest bin.
+    pub fn mode(&self) -> Option<(usize, u64)> {
+        self.counts
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .filter(|&(_, c)| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.range(), Some((2.0, 9.0)));
+        // Nearest-rank median of 8 samples: index round(3.5) = 4 → 5.0.
+        assert_eq!(s.median(), Some(5.0));
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.range(), None);
+    }
+
+    #[test]
+    fn quantiles() {
+        let s = Summary::of(&(1..=100).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        let p90 = s.quantile(0.9).unwrap();
+        assert!((89.0..=91.0).contains(&p90));
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let c = Cdf::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_le(2.0), 0.5);
+        assert_eq!(c.fraction_le(0.5), 0.0);
+        assert_eq!(c.fraction_le(4.0), 1.0);
+        assert!((c.fraction_gt(3.0) - 0.25).abs() < 1e-12);
+        assert_eq!(c.value_at(0.5), Some(3.0));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone_and_deduped() {
+        let c = Cdf::of(&[1.0, 1.0, 2.0]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], (1.0, 2.0 / 3.0));
+        assert_eq!(pts[1], (2.0, 1.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let c = Cdf::of(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_le(1.0), 0.0);
+        assert_eq!(c.value_at(0.5), None);
+    }
+
+    #[test]
+    fn interval_histogram_binning() {
+        let mut h = IntervalHistogram::new(0.0, 60.0, 6);
+        for x in [5.0, 15.0, 15.5, 25.0, 59.9, 60.0, -1.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[1, 2, 1, 0, 0, 1]);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.mode(), Some((1, 2)));
+        assert!((h.bin_center(0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_histogram_panics() {
+        IntervalHistogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,236 @@
+//! The Fig 1 metric taxonomy as queryable data.
+//!
+//! Metrics divide into **human factors** (require a human to measure;
+//! qualitative or quantitative) and **system factors** (measured without
+//! humans; frontend or backend). Latency further decomposes into five
+//! components, handled by [`crate::latency::LatencyBreakdown`].
+
+/// Every metric in the paper's catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    // --- Human factors: qualitative ---
+    /// Open-ended comments, surveys, Likert scores.
+    UserFeedback,
+    /// Practitioner interviews for task definition.
+    DesignStudy,
+    /// Small-group consensus feedback.
+    FocusGroups,
+    // --- Human factors: quantitative ---
+    /// Insights found during exploratory analysis.
+    NumberOfInsights,
+    /// Distinct discoveries across users.
+    UniquenessOfInsights,
+    /// Time to finish a defined task.
+    TaskCompletionTime,
+    /// Approximation quality vs ground truth.
+    Accuracy,
+    /// Iterations / operator applications to finish a task.
+    NumberOfInteractions,
+    /// How quickly users learn the system after training.
+    Learnability,
+    /// How quickly users find actions without instruction.
+    Discoverability,
+    // --- System factors: frontend ---
+    /// Perceived latency-constraint violations (novel, Section 3.1.2).
+    LatencyConstraintViolation,
+    /// Queries issued per second (novel, Section 3.1.2).
+    QueryIssuingFrequency,
+    // --- System factors: backend ---
+    /// End-to-end latency (five-component breakdown).
+    Latency,
+    /// Performance change with data/resource growth.
+    Scalability,
+    /// Work completed per second.
+    Throughput,
+    /// Fraction of lookups served from cache.
+    CacheHitRate,
+}
+
+/// Position in the Fig 1 tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricCategory {
+    /// Human factors, qualitative branch.
+    HumanQualitative,
+    /// Human factors, quantitative branch.
+    HumanQuantitative,
+    /// System factors, frontend branch.
+    SystemFrontend,
+    /// System factors, backend branch.
+    SystemBackend,
+}
+
+impl Metric {
+    /// Every metric, in Fig 1 order.
+    pub const ALL: [Metric; 16] = [
+        Metric::UserFeedback,
+        Metric::DesignStudy,
+        Metric::FocusGroups,
+        Metric::NumberOfInsights,
+        Metric::UniquenessOfInsights,
+        Metric::TaskCompletionTime,
+        Metric::Accuracy,
+        Metric::NumberOfInteractions,
+        Metric::Learnability,
+        Metric::Discoverability,
+        Metric::LatencyConstraintViolation,
+        Metric::QueryIssuingFrequency,
+        Metric::Latency,
+        Metric::Scalability,
+        Metric::Throughput,
+        Metric::CacheHitRate,
+    ];
+
+    /// The branch of the taxonomy this metric belongs to.
+    pub fn category(self) -> MetricCategory {
+        use Metric::*;
+        match self {
+            UserFeedback | DesignStudy | FocusGroups => MetricCategory::HumanQualitative,
+            NumberOfInsights | UniquenessOfInsights | TaskCompletionTime | Accuracy
+            | NumberOfInteractions | Learnability | Discoverability => {
+                MetricCategory::HumanQuantitative
+            }
+            LatencyConstraintViolation | QueryIssuingFrequency => MetricCategory::SystemFrontend,
+            Latency | Scalability | Throughput | CacheHitRate => MetricCategory::SystemBackend,
+        }
+    }
+
+    /// `true` if measuring this metric requires human participants.
+    pub fn requires_humans(self) -> bool {
+        matches!(
+            self.category(),
+            MetricCategory::HumanQualitative | MetricCategory::HumanQuantitative
+        )
+    }
+
+    /// `true` for the two metrics this paper introduces.
+    pub fn is_novel(self) -> bool {
+        matches!(
+            self,
+            Metric::LatencyConstraintViolation | Metric::QueryIssuingFrequency
+        )
+    }
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        use Metric::*;
+        match self {
+            UserFeedback => "User Feedback",
+            DesignStudy => "Design Study",
+            FocusGroups => "Focus Groups",
+            NumberOfInsights => "No. of Insights",
+            UniquenessOfInsights => "Uniqueness of Insights",
+            TaskCompletionTime => "Task Completion Time",
+            Accuracy => "Accuracy",
+            NumberOfInteractions => "Number of Interactions",
+            Learnability => "Learnability",
+            Discoverability => "Discoverability",
+            LatencyConstraintViolation => "Latency Constraint Violation",
+            QueryIssuingFrequency => "Query Issuing Frequency",
+            Latency => "Latency",
+            Scalability => "Scalability",
+            Throughput => "Throughput",
+            CacheHitRate => "Cache Hit Rate",
+        }
+    }
+}
+
+impl MetricCategory {
+    /// Human-readable path in the Fig 1 tree.
+    pub fn path(self) -> &'static str {
+        match self {
+            MetricCategory::HumanQualitative => "Human Factors / Qualitative",
+            MetricCategory::HumanQuantitative => "Human Factors / Quantitative",
+            MetricCategory::SystemFrontend => "System Factors / Frontend",
+            MetricCategory::SystemBackend => "System Factors / Backend",
+        }
+    }
+}
+
+/// Renders the taxonomy as an indented tree (the textual Fig 1).
+pub fn render_tree() -> String {
+    let mut out = String::from("Metrics\n");
+    let branches = [
+        (
+            "Human Factors",
+            vec![
+                (
+                    "Qualitative",
+                    MetricCategory::HumanQualitative,
+                ),
+                (
+                    "Quantitative",
+                    MetricCategory::HumanQuantitative,
+                ),
+            ],
+        ),
+        (
+            "System Factors",
+            vec![
+                ("Frontend", MetricCategory::SystemFrontend),
+                ("Backend", MetricCategory::SystemBackend),
+            ],
+        ),
+    ];
+    for (top, subs) in branches {
+        out.push_str(&format!("├── {top}\n"));
+        for (sub, cat) in subs {
+            out.push_str(&format!("│   ├── {sub}\n"));
+            for m in Metric::ALL.iter().filter(|m| m.category() == cat) {
+                let marker = if m.is_novel() { " (novel)" } else { "" };
+                out.push_str(&format!("│   │   ├── {}{marker}\n", m.name()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_metrics_are_categorized() {
+        assert_eq!(Metric::ALL.len(), 16);
+        for m in Metric::ALL {
+            // No panic, and human/system split is consistent.
+            let human = m.requires_humans();
+            match m.category() {
+                MetricCategory::HumanQualitative | MetricCategory::HumanQuantitative => {
+                    assert!(human)
+                }
+                _ => assert!(!human),
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_two_novel_metrics() {
+        let novel: Vec<Metric> = Metric::ALL.iter().copied().filter(|m| m.is_novel()).collect();
+        assert_eq!(
+            novel,
+            vec![
+                Metric::LatencyConstraintViolation,
+                Metric::QueryIssuingFrequency
+            ]
+        );
+        for m in novel {
+            assert_eq!(m.category(), MetricCategory::SystemFrontend);
+        }
+    }
+
+    #[test]
+    fn tree_renders_all_metrics() {
+        let tree = render_tree();
+        for m in Metric::ALL {
+            assert!(tree.contains(m.name()), "missing {}", m.name());
+        }
+        assert_eq!(tree.matches("(novel)").count(), 2);
+    }
+
+    #[test]
+    fn category_paths() {
+        assert!(MetricCategory::SystemFrontend.path().contains("Frontend"));
+        assert_eq!(Metric::Latency.category(), MetricCategory::SystemBackend);
+        assert_eq!(Metric::Accuracy.category(), MetricCategory::HumanQuantitative);
+    }
+}

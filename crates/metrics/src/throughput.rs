@@ -1,0 +1,155 @@
+//! Throughput and scalability.
+//!
+//! Throughput (queries processed per second) is the classic TPC-style
+//! metric, appropriate for distributed interactive systems (Atlas).
+//! Scalability experiments sweep a resource axis (servers, data size) and
+//! report speedup; the paper highlights DICE's finding that adding nodes
+//! past a knee yields diminishing returns.
+
+use ids_simclock::SimDuration;
+
+/// Queries completed per second of (virtual or wall) time.
+pub fn throughput(completed: u64, makespan: SimDuration) -> f64 {
+    let secs = makespan.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    completed as f64 / secs
+}
+
+/// One point of a scalability sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    /// Resource level (e.g. number of servers).
+    pub resource: u64,
+    /// Measured completion time at that level.
+    pub time: SimDuration,
+}
+
+/// A scalability curve with speedup analysis relative to the first
+/// (baseline) point.
+#[derive(Debug, Clone)]
+pub struct ScalabilityCurve {
+    points: Vec<ScalePoint>,
+}
+
+impl ScalabilityCurve {
+    /// Creates a curve; points must be sorted by resource level and the
+    /// first point is the baseline.
+    pub fn new(points: Vec<ScalePoint>) -> ScalabilityCurve {
+        debug_assert!(points.windows(2).all(|w| w[0].resource <= w[1].resource));
+        ScalabilityCurve { points }
+    }
+
+    /// The sweep points.
+    pub fn points(&self) -> &[ScalePoint] {
+        &self.points
+    }
+
+    /// Speedup of each point over the baseline: `t_baseline / t_point`.
+    pub fn speedups(&self) -> Vec<(u64, f64)> {
+        let Some(base) = self.points.first() else {
+            return Vec::new();
+        };
+        let base_s = base.time.as_secs_f64();
+        self.points
+            .iter()
+            .map(|p| {
+                let s = p.time.as_secs_f64();
+                let speedup = if s <= 0.0 { f64::INFINITY } else { base_s / s };
+                (p.resource, speedup)
+            })
+            .collect()
+    }
+
+    /// Parallel efficiency at each point: speedup / (resource / base resource).
+    pub fn efficiencies(&self) -> Vec<(u64, f64)> {
+        let Some(base) = self.points.first() else {
+            return Vec::new();
+        };
+        self.speedups()
+            .into_iter()
+            .map(|(r, s)| {
+                let scale = r as f64 / base.resource.max(1) as f64;
+                (r, if scale > 0.0 { s / scale } else { 0.0 })
+            })
+            .collect()
+    }
+
+    /// The smallest resource level beyond which the *marginal* speedup of
+    /// doubling-equivalent steps falls below `threshold` (default
+    /// diminishing-returns detection; DICE's Fig 7 knee sits at 8 nodes).
+    pub fn diminishing_returns_knee(&self, threshold: f64) -> Option<u64> {
+        let speedups = self.speedups();
+        for w in speedups.windows(2) {
+            let (r0, s0) = w[0];
+            let (r1, s1) = w[1];
+            let resource_gain = r1 as f64 / r0.max(1) as f64;
+            let speedup_gain = if s0 > 0.0 { s1 / s0 } else { f64::INFINITY };
+            // Marginal efficiency of this step.
+            if (speedup_gain - 1.0) / (resource_gain - 1.0).max(1e-9) < threshold {
+                return Some(r0);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(resource: u64, ms: u64) -> ScalePoint {
+        ScalePoint {
+            resource,
+            time: SimDuration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn throughput_basic() {
+        assert_eq!(throughput(500, SimDuration::from_secs(10)), 50.0);
+        assert_eq!(throughput(500, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn linear_region_then_knee() {
+        // Near-linear to 8 nodes, flat afterwards (the DICE shape).
+        let curve = ScalabilityCurve::new(vec![
+            sp(1, 8000),
+            sp(2, 4100),
+            sp(4, 2200),
+            sp(8, 1300),
+            sp(16, 1250),
+            sp(32, 1240),
+        ]);
+        let speedups = curve.speedups();
+        assert!((speedups[0].1 - 1.0).abs() < 1e-12);
+        assert!(speedups[3].1 > 5.0);
+        let knee = curve.diminishing_returns_knee(0.2).unwrap();
+        assert_eq!(knee, 8, "returns diminish past 8 nodes");
+    }
+
+    #[test]
+    fn efficiency_decays() {
+        let curve = ScalabilityCurve::new(vec![sp(1, 1000), sp(2, 600), sp(4, 400)]);
+        let eff = curve.efficiencies();
+        assert!((eff[0].1 - 1.0).abs() < 1e-12);
+        assert!(eff[1].1 < 1.0);
+        assert!(eff[2].1 < eff[1].1);
+    }
+
+    #[test]
+    fn no_knee_when_perfectly_linear() {
+        let curve = ScalabilityCurve::new(vec![sp(1, 8000), sp(2, 4000), sp(4, 2000)]);
+        assert_eq!(curve.diminishing_returns_knee(0.5), None);
+    }
+
+    #[test]
+    fn empty_curve() {
+        let curve = ScalabilityCurve::new(vec![]);
+        assert!(curve.speedups().is_empty());
+        assert!(curve.efficiencies().is_empty());
+        assert_eq!(curve.diminishing_returns_knee(0.5), None);
+    }
+}

@@ -1,0 +1,422 @@
+//! Result-loading strategies for scrolling interfaces (case study 1).
+//!
+//! The user's scroll trace defines a *demand curve* — how many tuples the
+//! viewport has required by each instant. A loading strategy turns that
+//! into a *supply curve* — how many tuples are cached by each instant —
+//! given the backend's per-fetch execution time. The gap between the two
+//! is what the user perceives: waits (latency) and latency-constraint
+//! violations (Table 8).
+//!
+//! Three strategies from the paper:
+//!
+//! - **lazy** — fetch the next chunk only when the user reaches the end
+//!   of what is loaded (the baseline inertial scrolling defeats);
+//! - **event fetch** — on every scroll event, top the cache up to a
+//!   lookahead margin; adds per-event work but reacts immediately;
+//! - **timer fetch** — fetch a fixed chunk on a fixed period; cheap, and
+//!   reaches zero perceived latency once the chunk size matches the
+//!   population's scrolling speed (the paper's "median of max" finding).
+
+use ids_simclock::{SimDuration, SimTime};
+
+use ids_metrics::lcv::{supply_violations, LcvReport};
+
+/// Outcome of replaying one strategy against one demand curve.
+#[derive(Debug, Clone)]
+pub struct LoadingOutcome {
+    /// Supply curve: `(completion time, cumulative tuples cached)`.
+    pub supply: Vec<(SimTime, u64)>,
+    /// Per-demand-event wait: zero when the tuple was already cached,
+    /// otherwise the time until supply catches up with that demand.
+    pub waits: Vec<SimDuration>,
+    /// Number of fetch queries issued.
+    pub fetches: usize,
+    /// Total rows that exist (demand beyond this can never be supplied
+    /// and is not a violation — the list simply ends).
+    pub capacity: u64,
+}
+
+impl LoadingOutcome {
+    /// Mean wait over *violating* events (events that had to wait), as
+    /// Fig 10 reports; zero if nothing waited.
+    pub fn avg_violation_wait(&self) -> SimDuration {
+        let waits: Vec<&SimDuration> = self.waits.iter().filter(|w| !w.is_zero()).collect();
+        if waits.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: SimDuration = waits.iter().copied().copied().sum();
+        total / waits.len() as u64
+    }
+
+    /// LCV report against the demand curve used to produce this outcome.
+    /// Demand is clamped to the rows that exist, as during the replay.
+    pub fn lcv(&self, demand: &[(SimTime, u64)]) -> LcvReport {
+        let clamped: Vec<(SimTime, u64)> = demand
+            .iter()
+            .map(|&(t, d)| (t, d.min(self.capacity)))
+            .collect();
+        supply_violations(&clamped, &self.supply)
+    }
+}
+
+/// Configuration shared by the strategies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadingConfig {
+    /// Tuples fetched per query (`LIMIT`).
+    pub fetch_size: u64,
+    /// Backend execution time of one fetch of `fetch_size` tuples.
+    pub fetch_exec: SimDuration,
+    /// Total tuples in the result (fetches stop here).
+    pub total_tuples: u64,
+}
+
+/// Clamps demand to the rows that actually exist: scrolling "past the
+/// end" (viewport slack) demands nothing that can be supplied.
+fn clamp_demand(demand: &[(SimTime, u64)], cfg: &LoadingConfig) -> Vec<(SimTime, u64)> {
+    demand
+        .iter()
+        .map(|&(t, d)| (t, d.min(cfg.total_tuples)))
+        .collect()
+}
+
+/// Lazy loading: a fetch is triggered only when demand first exceeds
+/// supply; fetches are serial.
+pub fn lazy_loading(demand: &[(SimTime, u64)], cfg: &LoadingConfig) -> LoadingOutcome {
+    let demand = clamp_demand(demand, cfg);
+    run_strategy(&demand, cfg, |state, t, demanded| {
+        // Only start fetching when the user has outrun the cache.
+        if demanded > state.cached && state.inflight_done.is_none() {
+            state.start_fetch(t, cfg);
+        }
+    })
+}
+
+/// Event fetch: every scroll event tops the cache up to
+/// `demand + lookahead` tuples. Missing chunks are requested immediately
+/// and *concurrently* (one connection per chunk), so a burst's perceived
+/// wait is one fetch execution — which is why the paper finds event fetch
+/// "insensitive to the number of tuples fetched, ~80 ms", yet violating
+/// for nearly every user: each burst of acceleration outruns the reactive
+/// cache by construction.
+pub fn event_fetch(
+    demand: &[(SimTime, u64)],
+    cfg: &LoadingConfig,
+    lookahead: u64,
+) -> LoadingOutcome {
+    let demand = clamp_demand(demand, cfg);
+    let mut supply = Vec::new();
+    // The initial page renders before the user can scroll: the first
+    // chunk is available at t = 0.
+    let mut scheduled = cfg.fetch_size.min(cfg.total_tuples);
+    let mut fetches = 1usize;
+    supply.push((SimTime::ZERO, scheduled));
+    for &(t, demanded) in &demand {
+        let target = (demanded + lookahead).min(cfg.total_tuples);
+        if target > scheduled {
+            let missing = target - scheduled;
+            fetches += missing.div_ceil(cfg.fetch_size.max(1)) as usize;
+            scheduled = target;
+            supply.push((t + cfg.fetch_exec, scheduled));
+        }
+    }
+    let waits = compute_waits(&demand, &supply);
+    LoadingOutcome {
+        supply,
+        waits,
+        fetches,
+        capacity: cfg.total_tuples,
+    }
+}
+
+/// Timer fetch: a fetch of `fetch_size` tuples is issued every
+/// `interval`, independent of user activity, until the table is loaded.
+pub fn timer_fetch(
+    demand: &[(SimTime, u64)],
+    cfg: &LoadingConfig,
+    interval: SimDuration,
+) -> LoadingOutcome {
+    let demand = clamp_demand(demand, cfg);
+    // The supply curve is fully determined by the timer. The first chunk
+    // ships with the initial page render (t = 0); later fetches complete
+    // one execution after their tick.
+    let mut supply = Vec::new();
+    let mut cached = cfg.fetch_size.min(cfg.total_tuples);
+    let mut fetches = 1usize;
+    supply.push((SimTime::ZERO, cached));
+    let mut t = SimTime::ZERO + interval;
+    // Run the timer well past the last demand instant so late demands
+    // have a catch-up time.
+    let horizon = demand
+        .last()
+        .map(|&(t, _)| t + SimDuration::from_secs(600))
+        .unwrap_or(SimTime::ZERO);
+    while cached < cfg.total_tuples && t <= horizon {
+        let done = t + cfg.fetch_exec;
+        cached = (cached + cfg.fetch_size).min(cfg.total_tuples);
+        fetches += 1;
+        supply.push((done, cached));
+        t += interval;
+    }
+    let waits = compute_waits(&demand, &supply);
+    LoadingOutcome {
+        supply,
+        waits,
+        fetches,
+        capacity: cfg.total_tuples,
+    }
+}
+
+/// Shared serial-fetch simulation driver. `policy` is consulted at every
+/// demand event and may start a fetch via [`StrategyState::start_fetch`].
+fn run_strategy<F>(demand: &[(SimTime, u64)], cfg: &LoadingConfig, mut policy: F) -> LoadingOutcome
+where
+    F: FnMut(&mut StrategyState, SimTime, u64),
+{
+    let mut state = StrategyState {
+        cached: 0,
+        inflight_done: None,
+        inflight_target: 0,
+        supply: Vec::new(),
+        fetches: 0,
+    };
+    // The first chunk ships with the initial page render.
+    state.cached = cfg.fetch_size.min(cfg.total_tuples);
+    state.fetches = 1;
+    state.supply.push((SimTime::ZERO, state.cached));
+    for &(t, demanded) in demand {
+        state.complete_due(t);
+        policy(&mut state, t, demanded);
+        // If the user is stalled (demand beyond cache), fetches chain
+        // serially until supply catches up, regardless of policy.
+        while state.cached < demanded.min(cfg.total_tuples) {
+            if state.inflight_done.is_none() {
+                state.start_fetch(t.max(state.last_supply_time()), cfg);
+            }
+            state.complete_now();
+        }
+    }
+    // Drain any in-flight fetch.
+    state.complete_now();
+    let waits = compute_waits(demand, &state.supply);
+    LoadingOutcome {
+        supply: state.supply,
+        waits,
+        fetches: state.fetches,
+        capacity: cfg.total_tuples,
+    }
+}
+
+struct StrategyState {
+    cached: u64,
+    inflight_done: Option<SimTime>,
+    inflight_target: u64,
+    supply: Vec<(SimTime, u64)>,
+    fetches: usize,
+}
+
+impl StrategyState {
+    fn last_supply_time(&self) -> SimTime {
+        self.supply.last().map(|&(t, _)| t).unwrap_or(SimTime::ZERO)
+    }
+
+    fn start_fetch(&mut self, at: SimTime, cfg: &LoadingConfig) {
+        if self.cached >= cfg.total_tuples || self.inflight_done.is_some() {
+            return;
+        }
+        // Fetches are serial: a new one cannot begin before the previous
+        // completed.
+        let at = at.max(self.last_supply_time());
+        let done = at + cfg.fetch_exec;
+        self.inflight_target = (self.cached + cfg.fetch_size).min(cfg.total_tuples);
+        self.inflight_done = Some(done);
+        self.fetches += 1;
+    }
+
+    fn complete_due(&mut self, now: SimTime) {
+        if let Some(done) = self.inflight_done {
+            if done <= now {
+                self.cached = self.inflight_target;
+                self.supply.push((done, self.cached));
+                self.inflight_done = None;
+            }
+        }
+    }
+
+    fn complete_now(&mut self) {
+        if let Some(done) = self.inflight_done.take() {
+            self.cached = self.inflight_target;
+            self.supply.push((done, self.cached));
+        }
+    }
+}
+
+/// Per-demand-event wait: how long after the event the supply curve first
+/// reaches the demanded tuple count.
+fn compute_waits(demand: &[(SimTime, u64)], supply: &[(SimTime, u64)]) -> Vec<SimDuration> {
+    demand
+        .iter()
+        .map(|&(t, demanded)| {
+            // Supply is monotone in both coordinates: binary search the
+            // first point with cumulative >= demanded.
+            let idx = supply.partition_point(|&(_, cached)| cached < demanded);
+            match supply.get(idx) {
+                // Already satisfied at (or before) event time → no wait.
+                Some(&(ready, _)) if ready <= t => SimDuration::ZERO,
+                Some(&(ready, _)) => ready.saturating_since(t),
+                // Check whether an earlier point already satisfied it.
+                None => {
+                    if idx > 0 || demanded == 0 {
+                        // demanded beyond everything ever supplied
+                        if supply.last().is_some_and(|&(_, c)| c >= demanded) {
+                            SimDuration::ZERO
+                        } else {
+                            SimDuration::MAX
+                        }
+                    } else {
+                        SimDuration::MAX
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn cfg(fetch_size: u64, exec_ms: u64) -> LoadingConfig {
+        LoadingConfig {
+            fetch_size,
+            fetch_exec: SimDuration::from_millis(exec_ms),
+            total_tuples: 1_000,
+        }
+    }
+
+    /// A steady reader: 10 tuples every 100 ms.
+    fn steady_demand(events: u64) -> Vec<(SimTime, u64)> {
+        (1..=events).map(|i| (t(i * 100), i * 10)).collect()
+    }
+
+    #[test]
+    fn timer_fetch_keeps_up_when_rate_matches() {
+        // Demand 100 tuples/s; timer supplies 120/s (12 per 100 ms).
+        let demand = steady_demand(50);
+        let out = timer_fetch(&demand, &cfg(12, 10), SimDuration::from_millis(100));
+        assert_eq!(out.lcv(&demand).violations, 0);
+        assert_eq!(out.avg_violation_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn timer_fetch_starves_fast_readers() {
+        // Demand 100 tuples/s; timer supplies only 20/s.
+        let demand = steady_demand(50);
+        let out = timer_fetch(&demand, &cfg(2, 10), SimDuration::from_millis(100));
+        let lcv = out.lcv(&demand);
+        assert!(lcv.violations > 40, "violations {}", lcv.violations);
+        assert!(out.avg_violation_wait() > SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn timer_latency_decreases_with_fetch_size() {
+        let demand = steady_demand(50);
+        let mut last = SimDuration::MAX;
+        for size in [2u64, 5, 8, 12] {
+            let out = timer_fetch(&demand, &cfg(size, 10), SimDuration::from_millis(100));
+            let w = out.avg_violation_wait();
+            assert!(w <= last, "size {size}: wait {w} vs previous {last}");
+            last = w;
+        }
+        assert_eq!(last, SimDuration::ZERO, "largest size reaches zero latency");
+    }
+
+    /// A bursty (inertial) reader: demand leaps 40 tuples per event.
+    fn bursty_demand(events: u64) -> Vec<(SimTime, u64)> {
+        (1..=events).map(|i| (t(i * 100), i * 40)).collect()
+    }
+
+    #[test]
+    fn event_fetch_wait_is_about_one_exec_and_size_insensitive() {
+        // Event fetch reacts per event; a burst's wait is one fetch
+        // execution (the Fig 10 "insensitive ~80 ms" finding), no matter
+        // the chunk size.
+        let demand = bursty_demand(20);
+        let small = event_fetch(&demand, &cfg(10, 80), 10);
+        let big = event_fetch(&demand, &cfg(80, 80), 10);
+        for out in [&small, &big] {
+            let avg = out.avg_violation_wait();
+            assert!(
+                avg > SimDuration::from_millis(20) && avg <= SimDuration::from_millis(80),
+                "avg violation wait {avg}"
+            );
+        }
+        let ratio = small.avg_violation_wait().as_millis_f64()
+            / big.avg_violation_wait().as_millis_f64();
+        assert!((0.8..1.25).contains(&ratio), "size sensitivity ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn steady_reader_with_lookahead_never_waits_under_event_fetch() {
+        let demand = steady_demand(50);
+        let out = event_fetch(&demand, &cfg(10, 80), 10);
+        assert_eq!(out.avg_violation_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lazy_loading_always_makes_the_user_wait() {
+        let demand = steady_demand(20);
+        let out = lazy_loading(&demand, &cfg(10, 50));
+        // The user hits the cache edge on every chunk boundary.
+        let lcv = out.lcv(&demand);
+        assert!(lcv.violations > 0);
+        // But supply eventually covers all demand.
+        assert!(out.supply.last().unwrap().1 >= 200);
+    }
+
+    #[test]
+    fn event_fetch_issues_more_fetches_than_timer() {
+        let demand = steady_demand(50);
+        let ev = event_fetch(&demand, &cfg(10, 10), 20);
+        let tm = timer_fetch(&demand, &cfg(50, 10), SimDuration::from_millis(500));
+        assert!(ev.fetches > tm.fetches);
+    }
+
+    #[test]
+    fn supply_is_monotone() {
+        let demand = steady_demand(30);
+        for out in [
+            lazy_loading(&demand, &cfg(7, 25)),
+            event_fetch(&demand, &cfg(7, 25), 14),
+            timer_fetch(&demand, &cfg(7, 25), SimDuration::from_millis(200)),
+        ] {
+            assert!(out
+                .supply
+                .windows(2)
+                .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    fn fetches_stop_at_total() {
+        let demand = vec![(t(100), 5_000u64)]; // demands beyond the table
+        let c = LoadingConfig {
+            fetch_size: 100,
+            fetch_exec: SimDuration::from_millis(1),
+            total_tuples: 300,
+        };
+        let out = lazy_loading(&demand, &c);
+        assert_eq!(out.supply.last().unwrap().1, 300);
+        assert!(out.fetches <= 3);
+    }
+
+    #[test]
+    fn empty_demand_is_fine() {
+        let out = event_fetch(&[], &cfg(10, 10), 10);
+        assert!(out.waits.is_empty());
+        assert_eq!(out.lcv(&[]).total, 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! The Skip optimization (Algorithm 1) and the raw baseline executor.
+//!
+//! In crossfiltering no dependency exists between adjacent queries: each
+//! slider position is its own range query, and the user does not examine
+//! ranges serially. When a new query group arrives while the database is
+//! still busy, the stale pending groups can be *skipped* — the user has
+//! already moved past them. This module replays a query-group stream
+//! against a backend both ways:
+//!
+//! - [`replay_raw`] — every group executes, FIFO (the paper's "raw");
+//! - [`replay_skip`] — when the backend frees up, only the *latest*
+//!   issued group executes; intervening groups are dropped.
+//!
+//! Queries within a group run concurrently on separate connections (the
+//! paper forks one process per coordinated view), so a group's execution
+//! time is the maximum of its members' costs.
+
+use ids_engine::{Backend, EngineResult};
+use ids_simclock::{SimDuration, SimTime};
+use ids_workload::crossfilter::QueryGroup;
+
+use ids_metrics::lcv::{cascade_violations, LcvReport, QuerySpan};
+
+/// Timing of one query group through the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupTiming {
+    /// Index in the input stream.
+    pub index: usize,
+    /// Frontend issue time.
+    pub issued_at: SimTime,
+    /// Execution start (== issue for idle backend; later when queued).
+    pub started_at: SimTime,
+    /// Execution end.
+    pub finished_at: SimTime,
+    /// `false` when the skip policy dropped this group.
+    pub executed: bool,
+}
+
+impl GroupTiming {
+    /// Perceived latency from issue to completion (only meaningful for
+    /// executed groups).
+    pub fn latency(&self) -> SimDuration {
+        self.finished_at.saturating_since(self.issued_at)
+    }
+
+    /// Pure execution time (excludes queueing).
+    pub fn execution(&self) -> SimDuration {
+        self.finished_at.saturating_since(self.started_at)
+    }
+}
+
+/// Result of a replay: timings plus aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Per-group timings, in stream order (skipped groups included with
+    /// `executed == false`).
+    pub timings: Vec<GroupTiming>,
+}
+
+impl ReplayOutcome {
+    /// Timings of executed groups only.
+    pub fn executed(&self) -> Vec<&GroupTiming> {
+        self.timings.iter().filter(|t| t.executed).collect()
+    }
+
+    /// Number of skipped groups.
+    pub fn skipped(&self) -> usize {
+        self.timings.iter().filter(|t| !t.executed).count()
+    }
+
+    /// `(time, latency)` series for the Fig 13 plots (executed only).
+    pub fn latency_series(&self) -> Vec<(SimTime, SimDuration)> {
+        self.executed()
+            .iter()
+            .map(|t| (t.issued_at, t.latency()))
+            .collect()
+    }
+
+    /// Cascade-form LCV over the *executed* groups (Fig 15): a violation
+    /// when the next executed group was issued before this one finished.
+    pub fn lcv(&self) -> LcvReport {
+        let spans: Vec<QuerySpan> = self
+            .executed()
+            .iter()
+            .map(|t| QuerySpan {
+                issued_at: t.issued_at,
+                finished_at: t.finished_at,
+            })
+            .collect();
+        cascade_violations(&spans)
+    }
+}
+
+/// Executes a group: members run concurrently, so the group's cost is the
+/// max member cost.
+fn group_cost(backend: &dyn Backend, group: &QueryGroup) -> EngineResult<SimDuration> {
+    let mut max = SimDuration::ZERO;
+    for q in &group.queries {
+        let outcome = backend.execute(q)?;
+        max = max.max(outcome.cost);
+    }
+    Ok(max)
+}
+
+/// FIFO baseline: every group executes in order; each waits for the
+/// previous to finish.
+pub fn replay_raw(backend: &dyn Backend, groups: &[QueryGroup]) -> EngineResult<ReplayOutcome> {
+    let mut busy_until = SimTime::ZERO;
+    let mut timings = Vec::with_capacity(groups.len());
+    for (index, g) in groups.iter().enumerate() {
+        let cost = group_cost(backend, g)?;
+        let started_at = g.at.max(busy_until);
+        let finished_at = started_at + cost;
+        busy_until = finished_at;
+        timings.push(GroupTiming {
+            index,
+            issued_at: g.at,
+            started_at,
+            finished_at,
+            executed: true,
+        });
+    }
+    Ok(ReplayOutcome { timings })
+}
+
+/// Skip policy: when the backend becomes free, all but the most recent
+/// pending group are dropped (Algorithm 1's busy-wait loop only ever
+/// picks up the latest timestamped group).
+pub fn replay_skip(backend: &dyn Backend, groups: &[QueryGroup]) -> EngineResult<ReplayOutcome> {
+    let mut timings: Vec<GroupTiming> = groups
+        .iter()
+        .enumerate()
+        .map(|(index, g)| GroupTiming {
+            index,
+            issued_at: g.at,
+            started_at: g.at,
+            finished_at: g.at,
+            executed: false,
+        })
+        .collect();
+
+    let mut busy_until = SimTime::ZERO;
+    let mut i = 0usize;
+    while i < groups.len() {
+        // The backend frees at `busy_until`; among the groups issued by
+        // then (from i onward), only the latest executes.
+        let mut latest = i;
+        while latest + 1 < groups.len() && groups[latest + 1].at <= busy_until {
+            latest += 1;
+        }
+        let g = &groups[latest];
+        let cost = group_cost(backend, g)?;
+        let started_at = g.at.max(busy_until);
+        let finished_at = started_at + cost;
+        timings[latest].started_at = started_at;
+        timings[latest].finished_at = finished_at;
+        timings[latest].executed = true;
+        busy_until = finished_at;
+        i = latest + 1;
+    }
+    Ok(ReplayOutcome { timings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_engine::{Backend, ColumnBuilder, CostParams, MemBackend, Predicate, Query, TableBuilder};
+
+    fn fixed_backend(cost_ms: u64) -> MemBackend {
+        let params = CostParams {
+            startup_ns: cost_ms * 1_000_000,
+            page_cold_ns: 0,
+            page_hot_ns: 0,
+            tuple_scan_ns: 0,
+            tuple_agg_ns: 0,
+            join_build_ns: 0,
+            join_probe_ns: 0,
+            row_output_ns: 0,
+            predicate_eval_ns: 0,
+        };
+        let b = MemBackend::with_params(params);
+        b.database().register(
+            TableBuilder::new("t")
+                .column("x", ColumnBuilder::float((0..10).map(|i| i as f64)))
+                .build()
+                .unwrap(),
+        );
+        b
+    }
+
+    fn groups(interval_ms: u64, n: usize) -> Vec<QueryGroup> {
+        (0..n)
+            .map(|i| QueryGroup {
+                at: SimTime::from_millis(interval_ms * (i as u64 + 1)),
+                slider: 0,
+                queries: vec![Query::count("t", Predicate::True)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_executes_everything_fifo() {
+        let b = fixed_backend(50);
+        let out = replay_raw(&b, &groups(10, 5)).unwrap();
+        assert_eq!(out.skipped(), 0);
+        assert_eq!(out.executed().len(), 5);
+        // Latency cascades: each later group waits longer.
+        let lats: Vec<u64> = out.timings.iter().map(|t| t.latency().as_millis()).collect();
+        assert!(lats.windows(2).all(|w| w[0] <= w[1]), "{lats:?}");
+        assert_eq!(lats[0], 50);
+        assert_eq!(lats[4], 50 * 5 - 4 * 10);
+    }
+
+    #[test]
+    fn skip_drops_stale_groups_and_bounds_latency() {
+        let b = fixed_backend(50);
+        let out = replay_skip(&b, &groups(10, 20)).unwrap();
+        assert!(out.skipped() > 0, "a slow backend must skip");
+        // Executed groups have bounded latency (~ one execution).
+        for t in out.executed() {
+            assert!(
+                t.latency().as_millis() <= 60,
+                "latency {} ms",
+                t.latency().as_millis()
+            );
+        }
+        // Everything issued is accounted for.
+        assert_eq!(out.timings.len(), 20);
+    }
+
+    #[test]
+    fn skip_on_fast_backend_executes_everything() {
+        let b = fixed_backend(2);
+        let out = replay_skip(&b, &groups(10, 10)).unwrap();
+        assert_eq!(out.skipped(), 0);
+    }
+
+    #[test]
+    fn skip_reduces_lcv_fraction() {
+        let b = fixed_backend(80);
+        let gs = groups(20, 30);
+        let raw = replay_raw(&b, &gs).unwrap();
+        let skip = replay_skip(&b, &gs).unwrap();
+        assert!(
+            skip.lcv().fraction() <= raw.lcv().fraction(),
+            "skip {:.2} vs raw {:.2}",
+            skip.lcv().fraction(),
+            raw.lcv().fraction()
+        );
+        assert!(raw.lcv().fraction() > 0.8, "slow raw should violate heavily");
+    }
+
+    #[test]
+    fn group_cost_is_max_of_members() {
+        // Two identical queries in a group: group latency equals one
+        // query's latency (parallel connections), not their sum.
+        let b = fixed_backend(40);
+        let g = vec![QueryGroup {
+            at: SimTime::from_millis(1),
+            slider: 0,
+            queries: vec![
+                Query::count("t", Predicate::True),
+                Query::count("t", Predicate::True),
+            ],
+        }];
+        let out = replay_raw(&b, &g).unwrap();
+        assert_eq!(out.timings[0].latency().as_millis(), 40);
+    }
+
+    #[test]
+    fn latency_series_covers_executed_groups() {
+        let b = fixed_backend(50);
+        let out = replay_skip(&b, &groups(10, 12)).unwrap();
+        let series = out.latency_series();
+        assert_eq!(series.len(), out.executed().len());
+        assert!(series.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let b = fixed_backend(10);
+        let out = replay_raw(&b, &[]).unwrap();
+        assert!(out.timings.is_empty());
+        assert_eq!(out.lcv().total, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! QIF throttling: matching the frontend's issue rate to the backend.
+//!
+//! Fig 3's bottom-right quadrant — high query issuing frequency against a
+//! slow backend — calls for throttling: "even if the user issues queries
+//! at a high rate, they are limited in the amount of information they can
+//! process, so progressively presenting them with results is adequate."
+//! This module implements two throttles over a query-group stream:
+//!
+//! - [`throttle_fixed`] — enforce a minimum inter-issue interval
+//!   (classic debounce-to-rate);
+//! - [`AdaptiveThrottle`] — measure the backend's recent service times
+//!   and track its capacity, the closed-loop version of
+//!   [`ids_metrics::qif::throttle_suggestion`].
+//!
+//! Throttles *drop* intermediate groups (the slider's newest position
+//! supersedes older ones), so the surviving stream keeps the latest
+//! state, like the skip optimization but applied before the backend.
+
+use ids_simclock::{SimDuration, SimTime};
+use ids_workload::crossfilter::QueryGroup;
+
+/// Keeps at most one group per `min_interval`, always preferring the
+/// latest group within each window (and always keeping the final group).
+pub fn throttle_fixed(groups: &[QueryGroup], min_interval: SimDuration) -> Vec<QueryGroup> {
+    if groups.is_empty() {
+        return Vec::new();
+    }
+    let mut out: Vec<QueryGroup> = Vec::new();
+    let mut window_end = groups[0].at + min_interval;
+    let mut pending: Option<&QueryGroup> = None;
+    for g in groups {
+        if g.at >= window_end {
+            if let Some(p) = pending.take() {
+                out.push(p.clone());
+            }
+            // Advance the window to contain g.
+            while g.at >= window_end {
+                window_end += min_interval;
+            }
+        }
+        pending = Some(g);
+    }
+    if let Some(p) = pending {
+        out.push(p.clone());
+    }
+    out
+}
+
+/// A closed-loop throttle: it observes each executed group's service
+/// time (exponential moving average) and only admits a group when the
+/// backend is predicted free.
+#[derive(Debug, Clone)]
+pub struct AdaptiveThrottle {
+    /// EMA smoothing factor in `(0, 1]`; higher = more reactive.
+    alpha: f64,
+    /// Current service-time estimate.
+    estimate: SimDuration,
+    /// Predicted time the backend frees up.
+    busy_until: SimTime,
+    admitted: usize,
+    dropped: usize,
+}
+
+impl AdaptiveThrottle {
+    /// Creates a throttle with an initial service-time guess.
+    pub fn new(initial_estimate: SimDuration) -> AdaptiveThrottle {
+        AdaptiveThrottle {
+            alpha: 0.3,
+            estimate: initial_estimate,
+            busy_until: SimTime::ZERO,
+            admitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Current service-time estimate.
+    pub fn estimate(&self) -> SimDuration {
+        self.estimate
+    }
+
+    /// `(admitted, dropped)` counts so far.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.admitted, self.dropped)
+    }
+
+    /// Decides whether a group issued at `at` should reach the backend.
+    pub fn admit(&mut self, at: SimTime) -> bool {
+        if at >= self.busy_until {
+            self.admitted += 1;
+            // Reserve the predicted service window.
+            self.busy_until = at + self.estimate;
+            true
+        } else {
+            self.dropped += 1;
+            false
+        }
+    }
+
+    /// Feeds back an observed service time for an admitted group.
+    pub fn observe(&mut self, service: SimDuration) {
+        let est = self.estimate.as_secs_f64();
+        let obs = service.as_secs_f64();
+        self.estimate = SimDuration::from_secs_f64(est + self.alpha * (obs - est));
+    }
+
+    /// Filters a whole stream, using `service_of` to learn each admitted
+    /// group's cost (e.g. a backend probe).
+    pub fn filter_stream<F>(&mut self, groups: &[QueryGroup], mut service_of: F) -> Vec<QueryGroup>
+    where
+        F: FnMut(&QueryGroup) -> SimDuration,
+    {
+        let mut out = Vec::new();
+        for g in groups {
+            if self.admit(g.at) {
+                let service = service_of(g);
+                // Correct the reservation with the real cost.
+                self.busy_until = g.at + service;
+                self.observe(service);
+                out.push(g.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_engine::{Predicate, Query};
+
+    fn groups(interval_ms: u64, n: usize) -> Vec<QueryGroup> {
+        (0..n)
+            .map(|i| QueryGroup {
+                at: SimTime::from_millis(interval_ms * (i as u64 + 1)),
+                slider: 0,
+                queries: vec![Query::count("t", Predicate::True)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fixed_throttle_caps_the_rate() {
+        // 50 q/s throttled to 10 q/s.
+        let input = groups(20, 100);
+        let out = throttle_fixed(&input, SimDuration::from_millis(100));
+        assert!(out.len() <= 22, "kept {} groups", out.len());
+        assert!(out.len() >= 18);
+        // Surviving stream is sorted and keeps the final group.
+        assert!(out.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(out.last().unwrap().at, input.last().unwrap().at);
+    }
+
+    #[test]
+    fn fixed_throttle_is_identity_for_slow_streams() {
+        let input = groups(500, 10);
+        let out = throttle_fixed(&input, SimDuration::from_millis(100));
+        assert_eq!(out.len(), input.len());
+    }
+
+    #[test]
+    fn fixed_throttle_empty() {
+        assert!(throttle_fixed(&[], SimDuration::from_millis(100)).is_empty());
+    }
+
+    #[test]
+    fn adaptive_throttle_converges_to_backend_capacity() {
+        // Backend takes a constant 80 ms; stream arrives at 20 ms.
+        let input = groups(20, 200);
+        let mut throttle = AdaptiveThrottle::new(SimDuration::from_millis(5));
+        let out = throttle.filter_stream(&input, |_| SimDuration::from_millis(80));
+        // Admitted rate ≈ one per 80 ms = one per 4 input groups.
+        let (admitted, dropped) = throttle.counts();
+        assert_eq!(admitted, out.len());
+        assert!(admitted + dropped == input.len());
+        assert!(
+            (40..=60).contains(&admitted),
+            "admitted {admitted} of 200 (expected ~50)"
+        );
+        // The estimate converged to the true service time.
+        let est = throttle.estimate().as_millis_f64();
+        assert!((est - 80.0).abs() < 8.0, "estimate {est:.1} ms");
+    }
+
+    #[test]
+    fn adaptive_throttle_admits_everything_when_fast() {
+        let input = groups(50, 40);
+        let mut throttle = AdaptiveThrottle::new(SimDuration::from_millis(5));
+        let out = throttle.filter_stream(&input, |_| SimDuration::from_millis(2));
+        assert_eq!(out.len(), input.len());
+    }
+
+    #[test]
+    fn admitted_stream_respects_backend_freeness() {
+        let input = groups(10, 100);
+        let mut throttle = AdaptiveThrottle::new(SimDuration::from_millis(30));
+        let out = throttle.filter_stream(&input, |_| SimDuration::from_millis(30));
+        for w in out.windows(2) {
+            assert!(
+                w[1].at.saturating_since(w[0].at) >= SimDuration::from_millis(30),
+                "admitted groups overlap the busy window"
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! A shareable, monotonically advancing virtual clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{SimDuration, SimTime};
+
+/// A monotone virtual clock shared by every component of a simulation.
+///
+/// Cloning a `SimClock` yields a handle to the *same* underlying clock;
+/// advancing through any handle is visible to all. The clock never moves
+/// backwards: [`SimClock::advance_to`] with an earlier time is a no-op.
+///
+/// ```
+/// use ids_simclock::{SimClock, SimDuration, SimTime};
+///
+/// let clock = SimClock::new();
+/// let handle = clock.clone();
+/// clock.advance(SimDuration::from_millis(20));
+/// assert_eq!(handle.now(), SimTime::from_millis(20));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at `t`.
+    pub fn starting_at(t: SimTime) -> Self {
+        SimClock {
+            micros: Arc::new(AtomicU64::new(t.as_micros())),
+        }
+    }
+
+    /// The current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.micros.load(Ordering::Acquire))
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let mut cur = self.micros.load(Ordering::Acquire);
+        loop {
+            let next = cur.saturating_add(d.as_micros());
+            match self
+                .micros
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return SimTime::from_micros(next),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; never moves backwards.
+    /// Returns the clock's time after the call.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let target = t.as_micros();
+        let mut cur = self.micros.load(Ordering::Acquire);
+        while cur < target {
+            match self.micros.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        SimTime::from_micros(cur)
+    }
+
+    /// Virtual time elapsed since `earlier` (zero if `earlier` is in the future).
+    pub fn elapsed_since(&self, earlier: SimTime) -> SimDuration {
+        self.now().saturating_since(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn starting_at_offset() {
+        let c = SimClock::starting_at(SimTime::from_secs(3));
+        assert_eq!(c.now().as_millis(), 3_000);
+    }
+
+    #[test]
+    fn advance_moves_all_handles() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(SimDuration::from_millis(5));
+        b.advance(SimDuration::from_millis(7));
+        assert_eq!(a.now().as_millis(), 12);
+        assert_eq!(b.now().as_millis(), 12);
+    }
+
+    #[test]
+    fn advance_to_never_regresses() {
+        let c = SimClock::new();
+        c.advance_to(SimTime::from_millis(10));
+        let after = c.advance_to(SimTime::from_millis(4));
+        assert_eq!(after.as_millis(), 10);
+        assert_eq!(c.now().as_millis(), 10);
+    }
+
+    #[test]
+    fn elapsed_since_saturates() {
+        let c = SimClock::new();
+        c.advance(SimDuration::from_millis(8));
+        assert_eq!(c.elapsed_since(SimTime::from_millis(3)).as_millis(), 5);
+        assert_eq!(c.elapsed_since(SimTime::from_millis(30)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let c = SimClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.advance(SimDuration::from_micros(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now().as_micros(), 4_000);
+    }
+}

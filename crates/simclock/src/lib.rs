@@ -1,0 +1,44 @@
+//! Discrete-event simulation substrate for the `ids` workspace.
+//!
+//! Every component of the evaluation framework runs on *virtual* time so
+//! that experiments are deterministic and independent of the host machine.
+//! This crate provides:
+//!
+//! - [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual
+//!   timestamps and durations with saturating arithmetic.
+//! - [`SimClock`] — a shareable, monotonically advancing virtual clock.
+//! - [`EventQueue`] — a priority queue of timestamped events with stable
+//!   FIFO ordering among simultaneous events.
+//! - [`Simulation`] — a driver that pops events in time order and advances
+//!   the clock, the core loop behind every case-study replay.
+//! - [`rng`] — seeded random-number utilities (splittable streams and the
+//!   distributions used by the behavior models: normal, log-normal,
+//!   exponential, Zipf-like categorical draws).
+//!
+//! # Example
+//!
+//! ```
+//! use ids_simclock::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_millis(5), "later");
+//! q.push(SimTime::ZERO, "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::ZERO, "first"));
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(t.as_millis(), 5);
+//! assert_eq!(ev, "later");
+//! ```
+
+#![warn(missing_docs)]
+
+mod clock;
+mod events;
+pub mod rng;
+mod sim;
+mod time;
+
+pub use clock::SimClock;
+pub use events::{EventQueue, QueuedEvent};
+pub use sim::{SimError, Simulation, Stepper};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,258 @@
+//! Deterministic random-number utilities for behavior models.
+//!
+//! The behavior models in `ids-workload` and the jitter processes in
+//! `ids-devices` need a handful of continuous distributions (normal,
+//! log-normal, exponential) and weighted categorical draws. The `rand`
+//! crate's core API only ships uniform sampling, so the transforms live
+//! here: Box–Muller for normals, inverse CDF for exponentials.
+//!
+//! Streams are *splittable*: [`SimRng::split`] derives an independent child
+//! generator from a label, so per-user / per-device substreams stay stable
+//! when unrelated code consumes randomness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random source with the distribution helpers used across the
+/// workspace.
+///
+/// ```
+/// use ids_simclock::rng::SimRng;
+///
+/// let mut a = SimRng::seed(7).split("user/0");
+/// let mut b = SimRng::seed(7).split("user/0");
+/// assert_eq!(a.normal(0.0, 1.0).to_bits(), b.normal(0.0, 1.0).to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second Box–Muller variate.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child stream from a textual label.
+    ///
+    /// The child's seed mixes this generator's *seed-derived* state with a
+    /// hash of the label, so splitting is order-independent with respect to
+    /// other labels but deterministic per `(seed, label)` pair.
+    pub fn split(&self, label: &str) -> SimRng {
+        // FNV-1a over the label, mixed with fresh output from a clone so
+        // the parent stream itself is not consumed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut probe = self.inner.clone();
+        let base = probe.next_u64();
+        SimRng::seed(base ^ h.rotate_left(17))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`; returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Uniform integer in `[lo, hi)`; returns `lo` when the range is empty.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal via Box–Muller (with spare caching).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln() finite.
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev.max(0.0) * self.standard_normal()
+    }
+
+    /// Normal draw truncated to `[lo, hi]` by rejection (falls back to
+    /// clamping after 64 rejections so pathological bounds still terminate).
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        for _ in 0..64 {
+            let x = self.normal(mean, std_dev);
+            if x >= lo && x <= hi {
+                return x;
+            }
+        }
+        self.normal(mean, std_dev).clamp(lo, hi)
+    }
+
+    /// Log-normal draw: `exp(N(mu, sigma))`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Exponential draw with the given mean (inverse-CDF method).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.unit(); // in (0, 1]
+        -mean.max(0.0) * u.ln()
+    }
+
+    /// Weighted categorical draw; returns the index of the chosen weight.
+    ///
+    /// Zero or negative weights are treated as zero. Returns 0 when all
+    /// weights vanish or the slice is empty is not allowed (panics), since
+    /// a widget-choice model with no options is a programming error.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index requires at least one weight");
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut target = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Raw access to the underlying `rand` generator.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SimRng::seed(42);
+        let mut b = SimRng::seed(42);
+        for _ in 0..16 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn split_streams_are_stable_and_distinct() {
+        let root = SimRng::seed(1);
+        let mut u0 = root.split("user/0");
+        let mut u0_again = root.split("user/0");
+        let mut u1 = root.split("user/1");
+        let x = u0.unit();
+        assert_eq!(x.to_bits(), u0_again.unit().to_bits());
+        assert_ne!(x.to_bits(), u1.unit().to_bits());
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SimRng::seed(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut rng = SimRng::seed(4);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut rng = SimRng::seed(5);
+        assert!((0..1000).all(|_| rng.exponential(0.5) >= 0.0));
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut rng = SimRng::seed(6);
+        for _ in 0..1000 {
+            let x = rng.normal_clamped(0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_index_matches_weights() {
+        let mut rng = SimRng::seed(7);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..8_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = f64::from(counts[2]) / f64::from(counts[1]);
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_all_zero_falls_back() {
+        let mut rng = SimRng::seed(8);
+        assert_eq!(rng.weighted_index(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(10);
+        assert!((0..100).all(|_| rng.chance(1.1)));
+        assert!((0..100).all(|_| !rng.chance(-0.5)));
+    }
+}

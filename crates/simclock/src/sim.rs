@@ -1,0 +1,260 @@
+//! The simulation driver: pops events in time order and advances the clock.
+
+use std::fmt;
+
+use crate::{EventQueue, SimClock, SimTime};
+
+/// Errors raised by the simulation driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A stepper scheduled an event in the past of the current clock.
+    TimeRegression {
+        /// Current clock value when the violation was detected.
+        now: SimTime,
+        /// Timestamp of the offending event.
+        scheduled: SimTime,
+    },
+    /// The step budget was exhausted before the event queue drained
+    /// (guards against steppers that reschedule themselves forever).
+    BudgetExhausted {
+        /// The configured maximum number of steps.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TimeRegression { now, scheduled } => write!(
+                f,
+                "event scheduled at {scheduled} is in the past of clock {now}"
+            ),
+            SimError::BudgetExhausted { budget } => {
+                write!(f, "simulation exceeded its step budget of {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Handler invoked for each popped event; may schedule follow-up events.
+pub trait Stepper<E> {
+    /// Processes `event` fired at `at`. New events may be pushed onto
+    /// `queue`; they must not be earlier than `at`.
+    fn step(&mut self, at: SimTime, event: E, queue: &mut EventQueue<E>);
+}
+
+impl<E, F> Stepper<E> for F
+where
+    F: FnMut(SimTime, E, &mut EventQueue<E>),
+{
+    fn step(&mut self, at: SimTime, event: E, queue: &mut EventQueue<E>) {
+        self(at, event, queue)
+    }
+}
+
+/// A discrete-event simulation: a clock plus a queue of pending events.
+///
+/// ```
+/// use ids_simclock::{EventQueue, SimDuration, SimTime, Simulation};
+///
+/// // A process that emits ticks 1ms apart, five times.
+/// let mut sim = Simulation::new();
+/// sim.schedule(SimTime::ZERO, 0u32);
+/// let mut seen = vec![];
+/// sim.run(|at: SimTime, n: u32, queue: &mut EventQueue<u32>| {
+///     seen.push((at.as_millis(), n));
+///     if n < 4 {
+///         queue.push(at + SimDuration::from_millis(1), n + 1);
+///     }
+/// })
+/// .unwrap();
+/// assert_eq!(seen.len(), 5);
+/// assert_eq!(seen[4], (4, 4));
+/// ```
+#[derive(Debug)]
+pub struct Simulation<E> {
+    clock: SimClock,
+    queue: EventQueue<E>,
+    budget: u64,
+    steps: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Simulation {
+            clock: SimClock::new(),
+            queue: EventQueue::new(),
+            budget: u64::MAX,
+            steps: 0,
+        }
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation with a fresh clock and empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a simulation sharing an existing clock (e.g. one also held
+    /// by an engine's cost model).
+    pub fn with_clock(clock: SimClock) -> Self {
+        Simulation {
+            clock,
+            ..Self::default()
+        }
+    }
+
+    /// Caps the total number of events processed by [`run`](Self::run).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// A handle to the simulation clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Schedules an event.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.queue.push(at, event);
+    }
+
+    /// Number of events processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Processes a single event, advancing the clock to its timestamp.
+    /// Returns `Ok(false)` when the queue is empty.
+    pub fn step_once<S: Stepper<E>>(&mut self, stepper: &mut S) -> Result<bool, SimError> {
+        let Some((at, event)) = self.queue.pop() else {
+            return Ok(false);
+        };
+        let now = self.clock.now();
+        if at < now {
+            return Err(SimError::TimeRegression { now, scheduled: at });
+        }
+        self.clock.advance_to(at);
+        self.steps += 1;
+        stepper.step(at, event, &mut self.queue);
+        Ok(true)
+    }
+
+    /// Runs until the queue drains or the step budget is exhausted.
+    pub fn run<S: Stepper<E>>(&mut self, mut stepper: S) -> Result<(), SimError> {
+        while !self.queue.is_empty() {
+            if self.steps >= self.budget {
+                return Err(SimError::BudgetExhausted { budget: self.budget });
+            }
+            self.step_once(&mut stepper)?;
+        }
+        Ok(())
+    }
+
+    /// Runs until the clock would pass `deadline`; events after the
+    /// deadline remain queued. Returns the number of events processed.
+    pub fn run_until<S: Stepper<E>>(
+        &mut self,
+        deadline: SimTime,
+        stepper: &mut S,
+    ) -> Result<u64, SimError> {
+        let start = self.steps;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            if self.steps >= self.budget {
+                return Err(SimError::BudgetExhausted { budget: self.budget });
+            }
+            self.step_once(stepper)?;
+        }
+        Ok(self.steps - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn processes_in_order_and_advances_clock() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_millis(10), 'b');
+        sim.schedule(SimTime::from_millis(5), 'a');
+        let mut order = vec![];
+        sim.run(|at: SimTime, e: char, _q: &mut EventQueue<char>| {
+            order.push((at.as_millis(), e));
+        })
+        .unwrap();
+        assert_eq!(order, vec![(5, 'a'), (10, 'b')]);
+        assert_eq!(sim.now().as_millis(), 10);
+        assert_eq!(sim.steps(), 2);
+    }
+
+    #[test]
+    fn budget_stops_runaway_process() {
+        let mut sim = Simulation::new().with_budget(100);
+        sim.schedule(SimTime::ZERO, ());
+        let err = sim
+            .run(|at: SimTime, (): (), q: &mut EventQueue<()>| {
+                q.push(at + SimDuration::from_micros(1), ());
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::BudgetExhausted { budget: 100 });
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_detected() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_millis(10), 0u8);
+        // The stepper schedules an event before the current clock.
+        sim.schedule(SimTime::from_millis(10), 1u8);
+        let mut first = true;
+        let result = sim.run(|_at: SimTime, _e: u8, q: &mut EventQueue<u8>| {
+            if first {
+                first = false;
+                q.push(SimTime::from_millis(1), 9);
+            }
+        });
+        assert!(matches!(result, Err(SimError::TimeRegression { .. })));
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut sim = Simulation::new();
+        for ms in [1u64, 2, 3, 50] {
+            sim.schedule(SimTime::from_millis(ms), ms);
+        }
+        let mut handler = |_: SimTime, _: u64, _: &mut EventQueue<u64>| {};
+        let n = sim
+            .run_until(SimTime::from_millis(10), &mut handler)
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.now().as_millis(), 3);
+    }
+
+    #[test]
+    fn shared_clock_is_visible() {
+        let clock = SimClock::new();
+        let mut sim: Simulation<()> = Simulation::with_clock(clock.clone());
+        sim.schedule(SimTime::from_millis(42), ());
+        sim.run(|_: SimTime, (): (), _: &mut EventQueue<()>| {}).unwrap();
+        assert_eq!(clock.now().as_millis(), 42);
+    }
+}

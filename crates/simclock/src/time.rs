@@ -1,0 +1,345 @@
+//! Virtual time primitives.
+//!
+//! All timestamps in the framework are [`SimTime`] values: microseconds
+//! since the start of a simulation. Durations are [`SimDuration`]. Both are
+//! thin wrappers over `u64` with saturating arithmetic, so a runaway
+//! latency model degrades gracefully instead of panicking.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant (used as an "infinitely late" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a timestamp from microseconds since simulation start.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a timestamp from milliseconds since simulation start.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms.saturating_mul(1_000))
+    }
+
+    /// Creates a timestamp from whole seconds since simulation start.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s.saturating_mul(1_000_000))
+    }
+
+    /// Creates a timestamp from fractional seconds; negative values clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(secs_f64_to_micros(s))
+    }
+
+    /// Microseconds since simulation start.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since simulation start (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional seconds since simulation start.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`, or zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// `Some(self - earlier)` if `earlier <= self`, else `None`.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Maximum representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms.saturating_mul(1_000))
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s.saturating_mul(1_000_000))
+    }
+
+    /// Creates a duration from fractional seconds; negatives clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration(secs_f64_to_micros(s))
+    }
+
+    /// Creates a duration from fractional milliseconds; negatives clamp to zero.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration(secs_f64_to_micros(ms / 1e3))
+    }
+
+    /// Microseconds in this duration.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds in this duration (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional milliseconds in this duration.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Fractional seconds in this duration.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// `true` if this duration is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating duration subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies by a non-negative float, saturating at the representable range.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration(secs_f64_to_micros(self.as_secs_f64() * k.max(0.0)))
+    }
+}
+
+/// Converts fractional seconds to saturated microseconds, clamping negatives to zero.
+fn secs_f64_to_micros(s: f64) -> u64 {
+    if !s.is_finite() {
+        return if s > 0.0 { u64::MAX } else { 0 };
+    }
+    let us = s * 1e6;
+    if us <= 0.0 {
+        0
+    } else if us >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        us.round() as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    /// Saturating difference: `later - earlier`, zero when reversed.
+    #[inline]
+    fn sub(self, earlier: SimTime) -> SimDuration {
+        self.saturating_since(earlier)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 = self.0.saturating_add(other.0);
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, other: SimDuration) {
+        self.0 = self.0.saturating_sub(other.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k.max(1))
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}ms", self.0 as f64 / 1e3)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_millis(7).as_micros(), 7_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert!((SimDuration::from_secs_f64(0.5).as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nonfinite_seconds_clamp() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic_saturates() {
+        let t = SimTime::from_millis(10);
+        assert_eq!(t - SimDuration::from_millis(20), SimTime::ZERO);
+        assert_eq!(SimTime::MAX + SimDuration::from_millis(1), SimTime::MAX);
+        let earlier = SimTime::from_millis(4);
+        assert_eq!((t - earlier).as_millis(), 6);
+        assert_eq!((earlier - t).as_millis(), 0);
+        assert_eq!(earlier.checked_since(t), None);
+        assert_eq!(t.checked_since(earlier), Some(SimDuration::from_millis(6)));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(5);
+        let b = SimDuration::from_millis(3);
+        assert_eq!((a + b).as_millis(), 8);
+        assert_eq!(a.saturating_sub(b).as_millis(), 2);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert_eq!((a * 3).as_millis(), 15);
+        assert_eq!((a / 2).as_micros(), 2_500);
+        assert_eq!((a / 0).as_micros(), 5_000, "division by zero clamps to /1");
+        assert_eq!(a.mul_f64(2.0).as_millis(), 10);
+        assert_eq!(a.mul_f64(-3.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total.as_millis(), 10);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimTime::from_millis(1).to_string(), "t+1.000ms");
+    }
+}

@@ -1,0 +1,190 @@
+//! Randomization and counterbalancing.
+//!
+//! Within-subject designs expose every user to every condition, so the
+//! *order* of exposure must be controlled: randomization or
+//! counterbalancing defuses learning and interference effects
+//! (Section 4.2.2). This module provides random group assignment,
+//! two-condition crossover (AB/BA), and Latin-square ordering for k
+//! conditions — plus balanced Latin squares for even k, which also
+//! equalize first-order carry-over.
+
+use ids_simclock::rng::SimRng;
+
+/// Randomly splits `participants` into `groups` near-equal groups.
+/// Participants should be assigned *before* collecting demographics
+/// (Table 4's selection-bias mitigation).
+pub fn random_groups(participants: usize, groups: usize, rng: &mut SimRng) -> Vec<Vec<usize>> {
+    assert!(groups > 0, "at least one group");
+    let mut ids: Vec<usize> = (0..participants).collect();
+    rng.shuffle(&mut ids);
+    let mut out = vec![Vec::with_capacity(participants.div_ceil(groups)); groups];
+    for (i, id) in ids.into_iter().enumerate() {
+        out[i % groups].push(id);
+    }
+    out
+}
+
+/// Counterbalanced two-condition crossover: even participants see
+/// `[0, 1]`, odd see `[1, 0]`, after a random shuffle of who is "even".
+pub fn crossover_orders(participants: usize, rng: &mut SimRng) -> Vec<Vec<usize>> {
+    let groups = random_groups(participants, 2, rng);
+    let mut orders = vec![Vec::new(); participants];
+    for &p in &groups[0] {
+        orders[p] = vec![0, 1];
+    }
+    for &p in &groups[1] {
+        orders[p] = vec![1, 0];
+    }
+    orders
+}
+
+/// A k×k Latin square: row *i* is the condition order for participant
+/// group *i*; every condition appears exactly once per row and per column.
+pub fn latin_square(k: usize) -> Vec<Vec<usize>> {
+    (0..k).map(|r| (0..k).map(|c| (r + c) % k).collect()).collect()
+}
+
+/// A balanced Latin square for even `k`: additionally, every condition
+/// follows every other condition exactly once across rows, neutralizing
+/// first-order carry-over. Panics on odd `k` (no balanced square exists
+/// with k rows; use two mirrored squares instead).
+pub fn balanced_latin_square(k: usize) -> Vec<Vec<usize>> {
+    assert!(k >= 2 && k % 2 == 0, "balanced Latin squares need even k");
+    (0..k)
+        .map(|r| {
+            (0..k)
+                .map(|c| {
+                    // Standard Williams design construction.
+                    #[allow(clippy::manual_div_ceil)] // (c+1)/2 here is a design index, not a rounding-up division
+                    let base = if c % 2 == 0 { c / 2 } else { k - (c + 1) / 2 };
+                    (base + r) % k
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Verifies the Latin-square property: each row and each column is a
+/// permutation of `0..k`.
+pub fn is_latin_square(square: &[Vec<usize>]) -> bool {
+    let k = square.len();
+    if square.iter().any(|row| row.len() != k) {
+        return false;
+    }
+    let is_perm = |xs: &[usize]| {
+        let mut seen = vec![false; k];
+        xs.iter().all(|&x| {
+            if x >= k || seen[x] {
+                false
+            } else {
+                seen[x] = true;
+                true
+            }
+        })
+    };
+    if !square.iter().all(|row| is_perm(row)) {
+        return false;
+    }
+    (0..k).all(|c| {
+        let col: Vec<usize> = square.iter().map(|row| row[c]).collect();
+        is_perm(&col)
+    })
+}
+
+/// Assigns each participant a condition order by cycling the rows of a
+/// Latin square (randomized row assignment).
+pub fn latin_square_orders(
+    participants: usize,
+    conditions: usize,
+    rng: &mut SimRng,
+) -> Vec<Vec<usize>> {
+    let square = latin_square(conditions);
+    let mut rows: Vec<usize> = (0..participants).map(|i| i % conditions).collect();
+    rng.shuffle(&mut rows);
+    rows.into_iter().map(|r| square[r].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_partition_participants() {
+        let mut rng = SimRng::seed(1);
+        let groups = random_groups(23, 3, &mut rng);
+        assert_eq!(groups.len(), 3);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        // Near-equal sizes.
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn crossover_is_balanced() {
+        let mut rng = SimRng::seed(2);
+        let orders = crossover_orders(20, &mut rng);
+        let ab = orders.iter().filter(|o| o == &&vec![0, 1]).count();
+        let ba = orders.iter().filter(|o| o == &&vec![1, 0]).count();
+        assert_eq!(ab, 10);
+        assert_eq!(ba, 10);
+    }
+
+    #[test]
+    fn latin_squares_are_latin() {
+        for k in 1..=7 {
+            assert!(is_latin_square(&latin_square(k)), "k={k}");
+        }
+    }
+
+    #[test]
+    fn balanced_squares_are_latin_and_balanced() {
+        for k in [2usize, 4, 6, 8] {
+            let sq = balanced_latin_square(k);
+            assert!(is_latin_square(&sq), "k={k}");
+            // First-order carry-over balance: each ordered pair (a then b)
+            // appears exactly once across all rows.
+            let mut pairs = std::collections::HashMap::new();
+            for row in &sq {
+                for w in row.windows(2) {
+                    *pairs.entry((w[0], w[1])).or_insert(0usize) += 1;
+                }
+            }
+            for (&(a, b), &count) in &pairs {
+                assert_eq!(count, 1, "pair {a}->{b} appears {count} times (k={k})");
+            }
+            assert_eq!(pairs.len(), k * (k - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn balanced_square_rejects_odd_k() {
+        balanced_latin_square(3);
+    }
+
+    #[test]
+    fn latin_square_orders_cover_conditions() {
+        let mut rng = SimRng::seed(3);
+        let orders = latin_square_orders(12, 4, &mut rng);
+        assert_eq!(orders.len(), 12);
+        for o in &orders {
+            let mut sorted = o.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+        // Each square row is used participants/conditions times.
+        let first_conditions: Vec<usize> = orders.iter().map(|o| o[0]).collect();
+        for c in 0..4 {
+            assert_eq!(first_conditions.iter().filter(|&&x| x == c).count(), 3);
+        }
+    }
+
+    #[test]
+    fn is_latin_square_rejects_bad_squares() {
+        assert!(!is_latin_square(&[vec![0, 1], vec![0, 1]]));
+        assert!(!is_latin_square(&[vec![0, 1], vec![1]]));
+        assert!(!is_latin_square(&[vec![0, 2], vec![2, 0]]));
+    }
+}

@@ -1,0 +1,172 @@
+//! The Table 4 cognitive-bias catalog with mitigation measures.
+
+/// Whose behavior the bias distorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BiasSide {
+    /// The study participant's.
+    Participant,
+    /// The experimenter's.
+    Experimenter,
+}
+
+/// The cognitive biases Table 4 flags for user studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bias {
+    /// Acting to please the researcher (e.g. supporting the hypothesis).
+    SocialDesirability,
+    /// Fixating on initial information (e.g. preferring the first system).
+    Anchoring,
+    /// One good feature inflating all ratings.
+    Halo,
+    /// Point clustering skewing choices among Pareto-front items.
+    Attraction,
+    /// Question wording steering the answer.
+    Framing,
+    /// Recruiting participants likely to favor the tested condition.
+    Selection,
+    /// Seeing the results one expects.
+    Confirmation,
+}
+
+impl Bias {
+    /// All cataloged biases, participant-side first (Table 4 order).
+    pub const ALL: [Bias; 7] = [
+        Bias::SocialDesirability,
+        Bias::Anchoring,
+        Bias::Halo,
+        Bias::Attraction,
+        Bias::Framing,
+        Bias::Selection,
+        Bias::Confirmation,
+    ];
+
+    /// Which side of the study this bias lives on.
+    pub fn side(self) -> BiasSide {
+        match self {
+            Bias::SocialDesirability | Bias::Anchoring | Bias::Halo | Bias::Attraction => {
+                BiasSide::Participant
+            }
+            Bias::Framing | Bias::Selection | Bias::Confirmation => BiasSide::Experimenter,
+        }
+    }
+
+    /// Table 4's description of the bias.
+    pub fn description(self) -> &'static str {
+        match self {
+            Bias::SocialDesirability => {
+                "tendency to perform actions that make one likable to others, \
+                 e.g. supporting the researcher's hypothesis"
+            }
+            Bias::Anchoring => {
+                "fixating on a specific piece of initial information and basing \
+                 all decisions on it, e.g. preferring the first system seen"
+            }
+            Bias::Halo => {
+                "positive characteristics inferred from positive appearance; a \
+                 participant rates all aspects highly because one feature is nice"
+            }
+            Bias::Attraction => {
+                "clustering of points in a scatter plot affects the user's \
+                 ability to choose between items on the Pareto front"
+            }
+            Bias::Framing => {
+                "selecting an option because of how the sentence is framed; the \
+                 researcher can steer choices by wording questions favorably"
+            }
+            Bias::Selection => {
+                "recruiting participants likely to perform favorably on the \
+                 tested condition (e.g. only iPhone users for an iPhone study)"
+            }
+            Bias::Confirmation => "the researcher's tendency to see results confirming the hypothesis",
+        }
+    }
+
+    /// Table 4's mitigation measure.
+    pub fn mitigation(self) -> &'static str {
+        match self {
+            Bias::SocialDesirability => {
+                "follow externally approved scripted language; never disclose \
+                 the tested hypothesis"
+            }
+            Bias::Anchoring => "randomize and counterbalance condition order",
+            Bias::Halo => {
+                "break study tasks into fine-grained tasks; have each \
+                 participant evaluate a single feature"
+            }
+            Bias::Attraction => "modify the study procedure (e.g. de-cluster scatterplots)",
+            Bias::Framing => "have study verbiage externally reviewed",
+            Bias::Selection => {
+                "randomly assign participants before collecting demographics or \
+                 background information"
+            }
+            Bias::Confirmation => {
+                "practice high transparency: publish study materials and all \
+                 user comments"
+            }
+        }
+    }
+}
+
+/// A rendered mitigation checklist for a study, optionally filtered to
+/// one side. Good practice is to apply all measures to every study.
+pub fn mitigation_checklist(side: Option<BiasSide>) -> Vec<(Bias, &'static str)> {
+    Bias::ALL
+        .iter()
+        .copied()
+        .filter(|b| side.map_or(true, |s| b.side() == s))
+        .map(|b| (b, b.mitigation()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_split_matches_paper() {
+        let participant: Vec<Bias> = Bias::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.side() == BiasSide::Participant)
+            .collect();
+        assert_eq!(
+            participant,
+            vec![
+                Bias::SocialDesirability,
+                Bias::Anchoring,
+                Bias::Halo,
+                Bias::Attraction
+            ]
+        );
+        let experimenter: Vec<Bias> = Bias::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.side() == BiasSide::Experimenter)
+            .collect();
+        assert_eq!(
+            experimenter,
+            vec![Bias::Framing, Bias::Selection, Bias::Confirmation]
+        );
+    }
+
+    #[test]
+    fn every_bias_has_text() {
+        for b in Bias::ALL {
+            assert!(!b.description().is_empty());
+            assert!(!b.mitigation().is_empty());
+        }
+    }
+
+    #[test]
+    fn checklist_filters_by_side() {
+        assert_eq!(mitigation_checklist(None).len(), 7);
+        assert_eq!(mitigation_checklist(Some(BiasSide::Participant)).len(), 4);
+        assert_eq!(mitigation_checklist(Some(BiasSide::Experimenter)).len(), 3);
+    }
+
+    #[test]
+    fn anchoring_mitigated_by_counterbalancing() {
+        assert!(Bias::Anchoring.mitigation().contains("counterbalance"));
+        assert!(Bias::Selection.mitigation().contains("before collecting demographics"));
+    }
+}

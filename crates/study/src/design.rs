@@ -1,0 +1,211 @@
+//! Study-design decision procedures (Figs 4 and 5).
+
+use ids_metrics::Metric;
+
+/// Where the study takes place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setting {
+    /// In front of the researcher: maximal control, limited population.
+    /// Low ecological validity.
+    InPerson,
+    /// Online/crowdsourced: diverse population, limited control.
+    /// High ecological validity.
+    Remote,
+}
+
+/// Inputs to the Fig 4 in-person vs remote decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SettingNeeds {
+    /// The study compares against a control condition.
+    pub comparison_against_control: bool,
+    /// Results depend on the specific device used.
+    pub device_dependent: bool,
+    /// A think-aloud protocol will be used.
+    pub think_aloud: bool,
+}
+
+/// The Fig 4 decision: any of the three needs forces an in-person study;
+/// otherwise a remote study's ecological validity wins.
+pub fn recommend_setting(needs: &SettingNeeds) -> Setting {
+    if needs.comparison_against_control || needs.device_dependent || needs.think_aloud {
+        Setting::InPerson
+    } else {
+        Setting::Remote
+    }
+}
+
+/// How participants are exposed to conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StudyDesign {
+    /// The same users see every condition. Needed when the measured task
+    /// depends on inherent user ability; low external validity and
+    /// requires counterbalancing against carry-over effects.
+    WithinSubject,
+    /// Disjoint user groups per condition. Preferred whenever possible —
+    /// no carry-over; high external validity.
+    BetweenSubject,
+    /// No humans: replay or generate interaction traces. Valid when
+    /// interactions are definitive (no user cognition in the loop) and
+    /// the navigation-pattern space can be covered.
+    Simulation,
+}
+
+/// Task properties that steer the Fig 5 design choice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskTraits {
+    /// The measurement depends on inherent ability of the user (e.g.
+    /// what counts as an insight differs per user).
+    pub depends_on_inherent_ability: bool,
+    /// Interactions are definitive and require no user cognition.
+    pub interactions_definitive: bool,
+    /// All plausible navigation patterns can be enumerated/tested.
+    pub navigation_patterns_coverable: bool,
+}
+
+/// The Fig 5 recommendation for measuring `metric` on a task with the
+/// given traits.
+pub fn recommend_design(metric: Metric, traits: &TaskTraits) -> StudyDesign {
+    // Simulation is admissible only when cognition is out of the loop
+    // and coverage is feasible (Section 4.1.3: RAP, BinGo, Usher).
+    if traits.interactions_definitive && traits.navigation_patterns_coverable {
+        return StudyDesign::Simulation;
+    }
+    if traits.depends_on_inherent_ability {
+        return StudyDesign::WithinSubject;
+    }
+    // Fig 5 groups the metrics: insight-flavored measurements ride on the
+    // user's own ability (within-subject); task-outcome measurements
+    // generalize best between subjects.
+    match metric {
+        Metric::NumberOfInsights | Metric::UniquenessOfInsights | Metric::UserFeedback => {
+            StudyDesign::WithinSubject
+        }
+        Metric::Accuracy
+        | Metric::NumberOfInteractions
+        | Metric::Discoverability
+        | Metric::TaskCompletionTime
+        | Metric::Learnability => StudyDesign::BetweenSubject,
+        // System-factor metrics don't need humans at all.
+        m if !m.requires_humans() => StudyDesign::Simulation,
+        _ => StudyDesign::BetweenSubject,
+    }
+}
+
+/// Checks whether a simulation study is appropriate (Section 4.1.3) and
+/// explains why not, otherwise.
+pub fn simulation_appropriate(traits: &TaskTraits) -> Result<(), &'static str> {
+    if !traits.interactions_definitive {
+        return Err("interactions require user cognition; simulate only the mechanical parts");
+    }
+    if !traits.navigation_patterns_coverable {
+        return Err("navigation-pattern space cannot be covered; collected traces or users needed");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_decision_tree() {
+        assert_eq!(recommend_setting(&SettingNeeds::default()), Setting::Remote);
+        for needs in [
+            SettingNeeds {
+                comparison_against_control: true,
+                ..SettingNeeds::default()
+            },
+            SettingNeeds {
+                device_dependent: true,
+                ..SettingNeeds::default()
+            },
+            SettingNeeds {
+                think_aloud: true,
+                ..SettingNeeds::default()
+            },
+        ] {
+            assert_eq!(recommend_setting(&needs), Setting::InPerson);
+        }
+    }
+
+    #[test]
+    fn insight_metrics_go_within_subject() {
+        let traits = TaskTraits::default();
+        assert_eq!(
+            recommend_design(Metric::NumberOfInsights, &traits),
+            StudyDesign::WithinSubject
+        );
+        assert_eq!(
+            recommend_design(Metric::UniquenessOfInsights, &traits),
+            StudyDesign::WithinSubject
+        );
+    }
+
+    #[test]
+    fn outcome_metrics_go_between_subject() {
+        let traits = TaskTraits::default();
+        for m in [
+            Metric::Accuracy,
+            Metric::TaskCompletionTime,
+            Metric::Discoverability,
+            Metric::Learnability,
+            Metric::NumberOfInteractions,
+        ] {
+            assert_eq!(recommend_design(m, &traits), StudyDesign::BetweenSubject);
+        }
+    }
+
+    #[test]
+    fn inherent_ability_overrides() {
+        let traits = TaskTraits {
+            depends_on_inherent_ability: true,
+            ..TaskTraits::default()
+        };
+        assert_eq!(
+            recommend_design(Metric::Accuracy, &traits),
+            StudyDesign::WithinSubject
+        );
+    }
+
+    #[test]
+    fn definitive_coverable_tasks_simulate() {
+        let traits = TaskTraits {
+            interactions_definitive: true,
+            navigation_patterns_coverable: true,
+            ..TaskTraits::default()
+        };
+        assert_eq!(
+            recommend_design(Metric::TaskCompletionTime, &traits),
+            StudyDesign::Simulation
+        );
+        assert!(simulation_appropriate(&traits).is_ok());
+    }
+
+    #[test]
+    fn system_metrics_simulate() {
+        assert_eq!(
+            recommend_design(Metric::Latency, &TaskTraits::default()),
+            StudyDesign::Simulation
+        );
+        assert_eq!(
+            recommend_design(Metric::QueryIssuingFrequency, &TaskTraits::default()),
+            StudyDesign::Simulation
+        );
+    }
+
+    #[test]
+    fn simulation_guard_rails() {
+        assert!(simulation_appropriate(&TaskTraits {
+            interactions_definitive: false,
+            navigation_patterns_coverable: true,
+            ..TaskTraits::default()
+        })
+        .is_err());
+        assert!(simulation_appropriate(&TaskTraits {
+            interactions_definitive: true,
+            navigation_patterns_coverable: false,
+            ..TaskTraits::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! User-study design toolkit: Section 4 of *Evaluating Interactive Data
+//! Systems* as executable decision procedures.
+//!
+//! Interactive systems are evaluated with humans in the loop, and humans
+//! bring biases and inconsistencies that must be designed around. This
+//! crate encodes the paper's methodology:
+//!
+//! - [`design`] — the in-person vs remote decision tree (Fig 4), the
+//!   within- vs between-subject vs simulation guidance keyed by metric
+//!   (Fig 5), and simulation-appropriateness checks (Section 4.1.3).
+//! - [`assignment`] — randomization and counterbalancing machinery:
+//!   random group splits, AB/BA crossover orders, and Latin squares for
+//!   k-condition ordering (the learning/interference mitigations).
+//! - [`bias`] — the Table 4 cognitive-bias catalog with per-bias
+//!   mitigation measures, split by participant vs experimenter side.
+//! - [`validity`] — ecological / external / construct validity threats
+//!   (learning, interference, fatigue) and a checklist generator.
+//! - [`survey`] — Tables 1 and 2: six-plus decades' worth of systems and
+//!   the metrics their evaluations reported, as queryable data.
+//! - [`simulate`] — synthetic participants with learning effects, making
+//!   the learning threat (and its counterbalancing fix) measurable.
+
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod bias;
+pub mod design;
+pub mod simulate;
+pub mod survey;
+pub mod validity;

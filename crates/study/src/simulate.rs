@@ -1,0 +1,215 @@
+//! Simulated user studies: demonstrating Section 4's threats to validity
+//! with synthetic participants.
+//!
+//! The paper warns that within-subject designs suffer *learning*: users
+//! do better on the second system "simply because they are familiar with
+//! the task and due to no merit of the system", and prescribes
+//! randomization or counterbalancing. This module makes the threat
+//! measurable: synthetic participants complete the same task on two
+//! systems; each exposure to the task makes them faster by a personal
+//! learning factor. An uncounterbalanced study misattributes that gain
+//! to whichever system comes second; a counterbalanced one cancels it.
+
+use ids_simclock::rng::SimRng;
+
+use crate::assignment::crossover_orders;
+
+/// One synthetic participant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Participant {
+    /// Task completion time on their first-ever exposure, seconds.
+    pub base_time_s: f64,
+    /// Multiplicative speedup per prior exposure (`0.8` = 20% faster the
+    /// second time), regardless of system.
+    pub learning_factor: f64,
+    /// Trial-to-trial noise (log-normal sigma).
+    pub noise_sigma: f64,
+}
+
+impl Participant {
+    /// Draws a participant: baselines 60–180 s, learning 10–30%.
+    pub fn sample(rng: &mut SimRng) -> Participant {
+        Participant {
+            base_time_s: rng.uniform(60.0, 180.0),
+            learning_factor: rng.uniform(0.70, 0.90),
+            noise_sigma: 0.08,
+        }
+    }
+
+    /// Simulated completion time on the `exposure`-th task attempt
+    /// (0-based) using a system with multiplicative `system_factor`.
+    pub fn complete(&self, system_factor: f64, exposure: u32, rng: &mut SimRng) -> f64 {
+        let learning = self.learning_factor.powi(exposure as i32);
+        self.base_time_s * system_factor * learning * rng.log_normal(0.0, self.noise_sigma)
+    }
+}
+
+/// The ground truth of a two-system comparison: system 1's completion
+/// times are `true_ratio` × system 0's (e.g. `0.8` = genuinely 20%
+/// faster).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoSystemTask {
+    /// System 1's true multiplicative effect vs system 0.
+    pub true_ratio: f64,
+}
+
+/// Aggregated study measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyOutcome {
+    /// Mean measured completion time on system 0, seconds.
+    pub mean_system0_s: f64,
+    /// Mean measured completion time on system 1, seconds.
+    pub mean_system1_s: f64,
+    /// Participants measured.
+    pub participants: usize,
+}
+
+impl StudyOutcome {
+    /// The measured effect ratio (system 1 / system 0). Compare against
+    /// [`TwoSystemTask::true_ratio`] to quantify bias.
+    pub fn measured_ratio(&self) -> f64 {
+        if self.mean_system0_s <= 0.0 {
+            return f64::NAN;
+        }
+        self.mean_system1_s / self.mean_system0_s
+    }
+}
+
+/// Runs a within-subject study with explicit per-participant condition
+/// orders (`orders[p]` is a permutation of `[0, 1]`).
+pub fn run_within_subject(
+    task: &TwoSystemTask,
+    orders: &[Vec<usize>],
+    seed: u64,
+) -> StudyOutcome {
+    let rng = SimRng::seed(seed).split("study/within");
+    let mut totals = [0.0f64; 2];
+    let mut counts = [0usize; 2];
+    for (p, order) in orders.iter().enumerate() {
+        let mut prng = rng.split(&format!("participant/{p}"));
+        let participant = Participant::sample(&mut prng);
+        for (exposure, &system) in order.iter().enumerate() {
+            let factor = if system == 0 { 1.0 } else { task.true_ratio };
+            let time = participant.complete(factor, exposure as u32, &mut prng);
+            totals[system] += time;
+            counts[system] += 1;
+        }
+    }
+    StudyOutcome {
+        mean_system0_s: totals[0] / counts[0].max(1) as f64,
+        mean_system1_s: totals[1] / counts[1].max(1) as f64,
+        participants: orders.len(),
+    }
+}
+
+/// An uncounterbalanced within-subject study: everyone sees system 0
+/// first — the design Section 4.2.2 warns against.
+pub fn run_naive_within_subject(
+    task: &TwoSystemTask,
+    participants: usize,
+    seed: u64,
+) -> StudyOutcome {
+    let orders = vec![vec![0usize, 1]; participants];
+    run_within_subject(task, &orders, seed)
+}
+
+/// A counterbalanced within-subject study (AB/BA crossover).
+pub fn run_counterbalanced(task: &TwoSystemTask, participants: usize, seed: u64) -> StudyOutcome {
+    let mut rng = SimRng::seed(seed).split("study/orders");
+    let orders = crossover_orders(participants, &mut rng);
+    run_within_subject(task, &orders, seed)
+}
+
+/// A between-subject study: each participant sees exactly one system
+/// (first exposure only), so learning cannot contaminate the contrast.
+pub fn run_between_subject(task: &TwoSystemTask, participants: usize, seed: u64) -> StudyOutcome {
+    let rng = SimRng::seed(seed).split("study/between");
+    let mut totals = [0.0f64; 2];
+    let mut counts = [0usize; 2];
+    for p in 0..participants {
+        let mut prng = rng.split(&format!("participant/{p}"));
+        let participant = Participant::sample(&mut prng);
+        let system = p % 2;
+        let factor = if system == 0 { 1.0 } else { task.true_ratio };
+        totals[system] += participant.complete(factor, 0, &mut prng);
+        counts[system] += 1;
+    }
+    StudyOutcome {
+        mean_system0_s: totals[0] / counts[0].max(1) as f64,
+        mean_system1_s: totals[1] / counts[1].max(1) as f64,
+        participants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TASK: TwoSystemTask = TwoSystemTask { true_ratio: 0.85 };
+
+    #[test]
+    fn naive_within_subject_overstates_the_second_system() {
+        // Everyone does system 1 second → learning inflates its advantage.
+        let naive = run_naive_within_subject(&TASK, 400, 7);
+        let measured = naive.measured_ratio();
+        assert!(
+            measured < TASK.true_ratio - 0.05,
+            "naive ratio {measured:.3} should overstate the true {:.2}",
+            TASK.true_ratio
+        );
+    }
+
+    #[test]
+    fn counterbalancing_recovers_the_true_effect() {
+        let balanced = run_counterbalanced(&TASK, 400, 7);
+        let measured = balanced.measured_ratio();
+        assert!(
+            (measured - TASK.true_ratio).abs() < 0.04,
+            "counterbalanced ratio {measured:.3} vs true {:.2}",
+            TASK.true_ratio
+        );
+    }
+
+    #[test]
+    fn between_subject_is_unbiased_too() {
+        let between = run_between_subject(&TASK, 800, 7);
+        let measured = between.measured_ratio();
+        assert!(
+            (measured - TASK.true_ratio).abs() < 0.05,
+            "between-subject ratio {measured:.3}"
+        );
+    }
+
+    #[test]
+    fn counterbalanced_beats_naive_in_bias() {
+        let naive = run_naive_within_subject(&TASK, 400, 11);
+        let balanced = run_counterbalanced(&TASK, 400, 11);
+        let bias = |o: &StudyOutcome| (o.measured_ratio() - TASK.true_ratio).abs();
+        assert!(bias(&balanced) < bias(&naive));
+    }
+
+    #[test]
+    fn learning_effect_is_real_in_the_model() {
+        let mut rng = SimRng::seed(3);
+        let p = Participant::sample(&mut rng);
+        let first = p.complete(1.0, 0, &mut rng);
+        // Average over noise to see the learning trend.
+        let later: f64 =
+            (0..50).map(|_| p.complete(1.0, 2, &mut rng)).sum::<f64>() / 50.0;
+        assert!(later < first, "exposure 2 mean {later:.1} vs first {first:.1}");
+    }
+
+    #[test]
+    fn null_effect_measures_near_one_when_counterbalanced() {
+        let null = TwoSystemTask { true_ratio: 1.0 };
+        let out = run_counterbalanced(&null, 400, 13);
+        assert!((out.measured_ratio() - 1.0).abs() < 0.04);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let out = run_between_subject(&TASK, 10, 1);
+        assert_eq!(out.participants, 10);
+        assert!(out.mean_system0_s > 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Tables 1 and 2: the survey of metrics used by interactive data
+//! systems, as queryable data.
+//!
+//! Each entry records a system (or study), its year, and the metrics its
+//! evaluation reported. Per-row metric counts follow the paper's tables;
+//! where the table's check-mark placement is ambiguous in the source
+//! text, cells are reconstructed from the systems' own publications —
+//! the analyses the paper draws from these tables (metric frequencies,
+//! co-occurrence patterns) are preserved in shape.
+
+use ids_metrics::Metric;
+
+/// Which survey table the entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Era {
+    /// Table 1: data interaction 1997–2012.
+    Early,
+    /// Table 2: data interaction 2012–present.
+    Modern,
+}
+
+/// One surveyed system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurveyEntry {
+    /// System or first-author name.
+    pub name: &'static str,
+    /// Publication year.
+    pub year: u16,
+    /// Survey table.
+    pub era: Era,
+    /// Metrics the evaluation reported.
+    pub metrics: &'static [Metric],
+}
+
+use Metric::*;
+
+/// The full survey (Tables 1 + 2).
+pub const SURVEY: &[SurveyEntry] = &[
+    // ----- Table 1: 1997-2012 -----
+    SurveyEntry { name: "Online Aggregation", year: 1997, era: Era::Early, metrics: &[Latency] },
+    SurveyEntry { name: "Igarashi et al.", year: 2000, era: Era::Early, metrics: &[UserFeedback, TaskCompletionTime] },
+    SurveyEntry { name: "Fekete and Plaisant", year: 2002, era: Era::Early, metrics: &[Latency] },
+    SurveyEntry { name: "Yang et al.", year: 2003, era: Era::Early, metrics: &[UserFeedback] },
+    SurveyEntry { name: "Plaisant", year: 2004, era: Era::Early, metrics: &[NumberOfInsights] },
+    SurveyEntry { name: "Yang et al.", year: 2004, era: Era::Early, metrics: &[UserFeedback] },
+    SurveyEntry { name: "Seo and Shneiderman", year: 2005, era: Era::Early, metrics: &[NumberOfInsights] },
+    SurveyEntry { name: "Kosara et al.", year: 2006, era: Era::Early, metrics: &[Latency] },
+    SurveyEntry { name: "Mackinlay et al.", year: 2007, era: Era::Early, metrics: &[UserFeedback] },
+    SurveyEntry { name: "Scented Widgets", year: 2007, era: Era::Early, metrics: &[UserFeedback, NumberOfInsights] },
+    SurveyEntry { name: "Faith", year: 2007, era: Era::Early, metrics: &[NumberOfInsights] },
+    SurveyEntry { name: "Jagadish et al.", year: 2007, era: Era::Early, metrics: &[UserFeedback] },
+    SurveyEntry { name: "Yang et al.", year: 2007, era: Era::Early, metrics: &[NumberOfInsights] },
+    SurveyEntry { name: "Nalix", year: 2007, era: Era::Early, metrics: &[UserFeedback] },
+    SurveyEntry { name: "Heer et al.", year: 2008, era: Era::Early, metrics: &[UserFeedback] },
+    SurveyEntry { name: "LiveRac", year: 2008, era: Era::Early, metrics: &[UserFeedback] },
+    SurveyEntry { name: "Basu et al.", year: 2008, era: Era::Early, metrics: &[NumberOfInteractions] },
+    SurveyEntry { name: "Atlas", year: 2008, era: Era::Early, metrics: &[Scalability, Throughput] },
+    SurveyEntry { name: "Liu and Jagadish", year: 2009, era: Era::Early, metrics: &[TaskCompletionTime] },
+    SurveyEntry { name: "Woodring and Shen", year: 2009, era: Era::Early, metrics: &[Latency, Scalability] },
+    SurveyEntry { name: "Facetor", year: 2010, era: Era::Early, metrics: &[UserFeedback, NumberOfInteractions, Latency] },
+    SurveyEntry { name: "Wrangler", year: 2011, era: Era::Early, metrics: &[UserFeedback, TaskCompletionTime] },
+    SurveyEntry { name: "Dicon", year: 2011, era: Era::Early, metrics: &[UserFeedback, NumberOfInsights] },
+    SurveyEntry { name: "Yang et al.", year: 2011, era: Era::Early, metrics: &[Latency] },
+    SurveyEntry { name: "Kashyap et al.", year: 2011, era: Era::Early, metrics: &[NumberOfInteractions] },
+    SurveyEntry { name: "Fisher et al.", year: 2012, era: Era::Early, metrics: &[UserFeedback] },
+    SurveyEntry { name: "GravNav", year: 2012, era: Era::Early, metrics: &[UserFeedback, TaskCompletionTime] },
+    SurveyEntry { name: "Wei et al.", year: 2012, era: Era::Early, metrics: &[NumberOfInsights] },
+    SurveyEntry { name: "Dataplay", year: 2012, era: Era::Early, metrics: &[UserFeedback, TaskCompletionTime] },
+    SurveyEntry { name: "Zhang et al.", year: 2012, era: Era::Early, metrics: &[NumberOfInsights] },
+    SurveyEntry { name: "VizDeck", year: 2012, era: Era::Early, metrics: &[UserFeedback] },
+    // ----- Table 2: 2012-present -----
+    SurveyEntry { name: "Skimmer", year: 2012, era: Era::Modern, metrics: &[UserFeedback, Latency] },
+    SurveyEntry { name: "Scout", year: 2012, era: Era::Modern, metrics: &[CacheHitRate] },
+    SurveyEntry { name: "Martin and Ward", year: 1995, era: Era::Modern, metrics: &[UserFeedback] },
+    SurveyEntry { name: "Bakke et al.", year: 2011, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime] },
+    SurveyEntry { name: "GestureDB", year: 2013, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime, Learnability, Discoverability] },
+    SurveyEntry { name: "Basole et al.", year: 2013, era: Era::Modern, metrics: &[UserFeedback, NumberOfInsights, TaskCompletionTime] },
+    SurveyEntry { name: "Biswas et al.", year: 2013, era: Era::Modern, metrics: &[NumberOfInsights, Accuracy] },
+    SurveyEntry { name: "MotionExplorer", year: 2013, era: Era::Modern, metrics: &[UserFeedback] },
+    SurveyEntry { name: "Yuan et al.", year: 2013, era: Era::Modern, metrics: &[NumberOfInsights] },
+    SurveyEntry { name: "Ferreira et al.", year: 2013, era: Era::Modern, metrics: &[NumberOfInsights] },
+    SurveyEntry { name: "Cooper et al. (YCSB)", year: 2010, era: Era::Modern, metrics: &[Latency] },
+    SurveyEntry { name: "Immens", year: 2013, era: Era::Modern, metrics: &[Latency, Scalability] },
+    SurveyEntry { name: "Nanocubes", year: 2013, era: Era::Modern, metrics: &[Latency] },
+    SurveyEntry { name: "Kinetica", year: 2014, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime, Learnability] },
+    SurveyEntry { name: "DICE", year: 2014, era: Era::Modern, metrics: &[Accuracy, Latency, Scalability, CacheHitRate] },
+    SurveyEntry { name: "Lyra", year: 2014, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime] },
+    SurveyEntry { name: "Dimitriadou et al.", year: 2014, era: Era::Modern, metrics: &[Accuracy, Latency, NumberOfInteractions] },
+    SurveyEntry { name: "SeeDB", year: 2014, era: Era::Modern, metrics: &[UserFeedback, Accuracy, Latency] },
+    SurveyEntry { name: "SnapToQuery", year: 2015, era: Era::Modern, metrics: &[UserFeedback, Learnability, Discoverability] },
+    SurveyEntry { name: "Kim et al.", year: 2015, era: Era::Modern, metrics: &[Accuracy] },
+    SurveyEntry { name: "ForeCache", year: 2015, era: Era::Modern, metrics: &[CacheHitRate] },
+    SurveyEntry { name: "Zenvisage", year: 2016, era: Era::Modern, metrics: &[UserFeedback, NumberOfInsights, TaskCompletionTime] },
+    SurveyEntry { name: "FluxQuery", year: 2016, era: Era::Modern, metrics: &[Latency] },
+    SurveyEntry { name: "Voyager", year: 2016, era: Era::Modern, metrics: &[UserFeedback] },
+    SurveyEntry { name: "Moritz et al.", year: 2017, era: Era::Modern, metrics: &[UserFeedback] },
+    SurveyEntry { name: "Incvisage", year: 2017, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime, Accuracy, Latency] },
+    SurveyEntry { name: "Data Tweening", year: 2017, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime] },
+    SurveyEntry { name: "Icarus", year: 2018, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime, Accuracy, Latency] },
+    SurveyEntry { name: "Datamaran", year: 2018, era: Era::Modern, metrics: &[Accuracy] },
+    SurveyEntry { name: "Tensorboard", year: 2018, era: Era::Modern, metrics: &[UserFeedback, NumberOfInsights] },
+    SurveyEntry { name: "DataSpread", year: 2018, era: Era::Modern, metrics: &[Scalability] },
+    SurveyEntry { name: "Sesame", year: 2018, era: Era::Modern, metrics: &[Latency, CacheHitRate] },
+    SurveyEntry { name: "Transformer", year: 2019, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime, Accuracy] },
+    SurveyEntry { name: "ARQuery", year: 2019, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime] },
+];
+
+/// Systems whose evaluations reported `metric`.
+pub fn systems_using(metric: Metric) -> Vec<&'static SurveyEntry> {
+    SURVEY.iter().filter(|e| e.metrics.contains(&metric)).collect()
+}
+
+/// How often each metric appears across the survey, descending.
+pub fn metric_frequencies() -> Vec<(Metric, usize)> {
+    let mut counts: Vec<(Metric, usize)> = Metric::ALL
+        .iter()
+        .map(|&m| (m, systems_using(m).len()))
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    counts
+}
+
+/// Fraction of systems reporting `a` that also report `b` — the
+/// co-occurrence analysis behind the paper's "latency is always measured
+/// with accuracy" observation.
+pub fn cooccurrence(a: Metric, b: Metric) -> f64 {
+    let with_a = systems_using(a);
+    if with_a.is_empty() {
+        return 0.0;
+    }
+    let both = with_a.iter().filter(|e| e.metrics.contains(&b)).count();
+    both as f64 / with_a.len() as f64
+}
+
+/// Renders one survey table as aligned text rows (`name year | metrics`).
+pub fn render_table(era: Era) -> String {
+    let mut out = String::new();
+    for e in SURVEY.iter().filter(|e| e.era == era) {
+        let metrics: Vec<&str> = e.metrics.iter().map(|m| m.name()).collect();
+        out.push_str(&format!("{:<28} {:>4} | {}\n", e.name, e.year, metrics.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sizes_match_paper() {
+        let early = SURVEY.iter().filter(|e| e.era == Era::Early).count();
+        let modern = SURVEY.iter().filter(|e| e.era == Era::Modern).count();
+        assert_eq!(early, 31, "Table 1 rows");
+        assert_eq!(modern, 34, "Table 2 rows");
+    }
+
+    #[test]
+    fn every_entry_reports_at_least_one_metric() {
+        for e in SURVEY {
+            assert!(!e.metrics.is_empty(), "{} has no metrics", e.name);
+            // No duplicate metrics within an entry.
+            let mut m = e.metrics.to_vec();
+            m.sort_by_key(|m| m.name());
+            m.dedup();
+            assert_eq!(m.len(), e.metrics.len(), "{} has duplicates", e.name);
+        }
+    }
+
+    #[test]
+    fn user_feedback_is_the_most_common_human_metric() {
+        let freq = metric_frequencies();
+        let top_human = freq
+            .iter()
+            .find(|(m, _)| m.requires_humans())
+            .map(|&(m, _)| m)
+            .unwrap();
+        assert_eq!(top_human, Metric::UserFeedback);
+    }
+
+    #[test]
+    fn novel_metrics_are_absent_from_prior_work() {
+        // The survey's point: nobody measured LCV or QIF before.
+        assert!(systems_using(Metric::LatencyConstraintViolation).is_empty());
+        assert!(systems_using(Metric::QueryIssuingFrequency).is_empty());
+    }
+
+    #[test]
+    fn prefetching_systems_report_cache_hit_rate() {
+        let names: Vec<&str> = systems_using(Metric::CacheHitRate)
+            .iter()
+            .map(|e| e.name)
+            .collect();
+        assert!(names.contains(&"Scout"));
+        assert!(names.contains(&"ForeCache"));
+        assert!(names.contains(&"DICE"));
+    }
+
+    #[test]
+    fn accuracy_mostly_cooccurs_with_latency() {
+        // Paper: "latency is always measured with accuracy" (in the papers
+        // that report it) — allow for the reconstruction's slack.
+        let c = cooccurrence(Metric::Accuracy, Metric::Latency);
+        assert!(c >= 0.5, "accuracy→latency co-occurrence {c:.2}");
+    }
+
+    #[test]
+    fn gesturedb_reports_both_learnability_and_discoverability() {
+        let g = SURVEY.iter().find(|e| e.name == "GestureDB").unwrap();
+        assert!(g.metrics.contains(&Metric::Learnability));
+        assert!(g.metrics.contains(&Metric::Discoverability));
+    }
+
+    #[test]
+    fn render_tables() {
+        let t1 = render_table(Era::Early);
+        assert!(t1.contains("Online Aggregation"));
+        assert_eq!(t1.lines().count(), 31);
+        let t2 = render_table(Era::Modern);
+        assert!(t2.contains("Sesame"));
+        assert_eq!(t2.lines().count(), 34);
+    }
+}

@@ -1,0 +1,202 @@
+//! Study validity: the three aspects of Section 4.2 plus threat checks.
+
+use crate::design::{Setting, StudyDesign};
+
+/// The three validity aspects Padilla's framework distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidityAspect {
+    /// How closely conditions match real-world use.
+    Ecological,
+    /// Whether results generalize beyond the tested population.
+    External,
+    /// Whether the metric measures the intended construct.
+    Construct,
+}
+
+/// Threats to external validity in within-subject designs (Section 4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExternalThreat {
+    /// Users do better on the second condition from task familiarity.
+    Learning,
+    /// Exposure to the first condition degrades the second (confused
+    /// functionality); asymmetric interference defies counterbalancing.
+    Interference,
+    /// Long tasks degrade performance toward the end.
+    Fatigue,
+}
+
+impl ExternalThreat {
+    /// All threats.
+    pub const ALL: [ExternalThreat; 3] = [
+        ExternalThreat::Learning,
+        ExternalThreat::Interference,
+        ExternalThreat::Fatigue,
+    ];
+
+    /// The paper's mitigation.
+    pub fn mitigation(self) -> &'static str {
+        match self {
+            ExternalThreat::Learning => "randomize or counterbalance condition order",
+            ExternalThreat::Interference => {
+                "randomize/counterbalance; if effects are asymmetric, conclusions weaken — \
+                 prefer a between-subject design"
+            }
+            ExternalThreat::Fatigue => "break tasks into small chunks with adequate breaks",
+        }
+    }
+}
+
+/// A study plan summary for validity checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyPlan {
+    /// Where the study runs.
+    pub setting: Setting,
+    /// How conditions are assigned.
+    pub design: StudyDesign,
+    /// Condition order is randomized or counterbalanced.
+    pub order_controlled: bool,
+    /// Tasks are chunked with breaks.
+    pub breaks_scheduled: bool,
+    /// Number of participants.
+    pub participants: usize,
+    /// Study uses real datasets / real-world tasks.
+    pub realistic_tasks: bool,
+    /// Proxy metrics stand in for cognitive constructs (e.g. completion
+    /// time as "effort").
+    pub uses_proxy_metrics: bool,
+}
+
+/// A validity concern raised by [`check_plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concern {
+    /// Which validity aspect is threatened.
+    pub aspect: ValidityAspect,
+    /// Human-readable explanation.
+    pub note: String,
+}
+
+/// Minimum participants the paper cites for behavior studies ("some
+/// studies recommend a minimum of 10 users", guideline 7).
+pub const MIN_RECOMMENDED_USERS: usize = 10;
+
+/// Audits a study plan against Section 4's guidance.
+pub fn check_plan(plan: &StudyPlan) -> Vec<Concern> {
+    let mut concerns = Vec::new();
+    if plan.design == StudyDesign::WithinSubject && !plan.order_controlled {
+        concerns.push(Concern {
+            aspect: ValidityAspect::External,
+            note: format!(
+                "within-subject without order control risks learning/interference; {}",
+                ExternalThreat::Learning.mitigation()
+            ),
+        });
+    }
+    if !plan.breaks_scheduled {
+        concerns.push(Concern {
+            aspect: ValidityAspect::External,
+            note: format!("fatigue threat: {}", ExternalThreat::Fatigue.mitigation()),
+        });
+    }
+    if plan.design != StudyDesign::Simulation && plan.participants < MIN_RECOMMENDED_USERS {
+        concerns.push(Concern {
+            aspect: ValidityAspect::External,
+            note: format!(
+                "only {} participants; behavior studies commonly need >= {}",
+                plan.participants, MIN_RECOMMENDED_USERS
+            ),
+        });
+    }
+    if !plan.realistic_tasks {
+        concerns.push(Concern {
+            aspect: ValidityAspect::Ecological,
+            note: "tasks do not simulate real-world use on real datasets (guideline 4)".into(),
+        });
+    }
+    if plan.uses_proxy_metrics {
+        concerns.push(Concern {
+            aspect: ValidityAspect::Construct,
+            note: "proxy metrics (e.g. completion time for effort) threaten construct \
+                   validity; consider dual-task or physiological measures"
+                .into(),
+        });
+    }
+    concerns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sound_plan() -> StudyPlan {
+        StudyPlan {
+            setting: Setting::InPerson,
+            design: StudyDesign::BetweenSubject,
+            order_controlled: true,
+            breaks_scheduled: true,
+            participants: 15,
+            realistic_tasks: true,
+            uses_proxy_metrics: false,
+        }
+    }
+
+    #[test]
+    fn sound_plan_passes() {
+        assert!(check_plan(&sound_plan()).is_empty());
+    }
+
+    #[test]
+    fn within_subject_without_order_control_flags_external() {
+        let plan = StudyPlan {
+            design: StudyDesign::WithinSubject,
+            order_controlled: false,
+            ..sound_plan()
+        };
+        let concerns = check_plan(&plan);
+        assert!(concerns.iter().any(|c| c.aspect == ValidityAspect::External
+            && c.note.contains("learning")));
+    }
+
+    #[test]
+    fn small_samples_flagged_except_simulation() {
+        let plan = StudyPlan {
+            participants: 5,
+            ..sound_plan()
+        };
+        assert!(!check_plan(&plan).is_empty());
+        let sim = StudyPlan {
+            design: StudyDesign::Simulation,
+            participants: 0,
+            ..sound_plan()
+        };
+        assert!(check_plan(&sim).is_empty());
+    }
+
+    #[test]
+    fn unrealistic_tasks_hit_ecological_validity() {
+        let plan = StudyPlan {
+            realistic_tasks: false,
+            ..sound_plan()
+        };
+        let concerns = check_plan(&plan);
+        assert_eq!(concerns.len(), 1);
+        assert_eq!(concerns[0].aspect, ValidityAspect::Ecological);
+    }
+
+    #[test]
+    fn proxy_metrics_hit_construct_validity() {
+        let plan = StudyPlan {
+            uses_proxy_metrics: true,
+            ..sound_plan()
+        };
+        let concerns = check_plan(&plan);
+        assert!(concerns.iter().any(|c| c.aspect == ValidityAspect::Construct));
+    }
+
+    #[test]
+    fn threats_have_mitigations() {
+        for t in ExternalThreat::ALL {
+            assert!(!t.mitigation().is_empty());
+        }
+        assert!(ExternalThreat::Fatigue.mitigation().contains("breaks"));
+    }
+}

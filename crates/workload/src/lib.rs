@@ -1,0 +1,27 @@
+//! Interactive-workload simulation: the user side of the case studies.
+//!
+//! Section 4.1.3 of *Evaluating Interactive Data Systems* endorses
+//! simulating users from plausible interaction sequences paced by HCI
+//! timing models. This crate is that simulator, with one module per case
+//! study plus shared infrastructure:
+//!
+//! - [`datasets`] — seeded synthetic stand-ins for the paper's datasets
+//!   (IMDB top-4000 movies, the UCI 3-D road network at full cardinality,
+//!   Airbnb-style listings), built as [`ids_engine`] tables.
+//! - [`trace`] — the exact trace schemas of Table 5 with line-oriented
+//!   serialization, so captured behavior can be stored and replayed.
+//! - [`scrolling`] — case study 1: inertial-scroll browsing sessions over
+//!   the movie table, with selection and backscroll behavior.
+//! - [`crossfilter`] — case study 2: coordinated-view slider sessions on
+//!   mouse / touch / Leap Motion, compiled to histogram query groups.
+//! - [`composite`] — case study 3: multi-widget exploration sessions
+//!   (map, slider, checkbox, text box) with the request → render →
+//!   explore loop of Fig 17.
+
+#![warn(missing_docs)]
+
+pub mod composite;
+pub mod crossfilter;
+pub mod datasets;
+pub mod scrolling;
+pub mod trace;

@@ -1,0 +1,99 @@
+//! Travel explorer: the composite-interface scenario of case study 3.
+//!
+//! Simulates users exploring an accommodation site through map, slider,
+//! checkbox and text-box widgets; analyzes their behavior (widget mix,
+//! zoom dwell, filter accretion, request vs exploration time); and shows
+//! how the analysis feeds a Markov tile prefetcher and a session-reuse
+//! cache over the listings table.
+//!
+//! ```sh
+//! cargo run --release --example travel_explorer [users]
+//! ```
+
+use ids::engine::{Backend, MemBackend, Predicate, Query};
+use ids::opt::prefetch::{evaluate_tile_strategy, zoom_budget, MarkovPrefetcher, TileStrategy};
+use ids::opt::reuse::SessionCache;
+use ids::report::{pct, TextTable};
+use ids::simclock::SimDuration;
+use ids::workload::composite::{
+    filter_counts, phase_times, simulate_study, widget_percentages, CompositeConfig,
+};
+use ids::workload::datasets;
+
+fn main() {
+    let users: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(15);
+    let config = CompositeConfig {
+        min_duration: SimDuration::from_secs(20 * 60),
+        request_model: None,
+    };
+    println!("simulating {users} exploration sessions (>= 20 min each)...\n");
+    let sessions = simulate_study(7, users, &config);
+
+    // Widget mix (Table 9).
+    let mut t = TextTable::new(["widget", "share"]);
+    for (w, p) in widget_percentages(&sessions) {
+        t.row([w.label(), &format!("{p:.1}%")]);
+    }
+    println!("{}", t.render());
+
+    // Filter accretion (Fig 20) and phase times (Fig 21).
+    let counts = filter_counts(&sessions);
+    let le4 = counts.iter().filter(|&&c| c <= 4.0).count() as f64 / counts.len() as f64;
+    let (req, exp) = phase_times(&sessions);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("P(filters <= 4) = {}", pct(le4));
+    println!(
+        "mean request {:.2}s vs mean exploration {:.2}s -> ~{:.0} prefetchable queries\n",
+        mean(&req),
+        mean(&exp),
+        mean(&exp) / mean(&req)
+    );
+
+    // Prefetching: Markov model trained on half the users, evaluated on
+    // the other half (no peeking).
+    let (train, eval) = sessions.split_at(users / 2);
+    let mut model = MarkovPrefetcher::new();
+    model.train_sessions(train);
+    let demand = evaluate_tile_strategy(eval, &model, TileStrategy::DemandOnly, 512);
+    let markov = evaluate_tile_strategy(eval, &model, TileStrategy::Markov { top_k: 2 }, 512);
+    println!(
+        "tile hit rate: demand-only {} -> with Markov prefetch {}",
+        pct(demand.hit_rate()),
+        pct(markov.hit_rate())
+    );
+    let mut budget = TextTable::new(["zoom", "precompute budget"]);
+    for (z, share) in zoom_budget(&sessions) {
+        budget.row([z.to_string(), pct(share)]);
+    }
+    println!("{}", budget.render());
+
+    // Session reuse against an actual listings table: repeated filter
+    // states become constant-time lookups.
+    let mem = MemBackend::new();
+    mem.database().register(datasets::listings(7, 50_000));
+    let cache = SessionCache::new(&mem);
+    for step in sessions[0].steps.iter().take(60) {
+        // Translate the step's price filter (if any) into a count query.
+        let price = step
+            .state
+            .filters
+            .iter()
+            .find(|f| f.field == "price")
+            .and_then(|f| {
+                let (lo, hi) = f.value.split_once('_')?;
+                Some((lo.parse::<f64>().ok()?, hi.parse::<f64>().ok()?))
+            })
+            .unwrap_or((10.0, 2_000.0));
+        let q = Query::count("listings", Predicate::between("price", price.0, price.1));
+        cache.execute(&q).expect("query");
+    }
+    let stats = cache.stats();
+    println!(
+        "session reuse over listings: hit rate {}, speedup {:.1}x",
+        pct(stats.hit_rate()),
+        stats.speedup()
+    );
+}

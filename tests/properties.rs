@@ -1,0 +1,265 @@
+//! Property-based tests over the workspace's core invariants.
+
+use ids::engine::{
+    BinSpec, ColumnBuilder, Histogram, Predicate, Query, Table, TableBuilder,
+};
+use ids::engine::{Backend, MemBackend};
+use ids::metrics::lcv::{cascade_violations, supply_violations, QuerySpan};
+use ids::metrics::stats::{Cdf, Summary};
+use ids::opt::klfilter::kl_divergence;
+use ids::simclock::{EventQueue, SimTime};
+use ids::study::assignment::{balanced_latin_square, is_latin_square, latin_square};
+use ids::workload::trace::{ScrollRecord, SliderRecord, Trace, TraceRecord};
+use proptest::prelude::*;
+
+fn float_table(xs: Vec<f64>) -> Table {
+    TableBuilder::new("t")
+        .column("x", ColumnBuilder::float(xs.clone()))
+        .column("y", ColumnBuilder::float(xs.into_iter().map(|v| v * 2.0)))
+        .build()
+        .expect("table")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LIMIT/OFFSET pagination partitions the table: concatenating pages
+    /// yields every row exactly once, in order.
+    #[test]
+    fn pagination_partitions_table(
+        rows in 1usize..200,
+        page in 1usize..40,
+    ) {
+        let table = TableBuilder::new("t")
+            .column("id", ColumnBuilder::int(0..rows as i64))
+            .build()
+            .expect("table");
+        let backend = MemBackend::new();
+        backend.database().register(table);
+        let mut seen = Vec::new();
+        let mut offset = 0;
+        loop {
+            let q = Query::select("t", vec![], Predicate::True, Some(page), offset);
+            let out = backend.execute(&q).expect("select");
+            let rows_out = out.result.rows().expect("rows").to_vec();
+            if rows_out.is_empty() {
+                break;
+            }
+            seen.extend(rows_out.iter().map(|r| r[0].as_i64().expect("int")));
+            offset += page;
+        }
+        prop_assert_eq!(seen, (0..rows as i64).collect::<Vec<_>>());
+    }
+
+    /// A filtered count never exceeds the table size and agrees with a
+    /// naive scan.
+    #[test]
+    fn filter_agrees_with_naive_scan(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..300),
+        lo in -100.0f64..100.0,
+        width in 0.0f64..100.0,
+    ) {
+        let hi = lo + width;
+        let table = float_table(xs.clone());
+        let backend = MemBackend::new();
+        backend.database().register(table);
+        let q = Query::count("t", Predicate::between("x", lo, hi));
+        let count = backend.execute(&q).expect("count").scalar_count().expect("scalar");
+        let naive = xs.iter().filter(|&&x| x >= lo && x <= hi).count() as u64;
+        prop_assert_eq!(count, naive);
+    }
+
+    /// Histogram totals equal the number of filtered rows that fall in
+    /// the bin domain.
+    #[test]
+    fn histogram_total_matches_in_domain_rows(
+        xs in prop::collection::vec(0.0f64..100.0, 1..300),
+        bins in 1usize..30,
+    ) {
+        let table = float_table(xs.clone());
+        let backend = MemBackend::new();
+        backend.database().register(table);
+        let spec = BinSpec::new("y", 0.0, 200.0, bins);
+        let q = Query::histogram("t", spec.clone(), Predicate::True);
+        let out = backend.execute(&q).expect("histogram");
+        let hist = out.result.histogram().expect("histogram");
+        let expected = xs.iter().filter(|&&x| spec.bin_of(x * 2.0).is_some()).count() as u64;
+        prop_assert_eq!(hist.total(), expected);
+    }
+
+    /// KL divergence is non-negative and zero iff shapes match.
+    #[test]
+    fn kl_nonnegative_and_identity(
+        counts in prop::collection::vec(0u64..1000, 2..20),
+        scale in 1u64..50,
+    ) {
+        let a = Histogram::from_counts(counts.clone());
+        let b = Histogram::from_counts(counts.iter().map(|&c| c * scale).collect());
+        prop_assert!(kl_divergence(&a, &b) < 1e-6, "scaled copy has zero divergence");
+        let mut other = counts.clone();
+        other.reverse();
+        let c = Histogram::from_counts(other.clone());
+        prop_assert!(kl_divergence(&a, &c) >= 0.0);
+        if counts != other {
+            // Different shapes diverge (unless palindromic).
+            let d = kl_divergence(&a, &c);
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    /// The event queue dequeues in non-decreasing time order with FIFO
+    /// ties, for any insertion order.
+    #[test]
+    fn event_queue_is_temporally_ordered(
+        times in prop::collection::vec(0u64..1000, 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i);
+        }
+        let drained = q.drain_ordered();
+        for w in drained.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among ties");
+            }
+        }
+        prop_assert_eq!(drained.len(), times.len());
+    }
+
+    /// Cascade LCV is monotone in execution time: slower backends can
+    /// only violate more.
+    #[test]
+    fn lcv_monotone_in_latency(
+        intervals in prop::collection::vec(1u64..100, 2..50),
+        exec_fast in 1u64..50,
+        extra in 1u64..200,
+    ) {
+        let spans = |exec: u64| {
+            let mut t = 0u64;
+            let mut out = Vec::new();
+            let mut finish_prev = 0u64;
+            for &dt in &intervals {
+                t += dt;
+                let start = t.max(finish_prev);
+                let finish = start + exec;
+                finish_prev = finish;
+                out.push(QuerySpan {
+                    issued_at: SimTime::from_millis(t),
+                    finished_at: SimTime::from_millis(finish),
+                });
+            }
+            out
+        };
+        let fast = cascade_violations(&spans(exec_fast));
+        let slow = cascade_violations(&spans(exec_fast + extra));
+        prop_assert!(slow.violations >= fast.violations);
+    }
+
+    /// Supply violations vanish when supply dominates demand everywhere.
+    #[test]
+    fn dominating_supply_never_violates(
+        demands in prop::collection::vec((0u64..10_000, 0u64..1_000), 1..50),
+    ) {
+        let mut demand: Vec<(SimTime, u64)> = demands
+            .iter()
+            .map(|&(t, d)| (SimTime::from_millis(t), d))
+            .collect();
+        demand.sort_by_key(|&(t, _)| t);
+        // Make cumulative demand monotone.
+        let mut acc = 0;
+        for d in demand.iter_mut() {
+            acc = acc.max(d.1);
+            d.1 = acc;
+        }
+        // Supply everything instantly at t=0.
+        let supply = vec![(SimTime::ZERO, acc + 1)];
+        prop_assert_eq!(supply_violations(&demand, &supply).violations, 0);
+    }
+
+    /// Latin squares of any size satisfy the row/column permutation
+    /// property; balanced squares additionally balance ordered pairs.
+    #[test]
+    fn latin_square_properties(k in 1usize..10) {
+        prop_assert!(is_latin_square(&latin_square(k)));
+        if k >= 2 && k % 2 == 0 {
+            prop_assert!(is_latin_square(&balanced_latin_square(k)));
+        }
+    }
+
+    /// Trace records round-trip through TSV for arbitrary field values.
+    #[test]
+    fn scroll_record_tsv_round_trip(
+        ts in 0u64..u64::MAX / 2,
+        top in -1e9f64..1e9,
+        num in 0u64..1_000_000,
+        delta in -1e6f64..1e6,
+    ) {
+        let r = ScrollRecord {
+            timestamp_ms: ts,
+            scroll_top: top,
+            scroll_num: num,
+            delta,
+        };
+        let parsed = ScrollRecord::parse_line(&r.to_line()).expect("parse");
+        prop_assert_eq!(parsed, r);
+    }
+
+    /// Whole slider traces round-trip.
+    #[test]
+    fn slider_trace_tsv_round_trip(
+        recs in prop::collection::vec((0u64..1_000_000, -1e3f64..1e3, 0.0f64..1e3, 0u8..4), 0..50),
+    ) {
+        let trace = Trace::from_records(
+            recs.into_iter()
+                .map(|(ts, lo, w, idx)| SliderRecord {
+                    timestamp_ms: ts,
+                    min_val: lo,
+                    max_val: lo + w,
+                    slider_idx: idx,
+                })
+                .collect(),
+        );
+        let back: Trace<SliderRecord> = Trace::from_tsv(&trace.to_tsv()).expect("parse");
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Summary quantiles are order statistics: between min and max, and
+    /// monotone in q.
+    #[test]
+    fn summary_quantiles_are_monotone(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+    ) {
+        let s = Summary::of(&xs);
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&q| s.quantile(q).expect("non-empty"))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(qs[0], s.min().expect("non-empty"));
+        prop_assert_eq!(qs[4], s.max().expect("non-empty"));
+    }
+
+    /// CDF is a valid distribution function: monotone, 0 below min,
+    /// 1 at max.
+    #[test]
+    fn cdf_is_monotone(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        probes in prop::collection::vec(-1e6f64..1e6, 1..20),
+    ) {
+        let cdf = Cdf::of(&xs);
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(f64::total_cmp);
+        let mut prev = 0.0;
+        for &p in &sorted_probes {
+            let v = cdf.fraction_le(p);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(cdf.fraction_le(max), 1.0);
+    }
+}
