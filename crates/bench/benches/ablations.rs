@@ -28,7 +28,10 @@ fn kl_threshold_sweep() {
     let mut groups = compile_query_groups(&ui, &session.trace);
     groups.truncate(600);
     let sketch = HistogramSketch::new(road, 2_000, 72);
-    println!("{:>10} {:>10} {:>10} {:>8}", "threshold", "executed", "skipped", "lcv");
+    println!(
+        "{:>10} {:>10} {:>10} {:>8}",
+        "threshold", "executed", "skipped", "lcv"
+    );
     for threshold in [0.0, 0.05, 0.1, 0.2, 0.5, 1.0] {
         let out = replay_kl(&mem, &groups, &sketch, threshold).expect("replay");
         println!(
@@ -45,7 +48,10 @@ fn lookahead_sweep() {
     println!("Ablation: event-fetch lookahead vs violations");
     let session = scroll_session(0, 61, 1_200);
     let demand = demand_curve(&session);
-    println!("{:>10} {:>12} {:>12}", "lookahead", "violations", "avg wait ms");
+    println!(
+        "{:>10} {:>12} {:>12}",
+        "lookahead", "violations", "avg wait ms"
+    );
     for lookahead in [0u64, 6, 12, 24, 48, 96] {
         let cfg = LoadingConfig {
             fetch_size: 30,
@@ -100,8 +106,7 @@ fn markov_depth_sweep() {
     let demand = evaluate_tile_strategy(&sessions, &model, TileStrategy::DemandOnly, 512);
     println!("{:>8} {:>9.1}%", "none", demand.hit_rate() * 100.0);
     for top_k in [1usize, 2, 3, 6] {
-        let hit =
-            evaluate_tile_strategy(&sessions, &model, TileStrategy::Markov { top_k }, 512);
+        let hit = evaluate_tile_strategy(&sessions, &model, TileStrategy::Markov { top_k }, 512);
         println!("{top_k:>8} {:>9.1}%", hit.hit_rate() * 100.0);
     }
     println!();
@@ -115,7 +120,10 @@ fn cracking_demo() {
     let column = road.column("x").expect("x");
     let mut cracked = CrackedColumn::new(column).expect("numeric");
     let mut rng = SimRng::seed(9);
-    println!("{:>8} {:>16} {:>12}", "queries", "work this block", "cracks");
+    println!(
+        "{:>8} {:>16} {:>12}",
+        "queries", "work this block", "cracks"
+    );
     let mut last_work = 0u64;
     for block in 0..5 {
         for _ in 0..100 {
@@ -142,7 +150,8 @@ fn throttle_demo() {
     let road = datasets::road_network_sized(72, rows);
     let disk = DiskBackend::new();
     disk.database().register(road);
-    disk.execute(&Query::count("dataroad", Predicate::True)).expect("warmup");
+    disk.execute(&Query::count("dataroad", Predicate::True))
+        .expect("warmup");
     let ui = CrossfilterUi::for_road();
     let session = simulate_session(DeviceKind::LeapMotion, 1, 72, &ui);
     let mut groups = compile_query_groups(&ui, &session.trace);

@@ -43,12 +43,20 @@ fn benches(c: &mut Criterion) {
             fetch_exec: SimDuration::from_millis(80),
             total_tuples: 1_200,
         };
-        group.bench_with_input(BenchmarkId::new("fig10_event_fetch", size), &cfg, |b, cfg| {
-            b.iter(|| event_fetch(&demand, cfg, cfg.fetch_size));
-        });
-        group.bench_with_input(BenchmarkId::new("fig10_timer_fetch", size), &cfg, |b, cfg| {
-            b.iter(|| timer_fetch(&demand, cfg, SimDuration::from_secs(1)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fig10_event_fetch", size),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| event_fetch(&demand, cfg, cfg.fetch_size));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fig10_timer_fetch", size),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| timer_fetch(&demand, cfg, SimDuration::from_secs(1)));
+            },
+        );
     }
     group.finish();
 }

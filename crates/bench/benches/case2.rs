@@ -23,7 +23,8 @@ fn benches(c: &mut Criterion) {
     mem.database().register(road.clone());
     let disk = DiskBackend::new();
     disk.database().register(road.clone());
-    disk.execute(&Query::count("dataroad", Predicate::True)).expect("warmup");
+    disk.execute(&Query::count("dataroad", Predicate::True))
+        .expect("warmup");
 
     let ui = CrossfilterUi::for_road();
     let session = simulate_session(DeviceKind::Mouse, 0, 72, &ui);

@@ -30,7 +30,12 @@ fn benches(c: &mut Criterion) {
     group.bench_function("filtered_histogram", |b| {
         let q = Query::histogram(
             "dataroad",
-            BinSpec::new("y", datasets::road_domain::Y_MIN, datasets::road_domain::Y_MAX, 20),
+            BinSpec::new(
+                "y",
+                datasets::road_domain::Y_MIN,
+                datasets::road_domain::Y_MAX,
+                20,
+            ),
             Predicate::and([
                 Predicate::between("x", 8.5, 10.5),
                 Predicate::between("z", 0.0, 100.0),
@@ -42,7 +47,12 @@ fn benches(c: &mut Criterion) {
     group.bench_function("disk_histogram_warm", |b| {
         let q = Query::histogram(
             "dataroad",
-            BinSpec::new("y", datasets::road_domain::Y_MIN, datasets::road_domain::Y_MAX, 20),
+            BinSpec::new(
+                "y",
+                datasets::road_domain::Y_MIN,
+                datasets::road_domain::Y_MAX,
+                20,
+            ),
             Predicate::between("x", 8.5, 10.5),
         );
         disk.execute(&q).expect("warmup");
@@ -62,7 +72,10 @@ fn benches(c: &mut Criterion) {
     group.bench_function("q1_paginated_select", |b| {
         let q = Query::select(
             "imdb",
-            vec![Projection::title_with_year("title", "year"), Projection::column("rating")],
+            vec![
+                Projection::title_with_year("title", "year"),
+                Projection::column("rating"),
+            ],
             Predicate::True,
             Some(100),
             1_900,
@@ -91,7 +104,10 @@ fn benches(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 1) % 2_048;
-            pool.touch(PageId { table: 0, page_no: i })
+            pool.touch(PageId {
+                table: 0,
+                page_no: i,
+            })
         });
     });
     group.finish();
@@ -108,12 +124,21 @@ fn benches(c: &mut Criterion) {
     let pb = MemBackend::new();
     pb.database().register(t);
     let queries: Vec<Query> = (0..64)
-        .map(|i| Query::count("wide", Predicate::between("x", 0.0, 1_000.0 * (i + 1) as f64)))
+        .map(|i| {
+            Query::count(
+                "wide",
+                Predicate::between("x", 0.0, 1_000.0 * (i + 1) as f64),
+            )
+        })
         .collect();
     for threads in [1usize, 2, 4, 8] {
-        par.bench_with_input(BenchmarkId::new("batch_64_queries", threads), &threads, |b, &t| {
-            b.iter(|| execute_batch(&pb, &queries, t).expect("batch"));
-        });
+        par.bench_with_input(
+            BenchmarkId::new("batch_64_queries", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| execute_batch(&pb, &queries, t).expect("batch"));
+            },
+        );
     }
     par.finish();
 }

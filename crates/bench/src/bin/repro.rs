@@ -2,11 +2,14 @@
 //! Data Systems* from this repository's implementation.
 //!
 //! ```text
-//! repro --all                # everything
-//! repro --index              # the artifact → module → target index
-//! repro --table 8            # one table
-//! repro --figure 13          # one figure
-//! IDS_SCALE=paper repro ...  # full study scale (slower)
+//! repro --all                    # everything
+//! repro --index                  # the artifact → module → target index
+//! repro --table 8                # one table
+//! repro --figure 13              # one figure
+//! repro --trace-out trace.json --figure 13
+//!                                # also export a Chrome/Perfetto trace
+//! repro --metrics-out run.tsv ...# write the metrics snapshot as TSV
+//! IDS_SCALE=paper repro ...      # full study scale (slower)
 //! ```
 
 use std::collections::BTreeSet;
@@ -14,9 +17,17 @@ use std::collections::BTreeSet;
 use ids_bench::Scale;
 use ids_core::experiments::{case1, case2, case3, methodology, scalability};
 use ids_core::registry;
+use ids_core::report;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = take_value_flag(&mut args, "--trace-out");
+    let metrics_out = take_value_flag(&mut args, "--metrics-out");
+    if trace_out.is_some() {
+        // Tracing is observation-only: same-seed output tables are
+        // identical with or without it (see tests/observability.rs).
+        ids_obs::enable();
+    }
     let scale = Scale::from_env();
     match parse(&args) {
         Command::Index => println!("{}", registry::render_index()),
@@ -43,10 +54,55 @@ fn main() {
             }
             eprintln!(
                 "usage: repro [--all | --index | --table N | --figure N]\n\
+                 \x20      [--trace-out FILE] [--metrics-out FILE]\n\
                  scale: set IDS_SCALE=paper for full study sizes"
             );
             std::process::exit(2);
         }
+    }
+    finish_telemetry(trace_out.as_deref(), metrics_out.as_deref());
+}
+
+/// Removes `flag VALUE` from `args` if present, returning the value.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("error: {flag} requires a file path argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+/// End-of-run telemetry: the per-phase wall/virtual table, the metrics
+/// snapshot summary, and the requested trace / metrics files.
+fn finish_telemetry(trace_out: Option<&str>, metrics_out: Option<&str>) {
+    let rec = ids_obs::recorder();
+    let phases = rec.phases();
+    let phase_table = report::phase_summary(&phases);
+    if !phase_table.is_empty() {
+        println!("{phase_table}");
+    }
+    let snap = ids_obs::metrics().snapshot();
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(path, ids_obs::metrics_tsv(&snap)) {
+            eprintln!("error: writing metrics snapshot to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics snapshot written to {path}");
+    }
+    if let Some(path) = trace_out {
+        println!("{}", report::metrics_summary(&snap));
+        let json = ids_obs::chrome_trace_json(&rec.events(), &rec.tracks());
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: writing trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace with {} events written to {path} (open in ui.perfetto.dev or chrome://tracing)",
+            rec.event_count()
+        );
     }
 }
 

@@ -92,7 +92,10 @@ pub struct Case1Report {
 
 /// Runs the full case study.
 pub fn run(config: &Case1Config) -> Case1Report {
-    let sessions = simulate_study(config.seed, config.users, config.tuples);
+    let sessions = {
+        let _p = ids_obs::phase("case1.simulate");
+        simulate_study(config.seed, config.users, config.tuples)
+    };
 
     // --- Fig 7: one representative inertial trace vs plain scrolling ---
     let inertial_peak = sessions[0]
@@ -110,12 +113,21 @@ pub fn run(config: &Case1Config) -> Case1Report {
     let speeds: Vec<SpeedStats> = sessions.iter().map(speed_stats).collect();
     let selections: Vec<(usize, u64, u64)> = sessions
         .iter()
-        .map(|s| (s.selections.len(), s.backscrolled_selections, s.backscroll_passes))
+        .map(|s| {
+            (
+                s.selections.len(),
+                s.backscrolled_selections,
+                s.backscroll_passes,
+            )
+        })
         .collect();
 
     // --- Fig 10 / Table 8: loading strategies over the disk backend ---
+    let _p = ids_obs::phase("case1.execute");
     let backend = DiskBackend::new();
-    backend.database().register(datasets::movies_sized(config.seed, config.tuples));
+    backend
+        .database()
+        .register(datasets::movies_sized(config.seed, config.tuples));
     let mut fetch_cost_ms = Vec::new();
     let mut event = Vec::new();
     let mut timer = Vec::new();
@@ -133,7 +145,9 @@ pub fn run(config: &Case1Config) -> Case1Report {
         // only a handful of tuples, which is why acceleration bursts
         // violate it at every fetch size.
         let lookahead = ((size as f64) * exec.as_secs_f64()).round().max(1.0) as u64;
-        event.push(sweep_point(size, &sessions, |d| event_fetch(d, &cfg, lookahead)));
+        event.push(sweep_point(size, &sessions, |d| {
+            event_fetch(d, &cfg, lookahead)
+        }));
         timer.push(sweep_point(size, &sessions, |d| {
             timer_fetch(d, &cfg, SimDuration::from_secs(1))
         }));
@@ -200,10 +214,34 @@ where
 impl Case1Report {
     /// Table 7: range/mean/median of max and average scroll speed.
     pub fn render_table7(&self) -> String {
-        let max_t = Summary::of(&self.speeds.iter().map(|s| s.max_tuples_per_s).collect::<Vec<_>>());
-        let avg_t = Summary::of(&self.speeds.iter().map(|s| s.avg_tuples_per_s).collect::<Vec<_>>());
-        let max_p = Summary::of(&self.speeds.iter().map(|s| s.max_px_per_s).collect::<Vec<_>>());
-        let avg_p = Summary::of(&self.speeds.iter().map(|s| s.avg_px_per_s).collect::<Vec<_>>());
+        let max_t = Summary::of(
+            &self
+                .speeds
+                .iter()
+                .map(|s| s.max_tuples_per_s)
+                .collect::<Vec<_>>(),
+        );
+        let avg_t = Summary::of(
+            &self
+                .speeds
+                .iter()
+                .map(|s| s.avg_tuples_per_s)
+                .collect::<Vec<_>>(),
+        );
+        let max_p = Summary::of(
+            &self
+                .speeds
+                .iter()
+                .map(|s| s.max_px_per_s)
+                .collect::<Vec<_>>(),
+        );
+        let avg_p = Summary::of(
+            &self
+                .speeds
+                .iter()
+                .map(|s| s.avg_px_per_s)
+                .collect::<Vec<_>>(),
+        );
         let fmt = |s: &Summary| {
             let (lo, hi) = s.range().unwrap_or((0.0, 0.0));
             format!(
@@ -228,7 +266,13 @@ impl Case1Report {
     pub fn render_fig8(&self) -> String {
         let mut rows: Vec<&SpeedStats> = self.speeds.iter().collect();
         rows.sort_by(|a, b| b.max_tuples_per_s.total_cmp(&a.max_tuples_per_s));
-        let mut t = TextTable::new(["user", "max tuples/s", "avg tuples/s", "max px/s", "avg px/s"]);
+        let mut t = TextTable::new([
+            "user",
+            "max tuples/s",
+            "avg tuples/s",
+            "max px/s",
+            "avg px/s",
+        ]);
         for (i, s) in rows.iter().enumerate() {
             t.row([
                 i.to_string(),
@@ -238,12 +282,20 @@ impl Case1Report {
                 format!("{:.0}", s.avg_px_per_s),
             ]);
         }
-        format!("Fig 8: Scrolling speed per user (sorted by max)\n{}", t.render())
+        format!(
+            "Fig 8: Scrolling speed per user (sorted by max)\n{}",
+            t.render()
+        )
     }
 
     /// Fig 9: selections vs backscrolled selections per user.
     pub fn render_fig9(&self) -> String {
-        let mut t = TextTable::new(["user", "movies selected", "backscrolled selections", "backscroll passes"]);
+        let mut t = TextTable::new([
+            "user",
+            "movies selected",
+            "backscrolled selections",
+            "backscroll passes",
+        ]);
         for (i, &(sel, back, passes)) in self.selections.iter().enumerate() {
             t.row([
                 i.to_string(),
@@ -277,7 +329,10 @@ impl Case1Report {
                 format!("{:.1}", tm.avg_latency_ms),
             ]);
         }
-        format!("Fig 10: Average loading latency vs tuples fetched\n{}", t.render())
+        format!(
+            "Fig 10: Average loading latency vs tuples fetched\n{}",
+            t.render()
+        )
     }
 
     /// Table 8: violation counts.
@@ -291,10 +346,26 @@ impl Case1Report {
             cells.extend(pts.iter().map(f));
             cells
         };
-        t.row(row("# users (event)", &|p| p.violating_users.to_string(), &self.event));
-        t.row(row("# users (timer)", &|p| p.violating_users.to_string(), &self.timer));
-        t.row(row("# violations (event)", &|p| p.total_violations.to_string(), &self.event));
-        t.row(row("# violations (timer)", &|p| p.total_violations.to_string(), &self.timer));
+        t.row(row(
+            "# users (event)",
+            &|p| p.violating_users.to_string(),
+            &self.event,
+        ));
+        t.row(row(
+            "# users (timer)",
+            &|p| p.violating_users.to_string(),
+            &self.timer,
+        ));
+        t.row(row(
+            "# violations (event)",
+            &|p| p.total_violations.to_string(),
+            &self.event,
+        ));
+        t.row(row(
+            "# violations (timer)",
+            &|p| p.total_violations.to_string(),
+            &self.timer,
+        ));
         format!(
             "Table 8: Latency Constraint Violations for Event & Timer Fetch ({} users)\n{}",
             self.config.users,
@@ -362,7 +433,11 @@ mod tests {
     fn table8_shape_event_violates_more_users_than_timer() {
         let r = report();
         for (e, t) in r.event.iter().zip(&r.timer) {
-            assert!(e.violating_users >= t.violating_users, "size {}", e.fetch_size);
+            assert!(
+                e.violating_users >= t.violating_users,
+                "size {}",
+                e.fetch_size
+            );
         }
         // Timer violations collapse as the fetch size grows.
         let t0 = r.timer.first().unwrap().total_violations;

@@ -8,13 +8,17 @@ use std::collections::HashMap;
 
 use ids_devices::pointer::{path_wobble, Point, PointerSimulator};
 use ids_devices::{DeviceKind, DeviceProfile};
-use ids_engine::{Backend, Database, DiskBackend, EngineResult, MemBackend, Predicate, Query, QueryOutcome};
+use ids_engine::{
+    Backend, Database, DiskBackend, EngineResult, MemBackend, Predicate, Query, QueryOutcome,
+};
 use ids_metrics::qif::QifReport;
 use ids_opt::klfilter::{replay_kl, HistogramSketch, PERCEPTIBLE_KL};
 use ids_opt::skip::{replay_raw, replay_skip, ReplayOutcome};
 use ids_simclock::rng::SimRng;
 use ids_simclock::SimTime;
-use ids_workload::crossfilter::{compile_query_groups, simulate_session, CrossfilterUi, QueryGroup};
+use ids_workload::crossfilter::{
+    compile_query_groups, simulate_session, CrossfilterUi, QueryGroup,
+};
 use ids_workload::datasets;
 use parking_lot::Mutex;
 
@@ -167,6 +171,7 @@ impl Backend for MemoBackend<'_> {
 
 /// Runs the full case study.
 pub fn run(config: &Case2Config) -> Case2Report {
+    let setup_phase = ids_obs::phase("case2.setup");
     let ui = CrossfilterUi::for_road();
     let road = datasets::road_network_sized(config.seed, config.rows);
 
@@ -187,7 +192,9 @@ pub fn run(config: &Case2Config) -> Case2Report {
     let mem_memo = MemoBackend::new(&mem);
 
     let sketch = HistogramSketch::new(road, config.kl_sample, config.seed);
+    drop(setup_phase);
 
+    let _p = ids_obs::phase("case2.replay");
     let mut conditions = Vec::new();
     let mut events_per_device = Vec::new();
     let mut qif = Vec::new();
@@ -197,19 +204,17 @@ pub fn run(config: &Case2Config) -> Case2Report {
         groups.truncate(config.max_groups);
         events_per_device.push((device, groups.len()));
 
-        for (backend_name, backend) in
-            [("disk", &disk_memo as &dyn Backend), ("mem", &mem_memo as &dyn Backend)]
-        {
+        for (backend_name, backend) in [
+            ("disk", &disk_memo as &dyn Backend),
+            ("mem", &mem_memo as &dyn Backend),
+        ] {
             for opt in OPTS {
                 let outcome = replay_condition(backend, &groups, &sketch, opt);
                 // Fig 14 uses the executed-query stream per device × opt
                 // (identical across backends; record once, from disk).
                 if backend_name == "disk" && opt != "skip" {
-                    let stamps: Vec<SimTime> = outcome
-                        .executed()
-                        .iter()
-                        .map(|t| t.issued_at)
-                        .collect();
+                    let stamps: Vec<SimTime> =
+                        outcome.executed().iter().map(|t| t.issued_at).collect();
                     qif.push((device, opt, QifReport::from_timestamps(&stamps)));
                 }
                 conditions.push(summarize(backend_name, opt, device, &outcome));
@@ -319,15 +324,27 @@ impl Case2Report {
         for &(d, w) in &self.fig11_wobble {
             t.row([d.label().to_string(), format!("{w:.1}")]);
         }
-        format!("Fig 11: Range-specification jitter per device\n{}", t.render())
+        format!(
+            "Fig 11: Range-specification jitter per device\n{}",
+            t.render()
+        )
     }
 
     /// Fig 13 rendering: median latency and a latency-over-time sparkline
     /// per condition.
     pub fn render_fig13(&self) -> String {
-        let mut t = TextTable::new(["device", "backend:opt", "median latency (ms)", "latency over time"]);
+        let mut t = TextTable::new([
+            "device",
+            "backend:opt",
+            "median latency (ms)",
+            "latency over time",
+        ]);
         for c in &self.conditions {
-            let series: Vec<f64> = c.latency_series.iter().map(|&(_, l)| (l + 1.0).log10()).collect();
+            let series: Vec<f64> = c
+                .latency_series
+                .iter()
+                .map(|&(_, l)| (l + 1.0).log10())
+                .collect();
             t.row([
                 c.device.label().to_string(),
                 format!("{}:{}", c.backend, c.opt),
@@ -335,7 +352,10 @@ impl Case2Report {
                 sparkline(&downsample(&series, 40)),
             ]);
         }
-        format!("Fig 13: Latency under different factors (log-scale sparklines)\n{}", t.render())
+        format!(
+            "Fig 13: Latency under different factors (log-scale sparklines)\n{}",
+            t.render()
+        )
     }
 
     /// Fig 14 rendering: QIF summaries per device × optimization.
@@ -359,7 +379,10 @@ impl Case2Report {
                 format!("{:.1}", report.queries_per_second()),
             ]);
         }
-        format!("Fig 14: Query issuing intervals per device and optimization\n{}", t.render())
+        format!(
+            "Fig 14: Query issuing intervals per device and optimization\n{}",
+            t.render()
+        )
     }
 
     /// Fig 15 rendering: violation percentages.
@@ -378,7 +401,10 @@ impl Case2Report {
                 t.row([format!("{}:{}", opt, device.label()), disk, mem]);
             }
         }
-        format!("Fig 15: Queries violating the latency constraint\n{}", t.render())
+        format!(
+            "Fig 15: Queries violating the latency constraint\n{}",
+            t.render()
+        )
     }
 
     /// Full report.
@@ -516,7 +542,10 @@ mod tests {
         let mem_raw = r.lcv_fraction("mem", "raw").unwrap();
         let disk_raw = r.lcv_fraction("disk", "raw").unwrap();
         assert!(mem_raw < disk_raw, "mem {mem_raw:.2} vs disk {disk_raw:.2}");
-        assert!(disk_raw > 0.5, "raw disk should violate heavily: {disk_raw:.2}");
+        assert!(
+            disk_raw > 0.5,
+            "raw disk should violate heavily: {disk_raw:.2}"
+        );
         // KL>0.2 reduces disk violations vs raw.
         let disk_kl = r.lcv_fraction("disk", "kl>0.2").unwrap();
         assert!(disk_kl < disk_raw);

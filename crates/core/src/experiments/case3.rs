@@ -6,13 +6,11 @@
 //! implications (≈ 18 prefetchable queries; Markov prefetcher hit rate).
 
 use ids_metrics::stats::Cdf;
-use ids_opt::prefetch::{
-    evaluate_tile_strategy, zoom_budget, MarkovPrefetcher, TileStrategy,
-};
+use ids_opt::prefetch::{evaluate_tile_strategy, zoom_budget, MarkovPrefetcher, TileStrategy};
 use ids_simclock::SimDuration;
 use ids_workload::composite::{
-    drag_deltas, filter_counts, phase_times, simulate_study, widget_percentages,
-    CompositeConfig, CompositeSession, Widget,
+    drag_deltas, filter_counts, phase_times, simulate_study, widget_percentages, CompositeConfig,
+    CompositeSession, Widget,
 };
 
 use crate::report::{pct, TextTable};
@@ -88,14 +86,18 @@ pub struct Case3Report {
 
 /// Runs the full case study.
 pub fn run(config: &Case3Config) -> Case3Report {
-    let sessions = simulate_study(
-        config.seed,
-        config.users,
-        &CompositeConfig {
-            min_duration: config.min_session,
-            request_model: None,
-        },
-    );
+    let sessions = {
+        let _p = ids_obs::phase("case3.simulate");
+        simulate_study(
+            config.seed,
+            config.users,
+            &CompositeConfig {
+                min_duration: config.min_session,
+                request_model: None,
+            },
+        )
+    };
+    let _p = ids_obs::phase("case3.analyze");
 
     let widget_pct = widget_percentages(&sessions);
     let zoom_series = sessions
@@ -196,7 +198,10 @@ impl Case3Report {
         ]);
         t.row(["button", &format!("{:.1}%", get(Widget::Button))]);
         t.row(["text box", &format!("{:.1}%", get(Widget::TextBox))]);
-        format!("Table 9: Percentage of queries per interface\n{}", t.render())
+        format!(
+            "Table 9: Percentage of queries per interface\n{}",
+            t.render()
+        )
     }
 
     /// Fig 18 rendering: zoom dwell summary per user.
@@ -216,7 +221,10 @@ impl Case3Report {
                 pct(in_band as f64 / zs.len() as f64),
             ]);
         }
-        format!("Fig 18: Zoom levels over time (summary per user)\n{}", t.render())
+        format!(
+            "Fig 18: Zoom levels over time (summary per user)\n{}",
+            t.render()
+        )
     }
 
     /// Table 10 rendering.
@@ -237,7 +245,10 @@ impl Case3Report {
     pub fn render_fig20(&self) -> String {
         let mut t = TextTable::new(["# filter conditions", "CDF"]);
         for k in 0..=14 {
-            t.row([k.to_string(), format!("{:.2}", self.filter_cdf.fraction_le(k as f64))]);
+            t.row([
+                k.to_string(),
+                format!("{:.2}", self.filter_cdf.fraction_le(k as f64)),
+            ]);
         }
         format!("Fig 20: CDF of number of filter conditions\n{}", t.render())
     }

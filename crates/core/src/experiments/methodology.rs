@@ -20,12 +20,7 @@ pub fn render_fig1() -> String {
 /// Fig 3: the QIF × backend quadrant with example classifications.
 pub fn render_fig3() -> String {
     let mut t = TextTable::new(["QIF (q/s)", "mean service", "quadrant", "guidance"]);
-    let cases = [
-        (50.0, 5u64),
-        (50.0, 100),
-        (5.0, 5),
-        (5.0, 500),
-    ];
+    let cases = [(50.0, 5u64), (50.0, 100), (5.0, 5), (5.0, 500)];
     for (qif, service_ms) in cases {
         let q = QifQuadrant::classify(qif, SimDuration::from_millis(service_ms), 40.0);
         t.row([
@@ -35,7 +30,10 @@ pub fn render_fig3() -> String {
             q.guidance().to_string(),
         ]);
     }
-    format!("Fig 3: Trade-offs with backend and frontend performance\n{}", t.render())
+    format!(
+        "Fig 3: Trade-offs with backend and frontend performance\n{}",
+        t.render()
+    )
 }
 
 /// Fig 4: in-person vs remote decision, enumerated.
@@ -73,12 +71,18 @@ pub fn render_fig5() -> String {
 
 /// Table 1 rendering.
 pub fn render_table1() -> String {
-    format!("Table 1: Metrics for Data Interaction 1997-2012\n{}", render_table(Era::Early))
+    format!(
+        "Table 1: Metrics for Data Interaction 1997-2012\n{}",
+        render_table(Era::Early)
+    )
 }
 
 /// Table 2 rendering.
 pub fn render_table2() -> String {
-    format!("Table 2: Metrics for Data Interaction 2012-present\n{}", render_table(Era::Modern))
+    format!(
+        "Table 2: Metrics for Data Interaction 2012-present\n{}",
+        render_table(Era::Modern)
+    )
 }
 
 /// Table 3 rendering: metric selection guidelines.
@@ -100,7 +104,10 @@ pub fn render_table4() -> String {
         };
         t.row([side, &format!("{b:?}"), b.mitigation()]);
     }
-    format!("Table 4: Cognitive Biases during User Studies\n{}", t.render())
+    format!(
+        "Table 4: Cognitive Biases during User Studies\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -126,7 +133,12 @@ mod tests {
     #[test]
     fn fig3_covers_all_quadrants() {
         let text = render_fig3();
-        for q in ["Good", "PerceivedSlow", "Unresponsive", "OverwhelmedThrottle"] {
+        for q in [
+            "Good",
+            "PerceivedSlow",
+            "Unresponsive",
+            "OverwhelmedThrottle",
+        ] {
             assert!(text.contains(q), "missing {q}");
         }
     }

@@ -84,6 +84,7 @@ fn dim_predicates() -> Vec<Predicate> {
 
 /// Runs all three sweeps.
 pub fn run(config: &ScalabilityConfig) -> ScalabilityReport {
+    let _p = ids_obs::phase("scalability.sweep");
     let db = Database::new();
     db.register(datasets::listings(config.seed, config.rows));
     let probe = Query::histogram(
@@ -165,7 +166,11 @@ impl ScalabilityReport {
 
         let mut dims_t = TextTable::new(["# WHERE conditions", "elapsed (ms)", "rows matched"]);
         for &(d, t, m) in &self.dim_sweep {
-            dims_t.row([d.to_string(), format!("{:.1}", t.as_millis_f64()), m.to_string()]);
+            dims_t.row([
+                d.to_string(),
+                format!("{:.1}", t.as_millis_f64()),
+                m.to_string(),
+            ]);
         }
         format!(
             "Scalability (node sweep; diminishing returns past {knee} nodes):\n{}\n\
@@ -215,7 +220,11 @@ mod tests {
         assert!(matched.windows(2).all(|w| w[1] <= w[0]), "{matched:?}");
         // ...but elapsed time eventually rises as predicate-evaluation
         // cost dominates (DICE Fig 6's shape).
-        let times: Vec<f64> = r.dim_sweep.iter().map(|&(_, t, _)| t.as_millis_f64()).collect();
+        let times: Vec<f64> = r
+            .dim_sweep
+            .iter()
+            .map(|&(_, t, _)| t.as_millis_f64())
+            .collect();
         let min_idx = times
             .iter()
             .enumerate()

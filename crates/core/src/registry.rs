@@ -32,37 +32,223 @@ pub struct Artifact {
 
 /// Every table and figure in the paper.
 pub const ARTIFACTS: &[Artifact] = &[
-    Artifact { kind: ArtifactKind::Figure, number: "1", title: "Metric taxonomy", modules: "ids_metrics::taxonomy", regenerate: "repro --figure 1" },
-    Artifact { kind: ArtifactKind::Figure, number: "2", title: "LCV cascade (illustration)", modules: "ids_metrics::lcv", regenerate: "" },
-    Artifact { kind: ArtifactKind::Figure, number: "3", title: "QIF/backend trade-off quadrants", modules: "ids_metrics::qif", regenerate: "repro --figure 3" },
-    Artifact { kind: ArtifactKind::Figure, number: "4", title: "In-person vs remote decision", modules: "ids_study::design", regenerate: "repro --figure 4" },
-    Artifact { kind: ArtifactKind::Figure, number: "5", title: "Study design by metric", modules: "ids_study::design", regenerate: "repro --figure 5" },
-    Artifact { kind: ArtifactKind::Figure, number: "6", title: "Scrolling interface (illustration)", modules: "ids_workload::scrolling", regenerate: "" },
-    Artifact { kind: ArtifactKind::Figure, number: "7", title: "Wheel delta with/without inertia", modules: "ids_devices::scroll, ids_core::experiments::case1", regenerate: "repro --figure 7" },
-    Artifact { kind: ArtifactKind::Figure, number: "8", title: "Scrolling speed per user", modules: "ids_workload::scrolling, ids_core::experiments::case1", regenerate: "repro --figure 8" },
-    Artifact { kind: ArtifactKind::Figure, number: "9", title: "Selections vs backscrolls", modules: "ids_workload::scrolling, ids_core::experiments::case1", regenerate: "repro --figure 9" },
-    Artifact { kind: ArtifactKind::Figure, number: "10", title: "Event vs timer fetch latency", modules: "ids_opt::loading, ids_core::experiments::case1", regenerate: "repro --figure 10" },
-    Artifact { kind: ArtifactKind::Figure, number: "11", title: "Device jitter traces", modules: "ids_devices::pointer, ids_core::experiments::case2", regenerate: "repro --figure 11" },
-    Artifact { kind: ArtifactKind::Figure, number: "12", title: "Crossfilter interface (illustration)", modules: "ids_workload::crossfilter", regenerate: "" },
-    Artifact { kind: ArtifactKind::Figure, number: "13", title: "Latency per backend/opt/device", modules: "ids_opt::{skip,klfilter}, ids_core::experiments::case2", regenerate: "repro --figure 13" },
-    Artifact { kind: ArtifactKind::Figure, number: "14", title: "Query issuing interval histograms", modules: "ids_metrics::qif, ids_core::experiments::case2", regenerate: "repro --figure 14" },
-    Artifact { kind: ArtifactKind::Figure, number: "15", title: "LCV percentage per condition", modules: "ids_metrics::lcv, ids_core::experiments::case2", regenerate: "repro --figure 15" },
-    Artifact { kind: ArtifactKind::Figure, number: "16", title: "Airbnb interface (illustration)", modules: "ids_workload::composite", regenerate: "" },
-    Artifact { kind: ArtifactKind::Figure, number: "17", title: "Exploration loop (illustration)", modules: "ids_workload::composite", regenerate: "" },
-    Artifact { kind: ArtifactKind::Figure, number: "18", title: "Zoom levels over time", modules: "ids_workload::composite, ids_core::experiments::case3", regenerate: "repro --figure 18" },
-    Artifact { kind: ArtifactKind::Figure, number: "19", title: "Center movement per zoom", modules: "ids_workload::composite, ids_core::experiments::case3", regenerate: "repro --figure 19" },
-    Artifact { kind: ArtifactKind::Figure, number: "20", title: "Filter-count CDF", modules: "ids_workload::composite, ids_core::experiments::case3", regenerate: "repro --figure 20" },
-    Artifact { kind: ArtifactKind::Figure, number: "21", title: "Request/exploration CDFs", modules: "ids_workload::composite, ids_core::experiments::case3", regenerate: "repro --figure 21" },
-    Artifact { kind: ArtifactKind::Table, number: "1", title: "Metrics 1997-2012", modules: "ids_study::survey", regenerate: "repro --table 1" },
-    Artifact { kind: ArtifactKind::Table, number: "2", title: "Metrics 2012-present", modules: "ids_study::survey", regenerate: "repro --table 2" },
-    Artifact { kind: ArtifactKind::Table, number: "3", title: "Metric selection guidelines", modules: "ids_metrics::selection", regenerate: "repro --table 3" },
-    Artifact { kind: ArtifactKind::Table, number: "4", title: "Cognitive biases", modules: "ids_study::bias", regenerate: "repro --table 4" },
-    Artifact { kind: ArtifactKind::Table, number: "5", title: "Case study summary", modules: "ids_core::registry", regenerate: "repro --table 5" },
-    Artifact { kind: ArtifactKind::Table, number: "6", title: "Behaviors and metrics per case study", modules: "ids_core::registry", regenerate: "repro --table 6" },
-    Artifact { kind: ArtifactKind::Table, number: "7", title: "Scrolling behavior statistics", modules: "ids_core::experiments::case1", regenerate: "repro --table 7" },
-    Artifact { kind: ArtifactKind::Table, number: "8", title: "LCV for event & timer fetch", modules: "ids_core::experiments::case1", regenerate: "repro --table 8" },
-    Artifact { kind: ArtifactKind::Table, number: "9", title: "Queries per interface widget", modules: "ids_core::experiments::case3", regenerate: "repro --table 9" },
-    Artifact { kind: ArtifactKind::Table, number: "10", title: "Center-of-bounds ranges", modules: "ids_core::experiments::case3", regenerate: "repro --table 10" },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "1",
+        title: "Metric taxonomy",
+        modules: "ids_metrics::taxonomy",
+        regenerate: "repro --figure 1",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "2",
+        title: "LCV cascade (illustration)",
+        modules: "ids_metrics::lcv",
+        regenerate: "",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "3",
+        title: "QIF/backend trade-off quadrants",
+        modules: "ids_metrics::qif",
+        regenerate: "repro --figure 3",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "4",
+        title: "In-person vs remote decision",
+        modules: "ids_study::design",
+        regenerate: "repro --figure 4",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "5",
+        title: "Study design by metric",
+        modules: "ids_study::design",
+        regenerate: "repro --figure 5",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "6",
+        title: "Scrolling interface (illustration)",
+        modules: "ids_workload::scrolling",
+        regenerate: "",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "7",
+        title: "Wheel delta with/without inertia",
+        modules: "ids_devices::scroll, ids_core::experiments::case1",
+        regenerate: "repro --figure 7",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "8",
+        title: "Scrolling speed per user",
+        modules: "ids_workload::scrolling, ids_core::experiments::case1",
+        regenerate: "repro --figure 8",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "9",
+        title: "Selections vs backscrolls",
+        modules: "ids_workload::scrolling, ids_core::experiments::case1",
+        regenerate: "repro --figure 9",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "10",
+        title: "Event vs timer fetch latency",
+        modules: "ids_opt::loading, ids_core::experiments::case1",
+        regenerate: "repro --figure 10",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "11",
+        title: "Device jitter traces",
+        modules: "ids_devices::pointer, ids_core::experiments::case2",
+        regenerate: "repro --figure 11",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "12",
+        title: "Crossfilter interface (illustration)",
+        modules: "ids_workload::crossfilter",
+        regenerate: "",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "13",
+        title: "Latency per backend/opt/device",
+        modules: "ids_opt::{skip,klfilter}, ids_core::experiments::case2",
+        regenerate: "repro --figure 13",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "14",
+        title: "Query issuing interval histograms",
+        modules: "ids_metrics::qif, ids_core::experiments::case2",
+        regenerate: "repro --figure 14",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "15",
+        title: "LCV percentage per condition",
+        modules: "ids_metrics::lcv, ids_core::experiments::case2",
+        regenerate: "repro --figure 15",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "16",
+        title: "Airbnb interface (illustration)",
+        modules: "ids_workload::composite",
+        regenerate: "",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "17",
+        title: "Exploration loop (illustration)",
+        modules: "ids_workload::composite",
+        regenerate: "",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "18",
+        title: "Zoom levels over time",
+        modules: "ids_workload::composite, ids_core::experiments::case3",
+        regenerate: "repro --figure 18",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "19",
+        title: "Center movement per zoom",
+        modules: "ids_workload::composite, ids_core::experiments::case3",
+        regenerate: "repro --figure 19",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "20",
+        title: "Filter-count CDF",
+        modules: "ids_workload::composite, ids_core::experiments::case3",
+        regenerate: "repro --figure 20",
+    },
+    Artifact {
+        kind: ArtifactKind::Figure,
+        number: "21",
+        title: "Request/exploration CDFs",
+        modules: "ids_workload::composite, ids_core::experiments::case3",
+        regenerate: "repro --figure 21",
+    },
+    Artifact {
+        kind: ArtifactKind::Table,
+        number: "1",
+        title: "Metrics 1997-2012",
+        modules: "ids_study::survey",
+        regenerate: "repro --table 1",
+    },
+    Artifact {
+        kind: ArtifactKind::Table,
+        number: "2",
+        title: "Metrics 2012-present",
+        modules: "ids_study::survey",
+        regenerate: "repro --table 2",
+    },
+    Artifact {
+        kind: ArtifactKind::Table,
+        number: "3",
+        title: "Metric selection guidelines",
+        modules: "ids_metrics::selection",
+        regenerate: "repro --table 3",
+    },
+    Artifact {
+        kind: ArtifactKind::Table,
+        number: "4",
+        title: "Cognitive biases",
+        modules: "ids_study::bias",
+        regenerate: "repro --table 4",
+    },
+    Artifact {
+        kind: ArtifactKind::Table,
+        number: "5",
+        title: "Case study summary",
+        modules: "ids_core::registry",
+        regenerate: "repro --table 5",
+    },
+    Artifact {
+        kind: ArtifactKind::Table,
+        number: "6",
+        title: "Behaviors and metrics per case study",
+        modules: "ids_core::registry",
+        regenerate: "repro --table 6",
+    },
+    Artifact {
+        kind: ArtifactKind::Table,
+        number: "7",
+        title: "Scrolling behavior statistics",
+        modules: "ids_core::experiments::case1",
+        regenerate: "repro --table 7",
+    },
+    Artifact {
+        kind: ArtifactKind::Table,
+        number: "8",
+        title: "LCV for event & timer fetch",
+        modules: "ids_core::experiments::case1",
+        regenerate: "repro --table 8",
+    },
+    Artifact {
+        kind: ArtifactKind::Table,
+        number: "9",
+        title: "Queries per interface widget",
+        modules: "ids_core::experiments::case3",
+        regenerate: "repro --table 9",
+    },
+    Artifact {
+        kind: ArtifactKind::Table,
+        number: "10",
+        title: "Center-of-bounds ranges",
+        modules: "ids_core::experiments::case3",
+        regenerate: "repro --table 10",
+    },
 ];
 
 /// Finds an artifact.
@@ -130,13 +316,28 @@ pub fn render_table5() -> String {
 /// Table 6: behaviors and metrics per case study.
 pub fn render_table6() -> String {
     let mut t = TextTable::new(["interface", "behavior", "performance"]);
-    t.row(["inertial scrolling", "scrolling speed", "latency constraint violation"]);
+    t.row([
+        "inertial scrolling",
+        "scrolling speed",
+        "latency constraint violation",
+    ]);
     t.row(["", "no. of backscrolls", "latency"]);
-    t.row(["crossfiltering", "sliding behavior", "query issuing frequency"]);
-    t.row(["", "querying behavior", "latency, latency constraint violation"]);
+    t.row([
+        "crossfiltering",
+        "sliding behavior",
+        "query issuing frequency",
+    ]);
+    t.row([
+        "",
+        "querying behavior",
+        "latency, latency constraint violation",
+    ]);
     t.row(["composite interface", "exploration time, zooming", ""]);
     t.row(["", "dragging, filter conditions", "data request time"]);
-    format!("Table 6: Behaviors and Metrics in Case Studies\n{}", t.render())
+    format!(
+        "Table 6: Behaviors and Metrics in Case Studies\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -146,15 +347,27 @@ mod tests {
     #[test]
     fn registry_covers_every_numbered_artifact() {
         // 21 figures and 10 tables in the paper.
-        let figures = ARTIFACTS.iter().filter(|a| a.kind == ArtifactKind::Figure).count();
-        let tables = ARTIFACTS.iter().filter(|a| a.kind == ArtifactKind::Table).count();
+        let figures = ARTIFACTS
+            .iter()
+            .filter(|a| a.kind == ArtifactKind::Figure)
+            .count();
+        let tables = ARTIFACTS
+            .iter()
+            .filter(|a| a.kind == ArtifactKind::Table)
+            .count();
         assert_eq!(figures, 21);
         assert_eq!(tables, 10);
         for n in 1..=21 {
-            assert!(find(ArtifactKind::Figure, &n.to_string()).is_some(), "Fig {n}");
+            assert!(
+                find(ArtifactKind::Figure, &n.to_string()).is_some(),
+                "Fig {n}"
+            );
         }
         for n in 1..=10 {
-            assert!(find(ArtifactKind::Table, &n.to_string()).is_some(), "Table {n}");
+            assert!(
+                find(ArtifactKind::Table, &n.to_string()).is_some(),
+                "Table {n}"
+            );
         }
     }
 

@@ -111,6 +111,72 @@ pub fn pct(fraction: f64) -> String {
     format!("{:.1}%", fraction * 100.0)
 }
 
+/// Renders an `ids-obs` metrics snapshot as aligned text tables — the
+/// end-of-run telemetry summary printed by `repro`. Empty sections are
+/// omitted; an entirely empty snapshot renders to an empty string.
+pub fn metrics_summary(snap: &ids_obs::MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        let mut t = TextTable::new(["counter", "value"]);
+        for (name, v) in &snap.counters {
+            t.row([name.clone(), v.to_string()]);
+        }
+        let _ = writeln!(out, "== telemetry: counters ==\n{}", t.render());
+    }
+    if !snap.gauges.is_empty() {
+        let mut t = TextTable::new(["gauge", "value", "high-water"]);
+        for (name, v, hwm) in &snap.gauges {
+            t.row([name.clone(), v.to_string(), hwm.to_string()]);
+        }
+        let _ = writeln!(out, "== telemetry: gauges ==\n{}", t.render());
+    }
+    let active: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .collect();
+    if !active.is_empty() {
+        let mut t = TextTable::new(["histogram", "count", "mean", "p50", "p90", "p99", "max"]);
+        for (name, h) in active {
+            t.row([
+                name.clone(),
+                h.count.to_string(),
+                format!("{:.1}", h.mean),
+                h.p50.to_string(),
+                h.p90.to_string(),
+                h.p99.to_string(),
+                h.max.to_string(),
+            ]);
+        }
+        let _ = writeln!(out, "== telemetry: histograms ==\n{}", t.render());
+    }
+    out
+}
+
+/// Renders the per-phase wall-clock + virtual-time table sourced from
+/// `ids-obs` phase records (not hand-rolled `Instant` timers). Virtual
+/// time is the span of simulated time the phase's trace events covered —
+/// zero when the recorder was off or the phase recorded no events.
+pub fn phase_summary(phases: &[ids_obs::PhaseRecord]) -> String {
+    if phases.is_empty() {
+        return String::new();
+    }
+    let mut t = TextTable::new(["phase", "wall", "virtual", "events"]);
+    for p in phases {
+        t.row([
+            p.name.clone(),
+            format!("{:.1}ms", p.wall.as_secs_f64() * 1e3),
+            if p.virtual_span.is_zero() {
+                "-".to_string()
+            } else {
+                p.virtual_span.to_string()
+            },
+            p.events.to_string(),
+        ]);
+    }
+    format!("== run phases ==\n{}", t.render())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +231,49 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.1234), "12.3%");
         assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn metrics_summary_renders_nonempty_sections_only() {
+        let empty = ids_obs::MetricsSnapshot::default();
+        assert_eq!(metrics_summary(&empty), "");
+
+        let snap = ids_obs::MetricsSnapshot {
+            counters: vec![("engine.buffer.hits".to_string(), 42)],
+            gauges: vec![],
+            histograms: vec![(
+                "sched.latency_us".to_string(),
+                ids_obs::HistogramSummary {
+                    count: 2,
+                    sum: 30,
+                    min: 10,
+                    max: 20,
+                    mean: 15.0,
+                    p50: 10,
+                    p90: 20,
+                    p99: 20,
+                },
+            )],
+        };
+        let s = metrics_summary(&snap);
+        assert!(s.contains("engine.buffer.hits"));
+        assert!(s.contains("42"));
+        assert!(s.contains("sched.latency_us"));
+        assert!(!s.contains("gauges"));
+    }
+
+    #[test]
+    fn phase_summary_renders_wall_and_virtual() {
+        assert_eq!(phase_summary(&[]), "");
+        let phases = vec![ids_obs::PhaseRecord {
+            name: "case2.replay".to_string(),
+            wall: std::time::Duration::from_millis(12),
+            virtual_span: ids_simclock::SimDuration::from_secs(90),
+            events: 7,
+        }];
+        let s = phase_summary(&phases);
+        assert!(s.contains("case2.replay"));
+        assert!(s.contains("90.000s"));
+        assert!(s.contains("7"));
     }
 }

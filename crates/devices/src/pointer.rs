@@ -211,7 +211,12 @@ mod tests {
     #[test]
     fn samples_are_evenly_spaced_at_sensing_rate() {
         let mut sim = PointerSimulator::new(DeviceProfile::touch(), rng());
-        let trace = sim.reach(SimTime::ZERO, Point::new(0.0, 0.0), Point::new(300.0, 0.0), 30.0);
+        let trace = sim.reach(
+            SimTime::ZERO,
+            Point::new(0.0, 0.0),
+            Point::new(300.0, 0.0),
+            30.0,
+        );
         let dt = DeviceProfile::touch().sample_interval().as_micros();
         for w in trace.windows(2) {
             assert_eq!(w[1].at.as_micros() - w[0].at.as_micros(), dt);
@@ -241,14 +246,27 @@ mod tests {
         let mut leap = PointerSimulator::new(DeviceProfile::leap_motion(), rng().split("l"));
         let hm = path_wobble(&mouse.hold(SimTime::ZERO, p, dur));
         let hl = path_wobble(&leap.hold(SimTime::ZERO, p, dur));
-        assert!(hl > hm * 20.0, "leap hold variance {hl:.1} vs mouse {hm:.3}");
+        assert!(
+            hl > hm * 20.0,
+            "leap hold variance {hl:.1} vs mouse {hm:.3}"
+        );
     }
 
     #[test]
     fn longer_reaches_take_longer() {
         let mut sim = PointerSimulator::new(DeviceProfile::mouse(), rng());
-        let short = sim.reach(SimTime::ZERO, Point::new(0.0, 0.0), Point::new(50.0, 0.0), 20.0);
-        let long = sim.reach(SimTime::ZERO, Point::new(0.0, 0.0), Point::new(800.0, 0.0), 20.0);
+        let short = sim.reach(
+            SimTime::ZERO,
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            20.0,
+        );
+        let long = sim.reach(
+            SimTime::ZERO,
+            Point::new(0.0, 0.0),
+            Point::new(800.0, 0.0),
+            20.0,
+        );
         assert!(long.len() > short.len());
     }
 
@@ -256,7 +274,12 @@ mod tests {
     fn determinism_under_fixed_seed() {
         let make = || {
             let mut sim = PointerSimulator::new(DeviceProfile::leap_motion(), SimRng::seed(7));
-            sim.reach(SimTime::ZERO, Point::new(0.0, 0.0), Point::new(100.0, 50.0), 10.0)
+            sim.reach(
+                SimTime::ZERO,
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 50.0),
+                10.0,
+            )
         };
         let a = make();
         let b = make();

@@ -233,7 +233,10 @@ mod tests {
         let events = plain_scroll(SimTime::ZERO, SimDuration::from_secs(2), 10.0, 3.0);
         assert_eq!(events.len(), 20);
         assert!(events.iter().all(|e| e.delta == 3.0));
-        assert_eq!(plain_scroll(SimTime::ZERO, SimDuration::from_secs(1), 0.0, 3.0), vec![]);
+        assert_eq!(
+            plain_scroll(SimTime::ZERO, SimDuration::from_secs(1), 0.0, 3.0),
+            vec![]
+        );
     }
 
     #[test]

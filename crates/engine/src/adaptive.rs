@@ -98,7 +98,7 @@ impl CrackedColumn {
             return Vec::new();
         }
         let start = self.crack_at(lo); // first pos with value >= lo
-        // hi bound: first pos with value > hi == first pos with value >= next_up(hi).
+                                       // hi bound: first pos with value > hi == first pos with value >= next_up(hi).
         let end = self.crack_at(next_up(hi));
         self.perm[start..end].to_vec()
     }

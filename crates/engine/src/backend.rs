@@ -72,7 +72,12 @@ impl Database {
 
     /// Names of all registered tables.
     pub fn table_names(&self) -> Vec<String> {
-        self.inner.read().tables.keys().map(|k| k.to_string()).collect()
+        self.inner
+            .read()
+            .tables
+            .keys()
+            .map(|k| k.to_string())
+            .collect()
     }
 }
 
@@ -303,6 +308,33 @@ impl Backend for DiskBackend {
         footprint.pages_hot = hits;
         footprint.pages_cold = misses;
 
+        // Telemetry only — must not affect the outcome. Samples are
+        // stamped with the virtual time published by the scheduler.
+        let rec = ids_obs::recorder();
+        if rec.is_enabled() {
+            let now = rec.vnow();
+            let stats = self.pool.stats();
+            rec.record_counter("engine.buffer.hit_rate", now, stats.hit_rate());
+            rec.record_counter(
+                "engine.buffer.resident_pages",
+                now,
+                self.pool.resident() as f64,
+            );
+            if misses > 0 {
+                let track = rec.track("engine.buffer");
+                rec.record_instant(
+                    "buffer",
+                    "fault",
+                    track,
+                    now,
+                    vec![
+                        ("pages_cold", ids_obs::ArgValue::U64(misses)),
+                        ("pages_hot", ids_obs::ArgValue::U64(hits)),
+                    ],
+                );
+            }
+        }
+
         let cost = self.model.price(&footprint);
         Ok(QueryOutcome {
             result,
@@ -382,7 +414,9 @@ mod tests {
         disk.database().register(road(100_000));
         let q = Query::select("road", vec![], Predicate::True, Some(100), 0);
         let out = disk.execute(&q).unwrap();
-        let full = disk.execute(&Query::count("road", Predicate::True)).unwrap();
+        let full = disk
+            .execute(&Query::count("road", Predicate::True))
+            .unwrap();
         assert!(
             out.footprint.pages_cold + out.footprint.pages_hot
                 < full.footprint.pages_cold + full.footprint.pages_hot

@@ -9,7 +9,9 @@
 //! to beat.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
+use ids_obs::metrics::{metrics, Counter};
 use parking_lot::Mutex;
 
 use crate::page::{Page, PageId};
@@ -52,7 +54,32 @@ struct PoolInner {
     frames: HashMap<PageId, Page>,
     /// Recency / insertion order, front = next eviction victim.
     order: VecDeque<PageId>,
-    stats: BufferPoolStats,
+}
+
+/// Per-pool counters, owned by the pool but *attached* to the global
+/// `ids-obs` registry so global snapshots (`engine.buffer.hits` etc.)
+/// sum every live pool while `BufferPool::stats()` keeps returning this
+/// pool's own numbers.
+#[derive(Debug)]
+struct PoolCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl PoolCounters {
+    fn new() -> PoolCounters {
+        let c = PoolCounters {
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+        };
+        let reg = metrics();
+        reg.attach_counter("engine.buffer.hits", &c.hits);
+        reg.attach_counter("engine.buffer.misses", &c.misses);
+        reg.attach_counter("engine.buffer.evictions", &c.evictions);
+        c
+    }
 }
 
 /// A fixed-capacity page cache.
@@ -75,6 +102,23 @@ pub struct BufferPool {
     capacity: usize,
     policy: EvictionPolicy,
     inner: Mutex<PoolInner>,
+    counters: PoolCounters,
+}
+
+impl Drop for BufferPool {
+    /// Folds this pool's counts into the registry's owned counters so
+    /// global totals survive the pool itself (the attached instances die
+    /// with the `Arc`s; without this, a dropped pool's traffic would
+    /// vanish from end-of-run snapshots).
+    fn drop(&mut self) {
+        let reg = metrics();
+        reg.counter("engine.buffer.hits")
+            .add(self.counters.hits.get());
+        reg.counter("engine.buffer.misses")
+            .add(self.counters.misses.get());
+        reg.counter("engine.buffer.evictions")
+            .add(self.counters.evictions.get());
+    }
 }
 
 impl BufferPool {
@@ -86,8 +130,8 @@ impl BufferPool {
             inner: Mutex::new(PoolInner {
                 frames: HashMap::with_capacity(capacity),
                 order: VecDeque::with_capacity(capacity),
-                stats: BufferPoolStats::default(),
             }),
+            counters: PoolCounters::new(),
         }
     }
 
@@ -101,7 +145,7 @@ impl BufferPool {
     pub fn touch(&self, id: PageId) -> bool {
         let mut inner = self.inner.lock();
         if inner.frames.contains_key(&id) {
-            inner.stats.hits += 1;
+            self.counters.hits.inc();
             if self.policy == EvictionPolicy::Lru {
                 // Move to the back of the recency queue.
                 if let Some(pos) = inner.order.iter().position(|&p| p == id) {
@@ -111,11 +155,11 @@ impl BufferPool {
             }
             return true;
         }
-        inner.stats.misses += 1;
+        self.counters.misses.inc();
         if inner.frames.len() >= self.capacity {
             if let Some(victim) = inner.order.pop_front() {
                 inner.frames.remove(&victim);
-                inner.stats.evictions += 1;
+                self.counters.evictions.inc();
             }
         }
         inner.frames.insert(id, Page::materialize(id));
@@ -124,11 +168,7 @@ impl BufferPool {
     }
 
     /// Touches a contiguous run of pages, returning `(hits, misses)`.
-    pub fn touch_range(
-        &self,
-        table: u32,
-        pages: std::ops::Range<usize>,
-    ) -> (u64, u64) {
+    pub fn touch_range(&self, table: u32, pages: std::ops::Range<usize>) -> (u64, u64) {
         let mut hits = 0;
         let mut misses = 0;
         for page_no in pages {
@@ -155,9 +195,14 @@ impl BufferPool {
         self.inner.lock().frames.len()
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics for *this* pool (the global
+    /// `engine.buffer.*` metrics sum all pools).
     pub fn stats(&self) -> BufferPoolStats {
-        self.inner.lock().stats
+        BufferPoolStats {
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            evictions: self.counters.evictions.get(),
+        }
     }
 
     /// Drops all pages and zeroes the statistics.
@@ -165,7 +210,9 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         inner.frames.clear();
         inner.order.clear();
-        inner.stats = BufferPoolStats::default();
+        self.counters.hits.reset();
+        self.counters.misses.reset();
+        self.counters.evictions.reset();
     }
 }
 
@@ -174,7 +221,10 @@ mod tests {
     use super::*;
 
     fn pid(n: u32) -> PageId {
-        PageId { table: 0, page_no: n }
+        PageId {
+            table: 0,
+            page_no: n,
+        }
     }
 
     #[test]
@@ -251,8 +301,14 @@ mod tests {
     #[test]
     fn pages_from_different_tables_do_not_collide() {
         let pool = BufferPool::new(4, EvictionPolicy::Lru);
-        pool.touch(PageId { table: 1, page_no: 0 });
-        pool.touch(PageId { table: 2, page_no: 0 });
+        pool.touch(PageId {
+            table: 1,
+            page_no: 0,
+        });
+        pool.touch(PageId {
+            table: 2,
+            page_no: 0,
+        });
         assert_eq!(pool.resident(), 2);
     }
 }

@@ -172,7 +172,11 @@ impl ColumnBuilder {
     /// Appends a string. Panics on type mismatch.
     pub fn push_str(&mut self, v: &str) {
         match self {
-            ColumnBuilder::Str { codes, dict, lookup } => {
+            ColumnBuilder::Str {
+                codes,
+                dict,
+                lookup,
+            } => {
                 if let Some(&code) = lookup.get(v) {
                     codes.push(code);
                 } else {

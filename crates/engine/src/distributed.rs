@@ -76,7 +76,12 @@ impl Cluster {
     /// Partitions every table of `db` across `nodes` workers
     /// (round-robin on row index — a hash partition on a synthetic key).
     pub fn partition(db: &Database, nodes: usize) -> EngineResult<Cluster> {
-        Self::partition_with(db, nodes, CostParams::disk_default(), ClusterParams::default_cluster())
+        Self::partition_with(
+            db,
+            nodes,
+            CostParams::disk_default(),
+            ClusterParams::default_cluster(),
+        )
     }
 
     /// [`partition`](Self::partition) with explicit cost calibrations.
@@ -226,10 +231,14 @@ mod tests {
         let db = Database::new();
         db.register(
             TableBuilder::new("pts")
-                .column("x", ColumnBuilder::float((0..rows).map(|i| (i % 1000) as f64)))
-                .column("label", ColumnBuilder::str((0..rows).map(|i| {
-                    if i % 2 == 0 { "even" } else { "odd" }
-                })))
+                .column(
+                    "x",
+                    ColumnBuilder::float((0..rows).map(|i| (i % 1000) as f64)),
+                )
+                .column(
+                    "label",
+                    ColumnBuilder::str((0..rows).map(|i| if i % 2 == 0 { "even" } else { "odd" })),
+                )
                 .build()
                 .unwrap(),
         );
@@ -261,7 +270,9 @@ mod tests {
     fn count_merges_across_partitions() {
         let database = db(10_001); // odd count exercises uneven partitions
         let cluster = Cluster::partition(&database, 4).unwrap();
-        let out = cluster.execute(&Query::count("pts", Predicate::True)).unwrap();
+        let out = cluster
+            .execute(&Query::count("pts", Predicate::True))
+            .unwrap();
         assert_eq!(out.result.scalar_count(), Some(10_001));
     }
 

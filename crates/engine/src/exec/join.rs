@@ -143,7 +143,10 @@ mod tests {
     fn ratings() -> Table {
         TableBuilder::new("imdbrating")
             .column("id", ColumnBuilder::int(0..20))
-            .column("rating", ColumnBuilder::float((0..20).map(|i| i as f64 / 2.0)))
+            .column(
+                "rating",
+                ColumnBuilder::float((0..20).map(|i| i as f64 / 2.0)),
+            )
             .build()
             .unwrap()
     }
@@ -152,7 +155,10 @@ mod tests {
         // Only even ids exist on the movie side.
         TableBuilder::new("movie")
             .column("id", ColumnBuilder::int((0..10).map(|i| i * 2)))
-            .column("title", ColumnBuilder::str((0..10).map(|i| format!("t{}", i * 2))))
+            .column(
+                "title",
+                ColumnBuilder::str((0..10).map(|i| format!("t{}", i * 2))),
+            )
             .build()
             .unwrap()
     }
@@ -163,10 +169,7 @@ mod tests {
             right: "movie".into(),
             left_key: "id".into(),
             right_key: "id".into(),
-            projection: vec![
-                Projection::column("title"),
-                Projection::column("rating"),
-            ],
+            projection: vec![Projection::column("title"), Projection::column("rating")],
             limit,
             offset,
         }

@@ -32,7 +32,11 @@ pub fn run_query(db: &Database, query: &Query) -> EngineResult<(ResultSet, Query
             let right = db.table(&spec.right)?;
             run_join(&left, &right, spec)
         }
-        Query::Histogram { table, bins, filter } => {
+        Query::Histogram {
+            table,
+            bins,
+            filter,
+        } => {
             let table = db.table(table)?;
             run_histogram(&table, bins, filter)
         }

@@ -34,8 +34,7 @@ pub fn run_select(table: &Table, spec: &SelectSpec) -> EngineResult<(ResultSet, 
             let all = filter.select(table)?;
             footprint.rows_scanned = table.rows() as u64;
             footprint.rows_matched = all.len() as u64;
-            footprint.predicate_evals =
-                footprint.rows_scanned * filter.condition_count() as u64;
+            footprint.predicate_evals = footprint.rows_scanned * filter.condition_count() as u64;
             let end = match spec.limit {
                 Some(l) => (spec.offset + l).min(all.len()),
                 None => all.len(),
@@ -108,7 +107,10 @@ mod tests {
     fn movies() -> Table {
         TableBuilder::new("imdb")
             .column("id", ColumnBuilder::int(0..10))
-            .column("title", ColumnBuilder::str((0..10).map(|i| format!("m{i}"))))
+            .column(
+                "title",
+                ColumnBuilder::str((0..10).map(|i| format!("m{i}"))),
+            )
             .column("year", ColumnBuilder::int((0..10).map(|i| 2000 + i)))
             .column("rating", ColumnBuilder::float((0..10).map(|i| i as f64)))
             .build()

@@ -133,7 +133,10 @@ mod tests {
 
     #[test]
     fn page_materializes_full_size() {
-        let page = Page::materialize(PageId { table: 0, page_no: 3 });
+        let page = Page::materialize(PageId {
+            table: 0,
+            page_no: 3,
+        });
         assert_eq!(page.data.len(), PAGE_SIZE);
         assert_eq!(page.id.page_no, 3);
     }

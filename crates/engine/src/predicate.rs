@@ -222,9 +222,7 @@ impl Predicate {
             Predicate::Cmp { column, .. } | Predicate::Between { column, .. } => {
                 table.column(column).map(|_| ())
             }
-            Predicate::And(ps) | Predicate::Or(ps) => {
-                ps.iter().try_for_each(|p| p.validate(table))
-            }
+            Predicate::And(ps) | Predicate::Or(ps) => ps.iter().try_for_each(|p| p.validate(table)),
             Predicate::Not(p) => p.validate(table),
         }
     }
@@ -444,10 +442,7 @@ mod tests {
 
     #[test]
     fn display_round_trips_visually() {
-        let p = Predicate::and([
-            Predicate::between("x", 1.0, 2.0),
-            Predicate::eq("s", "a"),
-        ]);
+        let p = Predicate::and([Predicate::between("x", 1.0, 2.0), Predicate::eq("s", "a")]);
         assert_eq!(p.to_string(), "(x BETWEEN 1 AND 2) AND (s = a)");
     }
 

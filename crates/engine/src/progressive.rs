@@ -111,8 +111,9 @@ impl ProgressiveExecutor {
             if step > 0 {
                 // One cursor, one query: startup is paid once, not per
                 // refinement.
-                step_cost = step_cost
-                    .saturating_sub(SimDuration::from_micros(self.model.params.startup_ns / 1_000));
+                step_cost = step_cost.saturating_sub(SimDuration::from_micros(
+                    self.model.params.startup_ns / 1_000,
+                ));
             }
             elapsed += step_cost;
 
@@ -244,7 +245,10 @@ mod tests {
     #[test]
     fn final_refinement_is_exact() {
         let db = shuffled_db(20_000, 1);
-        let exact = MemBackend::over(db.clone()).execute(&query()).unwrap().result;
+        let exact = MemBackend::over(db.clone())
+            .execute(&query())
+            .unwrap()
+            .result;
         let refinements = ProgressiveExecutor::new(db).run(&query()).unwrap();
         let last = refinements.last().unwrap();
         assert_eq!(last.fraction, 1.0);
@@ -255,7 +259,10 @@ mod tests {
     #[test]
     fn early_estimates_are_cheap_and_close() {
         let db = shuffled_db(50_000, 2);
-        let exact = MemBackend::over(db.clone()).execute(&query()).unwrap().result;
+        let exact = MemBackend::over(db.clone())
+            .execute(&query())
+            .unwrap()
+            .result;
         let refinements = ProgressiveExecutor::new(db).run(&query()).unwrap();
         let first = &refinements[0];
         let last = refinements.last().unwrap();
@@ -275,7 +282,10 @@ mod tests {
     #[test]
     fn error_decreases_broadly_over_refinements() {
         let db = shuffled_db(50_000, 3);
-        let exact = MemBackend::over(db.clone()).execute(&query()).unwrap().result;
+        let exact = MemBackend::over(db.clone())
+            .execute(&query())
+            .unwrap()
+            .result;
         let refinements = ProgressiveExecutor::new(db).run(&query()).unwrap();
         let errors: Vec<f64> = refinements
             .iter()

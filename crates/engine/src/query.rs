@@ -42,10 +42,7 @@ impl Projection {
     }
 
     /// The `title || '(' || year || ')'` pattern from the paper's Q1/Q2.
-    pub fn title_with_year(
-        title: impl Into<Arc<str>>,
-        year: impl Into<Arc<str>>,
-    ) -> Projection {
+    pub fn title_with_year(title: impl Into<Arc<str>>, year: impl Into<Arc<str>>) -> Projection {
         Projection::Concat(vec![
             ConcatPart::Column(title.into()),
             ConcatPart::Literal(Arc::from("(")),
@@ -180,6 +177,17 @@ pub enum Query {
 }
 
 impl Query {
+    /// Short operator name ("select", "join", "histogram", "count"),
+    /// used for metric names and trace span labels.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Select(_) => "select",
+            Query::Join(_) => "join",
+            Query::Histogram { .. } => "histogram",
+            Query::Count { .. } => "count",
+        }
+    }
+
     /// Convenience constructor for a paginated select.
     pub fn select(
         table: impl Into<Arc<str>>,

@@ -113,10 +113,14 @@ impl ReplayScheduler {
             stream.windows(2).all(|w| w[0].issued_at <= w[1].issued_at),
             "issued-query stream must be sorted by issue time"
         );
+        let telemetry = SchedulerTelemetry::new(backend.name(), self.workers);
         // Min-heap of worker free times, fixed size `workers`.
         let mut free: Vec<SimTime> = vec![SimTime::ZERO; self.workers];
         let mut out = Vec::with_capacity(stream.len());
         for iq in stream {
+            // Publish virtual time so deeper layers (buffer pool) can
+            // timestamp their own telemetry at query granularity.
+            ids_obs::set_vnow(iq.issued_at);
             let outcome = backend.execute(&iq.query)?;
             // Earliest-free worker takes the query.
             let (slot, &slot_free) = free
@@ -127,17 +131,130 @@ impl ReplayScheduler {
             let started_at = iq.issued_at.max(slot_free);
             let finished_at = started_at + outcome.cost;
             free[slot] = finished_at;
-            out.push((
-                QueryTiming {
-                    tag: iq.tag,
-                    issued_at: iq.issued_at,
-                    started_at,
-                    finished_at,
-                },
-                outcome,
-            ));
+            let timing = QueryTiming {
+                tag: iq.tag,
+                issued_at: iq.issued_at,
+                started_at,
+                finished_at,
+            };
+            let busy = free.iter().filter(|&&t| t > iq.issued_at).count();
+            telemetry.observe(iq, &timing, &outcome, slot, busy);
+            out.push((timing, outcome));
         }
         Ok(out)
+    }
+}
+
+/// Always-on metric handles plus (when the recorder is enabled) trace
+/// tracks for the replay loop. Registry lookups happen once per replay,
+/// not per query, so the per-query cost is a handful of relaxed
+/// `fetch_add`s — and recording spans never alters timings or outcomes.
+struct SchedulerTelemetry {
+    queries: std::sync::Arc<ids_obs::Counter>,
+    rows_scanned: std::sync::Arc<ids_obs::Counter>,
+    rows_joined: std::sync::Arc<ids_obs::Counter>,
+    rows_aggregated: std::sync::Arc<ids_obs::Counter>,
+    rows_output: std::sync::Arc<ids_obs::Counter>,
+    wait_us: std::sync::Arc<ids_obs::Histogram>,
+    exec_us: std::sync::Arc<ids_obs::Histogram>,
+    latency_us: std::sync::Arc<ids_obs::Histogram>,
+    queue_depth: std::sync::Arc<ids_obs::Gauge>,
+    /// One trace track per worker slot; empty when the recorder is off.
+    worker_tracks: Vec<ids_obs::TrackId>,
+    queue_track: Option<ids_obs::TrackId>,
+}
+
+impl SchedulerTelemetry {
+    fn new(backend_name: &str, workers: usize) -> SchedulerTelemetry {
+        let reg = ids_obs::metrics();
+        let rec = ids_obs::recorder();
+        let (worker_tracks, queue_track) = if rec.is_enabled() {
+            (
+                (0..workers)
+                    .map(|i| rec.track(&format!("{backend_name}/worker-{i}")))
+                    .collect(),
+                Some(rec.track(&format!("{backend_name}/queue"))),
+            )
+        } else {
+            (Vec::new(), None)
+        };
+        SchedulerTelemetry {
+            queries: reg.counter("sched.queries"),
+            rows_scanned: reg.counter("exec.rows_scanned"),
+            rows_joined: reg.counter("exec.rows_joined"),
+            rows_aggregated: reg.counter("exec.rows_aggregated"),
+            rows_output: reg.counter("exec.rows_output"),
+            wait_us: reg.histogram("sched.wait_us"),
+            exec_us: reg.histogram("sched.exec_us"),
+            latency_us: reg.histogram("sched.latency_us"),
+            queue_depth: reg.gauge("sched.queue_depth"),
+            worker_tracks,
+            queue_track,
+        }
+    }
+
+    fn observe(
+        &self,
+        iq: &IssuedQuery,
+        timing: &QueryTiming,
+        outcome: &QueryOutcome,
+        slot: usize,
+        busy_workers: usize,
+    ) {
+        self.queries.inc();
+        self.rows_scanned.add(outcome.footprint.rows_scanned);
+        self.rows_joined
+            .add(outcome.footprint.build_rows + outcome.footprint.probe_rows);
+        self.rows_aggregated.add(outcome.footprint.rows_aggregated);
+        self.rows_output.add(outcome.footprint.rows_output);
+        self.wait_us.record(timing.scheduling_delay().as_micros());
+        self.exec_us.record(timing.execution().as_micros());
+        self.latency_us.record(timing.latency().as_micros());
+        self.queue_depth.set(busy_workers as i64);
+
+        let rec = ids_obs::recorder();
+        if !rec.is_enabled() {
+            return;
+        }
+        let kind = iq.query.kind();
+        rec.record_span(
+            "exec",
+            kind,
+            self.worker_tracks[slot],
+            timing.started_at,
+            timing.execution(),
+            vec![
+                ("tag", ids_obs::ArgValue::U64(timing.tag)),
+                (
+                    "rows_scanned",
+                    ids_obs::ArgValue::U64(outcome.footprint.rows_scanned),
+                ),
+                (
+                    "rows_output",
+                    ids_obs::ArgValue::U64(outcome.footprint.rows_output),
+                ),
+                (
+                    "pages_cold",
+                    ids_obs::ArgValue::U64(outcome.footprint.pages_cold),
+                ),
+                (
+                    "pages_hot",
+                    ids_obs::ArgValue::U64(outcome.footprint.pages_hot),
+                ),
+            ],
+        );
+        let wait = timing.scheduling_delay();
+        if let (Some(track), false) = (self.queue_track, wait.is_zero()) {
+            rec.record_span(
+                "queue",
+                format!("wait:{kind}"),
+                track,
+                timing.issued_at,
+                wait,
+                vec![("tag", ids_obs::ArgValue::U64(timing.tag))],
+            );
+        }
+        rec.record_counter("sched.queue_depth", timing.issued_at, busy_workers as f64);
     }
 }
 
@@ -228,7 +345,9 @@ mod tests {
         let total_one: u64 = one.iter().map(|t| t.latency().as_millis()).sum();
         let total_four: u64 = four.iter().map(|t| t.latency().as_millis()).sum();
         assert!(total_four < total_one);
-        assert!(four.iter().all(|t| t.scheduling_delay() == SimDuration::ZERO));
+        assert!(four
+            .iter()
+            .all(|t| t.scheduling_delay() == SimDuration::ZERO));
     }
 
     #[test]

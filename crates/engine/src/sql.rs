@@ -169,7 +169,11 @@ impl Parser {
                 let _ = self.number()?;
             }
             self.expect_end()?;
-            return Ok(Query::histogram(table, BinSpec::new(column, min, max, bins), filter));
+            return Ok(Query::histogram(
+                table,
+                BinSpec::new(column, min, max, bins),
+                filter,
+            ));
         }
 
         // Plain select with a projection list.
@@ -240,7 +244,9 @@ impl Parser {
         match self.next() {
             Token::Ident(w) => Ok(ConcatPart::Column(Arc::from(w.as_str()))),
             Token::Str(s) => Ok(ConcatPart::Literal(Arc::from(s.as_str()))),
-            other => Err(err(format!("expected column or string literal, found {other:?}"))),
+            other => Err(err(format!(
+                "expected column or string literal, found {other:?}"
+            ))),
         }
     }
 
@@ -298,7 +304,11 @@ impl Parser {
             Token::Ge => CmpOp::Ge,
             Token::Symbol('<') => CmpOp::Lt,
             Token::Symbol('>') => CmpOp::Gt,
-            other => return Err(err(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(err(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
         };
         let value = match self.peek().clone() {
             Token::Str(s) => {
@@ -367,7 +377,9 @@ fn tokenize(sql: &str) -> Vec<Token> {
             {
                 let start = i;
                 while i < chars.len()
-                    && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e'
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
                         || chars[i] == 'E'
                         || ((chars[i] == '+' || chars[i] == '-')
                             && matches!(chars.get(i.wrapping_sub(1)), Some('e' | 'E'))))
@@ -407,9 +419,15 @@ mod tests {
         let b = MemBackend::new();
         b.database().register(
             TableBuilder::new("imdb")
-                .column("title", ColumnBuilder::str((0..20).map(|i| format!("m{i}"))))
+                .column(
+                    "title",
+                    ColumnBuilder::str((0..20).map(|i| format!("m{i}"))),
+                )
                 .column("year", ColumnBuilder::int((0..20).map(|i| 2000 + i)))
-                .column("rating", ColumnBuilder::float((0..20).map(|i| i as f64 / 2.0)))
+                .column(
+                    "rating",
+                    ColumnBuilder::float((0..20).map(|i| i as f64 / 2.0)),
+                )
                 .build()
                 .unwrap(),
         );
@@ -427,10 +445,8 @@ mod tests {
 
     #[test]
     fn parses_the_papers_q1_projection() {
-        let q = parse(
-            "SELECT title || '(' || year || ')', rating FROM imdb LIMIT 2 OFFSET 0",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT title || '(' || year || ')', rating FROM imdb LIMIT 2 OFFSET 0").unwrap();
         let out = backend().execute(&q).unwrap();
         assert_eq!(out.result.rows().unwrap()[0][0].as_str(), Some("m0(2000)"));
     }
@@ -485,7 +501,10 @@ mod tests {
     fn escaped_quotes_in_literals() {
         let q = parse("SELECT title || ' it''s ' || year FROM imdb LIMIT 1").unwrap();
         let out = backend().execute(&q).unwrap();
-        assert_eq!(out.result.rows().unwrap()[0][0].as_str(), Some("m0 it's 2000"));
+        assert_eq!(
+            out.result.rows().unwrap()[0][0].as_str(),
+            Some("m0 it's 2000")
+        );
     }
 
     #[test]

@@ -91,9 +91,7 @@ impl PartialEq for Value {
             (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
             (Value::Str(a), Value::Str(b)) => a == b,
             // Cross-numeric comparison mirrors SQL's implicit cast.
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             _ => false,
         }
     }

@@ -164,7 +164,10 @@ mod tests {
             ..LatencyBreakdown::default()
         };
         assert_eq!(b.bottleneck().0, "scheduling");
-        assert!(b.execution_fraction() < 0.2, "execution alone would mislead");
+        assert!(
+            b.execution_fraction() < 0.2,
+            "execution alone would mislead"
+        );
     }
 
     #[test]

@@ -95,11 +95,7 @@ impl QifQuadrant {
     /// backend's mean per-query time. "High QIF" means the frontend
     /// issues at ≥ `high_qif_threshold` queries/s (the paper's examples
     /// use UI frame rates, ~50/s).
-    pub fn classify(
-        qif: f64,
-        mean_service: SimDuration,
-        high_qif_threshold: f64,
-    ) -> QifQuadrant {
+    pub fn classify(qif: f64, mean_service: SimDuration, high_qif_threshold: f64) -> QifQuadrant {
         let high = qif >= high_qif_threshold;
         // The backend keeps up when it can serve faster than queries arrive.
         let service_rate = if mean_service.is_zero() {
@@ -193,7 +189,9 @@ mod tests {
 
     #[test]
     fn quadrant_guidance_strings() {
-        assert!(QifQuadrant::OverwhelmedThrottle.guidance().contains("throttle"));
+        assert!(QifQuadrant::OverwhelmedThrottle
+            .guidance()
+            .contains("throttle"));
         assert!(QifQuadrant::Good.guidance().contains("matched"));
     }
 

@@ -144,9 +144,7 @@ pub fn validate_plan(traits: &SystemTraits, plan: &[Metric]) -> Vec<PlanIssue> {
         issues.push(PlanIssue::MissingLatency);
     }
     for m in recommend(traits) {
-        if !plan.contains(&m)
-            && !matches!(m, Metric::UserFeedback | Metric::Latency)
-        {
+        if !plan.contains(&m) && !matches!(m, Metric::UserFeedback | Metric::Latency) {
             issues.push(PlanIssue::MissingRecommended(m));
         }
     }

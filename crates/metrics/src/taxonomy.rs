@@ -153,14 +153,8 @@ pub fn render_tree() -> String {
         (
             "Human Factors",
             vec![
-                (
-                    "Qualitative",
-                    MetricCategory::HumanQualitative,
-                ),
-                (
-                    "Quantitative",
-                    MetricCategory::HumanQuantitative,
-                ),
+                ("Qualitative", MetricCategory::HumanQualitative),
+                ("Quantitative", MetricCategory::HumanQuantitative),
             ],
         ),
         (
@@ -205,7 +199,11 @@ mod tests {
 
     #[test]
     fn exactly_two_novel_metrics() {
-        let novel: Vec<Metric> = Metric::ALL.iter().copied().filter(|m| m.is_novel()).collect();
+        let novel: Vec<Metric> = Metric::ALL
+            .iter()
+            .copied()
+            .filter(|m| m.is_novel())
+            .collect();
         assert_eq!(
             novel,
             vec![
@@ -231,6 +229,9 @@ mod tests {
     fn category_paths() {
         assert!(MetricCategory::SystemFrontend.path().contains("Frontend"));
         assert_eq!(Metric::Latency.category(), MetricCategory::SystemBackend);
-        assert_eq!(Metric::Accuracy.category(), MetricCategory::HumanQuantitative);
+        assert_eq!(
+            Metric::Accuracy.category(),
+            MetricCategory::HumanQuantitative
+        );
     }
 }

@@ -82,7 +82,12 @@ impl HistogramSketch {
     /// Approximates a histogram query's result over the sample. Only
     /// `Query::Histogram` against the sketched table is supported.
     pub fn approx(&self, query: &Query) -> EngineResult<Histogram> {
-        let Query::Histogram { table, bins, filter } = query else {
+        let Query::Histogram {
+            table,
+            bins,
+            filter,
+        } = query
+        else {
             return Err(EngineError::InvalidBinSpec(
                 "sketch approximation only supports histogram queries".into(),
             ));
@@ -140,6 +145,12 @@ pub fn replay_kl(
         })
         .collect();
 
+    let reg = ids_obs::metrics();
+    let executed_ctr = reg.counter("opt.kl.executed");
+    let dropped_ctr = reg.counter("opt.kl.dropped");
+    let rec = ids_obs::recorder();
+    let track = crate::skip::exec_track(backend, "kl");
+
     let mut busy_until = SimTime::ZERO;
     let mut last_sig: Option<Vec<f64>> = None;
     for (i, g) in groups.iter().enumerate() {
@@ -150,8 +161,25 @@ pub fn replay_kl(
             None => f64::INFINITY,    // first group always executes
         };
         if divergence <= threshold {
+            dropped_ctr.inc();
+            if rec.is_enabled() {
+                let track = rec.track("opt/kl");
+                rec.record_instant(
+                    "opt",
+                    "kl.drop",
+                    track,
+                    g.at,
+                    vec![
+                        ("group", ids_obs::ArgValue::U64(i as u64)),
+                        ("divergence", ids_obs::ArgValue::F64(divergence)),
+                        ("threshold", ids_obs::ArgValue::F64(threshold)),
+                    ],
+                );
+            }
             continue;
         }
+        executed_ctr.inc();
+        ids_obs::set_vnow(g.at);
         let mut cost = ids_simclock::SimDuration::ZERO;
         for q in &g.queries {
             cost = cost.max(backend.execute(q)?.cost);
@@ -166,6 +194,7 @@ pub fn replay_kl(
             finished_at,
             executed: true,
         };
+        crate::skip::record_group_span(track, &timings[i], g.queries.len());
         last_sig = Some(sig);
     }
     Ok(ReplayOutcome { timings })
@@ -181,7 +210,10 @@ mod tests {
         // reshapes the y histogram — as with real clustered data.
         TableBuilder::new("dataroad")
             .column("x", ColumnBuilder::float((0..n).map(|i| i as f64 % 100.0)))
-            .column("y", ColumnBuilder::float((0..n).map(|i| (i as f64 % 100.0) / 2.0)))
+            .column(
+                "y",
+                ColumnBuilder::float((0..n).map(|i| (i as f64 % 100.0) / 2.0)),
+            )
             .build()
             .unwrap()
     }
@@ -221,8 +253,10 @@ mod tests {
     fn kl_is_nonnegative_on_random_histograms() {
         let mut rng = SimRng::seed(5);
         for _ in 0..200 {
-            let a = Histogram::from_counts((0..8).map(|_| rng.uniform_usize(0, 50) as u64).collect());
-            let b = Histogram::from_counts((0..8).map(|_| rng.uniform_usize(0, 50) as u64).collect());
+            let a =
+                Histogram::from_counts((0..8).map(|_| rng.uniform_usize(0, 50) as u64).collect());
+            let b =
+                Histogram::from_counts((0..8).map(|_| rng.uniform_usize(0, 50) as u64).collect());
             assert!(kl_divergence(&a, &b) >= 0.0);
         }
     }
@@ -244,7 +278,9 @@ mod tests {
     fn sketch_rejects_wrong_shapes() {
         let t = table(100);
         let sketch = HistogramSketch::new(t, 50, 1);
-        assert!(sketch.approx(&Query::count("dataroad", Predicate::True)).is_err());
+        assert!(sketch
+            .approx(&Query::count("dataroad", Predicate::True))
+            .is_err());
         let other = Query::histogram(
             "other_table",
             BinSpec::new("y", 0.0, 50.0, 10),

@@ -354,9 +354,12 @@ mod tests {
                 "avg violation wait {avg}"
             );
         }
-        let ratio = small.avg_violation_wait().as_millis_f64()
-            / big.avg_violation_wait().as_millis_f64();
-        assert!((0.8..1.25).contains(&ratio), "size sensitivity ratio {ratio:.2}");
+        let ratio =
+            small.avg_violation_wait().as_millis_f64() / big.avg_violation_wait().as_millis_f64();
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "size sensitivity ratio {ratio:.2}"
+        );
     }
 
     #[test]

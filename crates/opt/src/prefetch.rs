@@ -201,16 +201,31 @@ pub fn evaluate_tile_strategy(
     strategy: TileStrategy,
     cache_capacity: usize,
 ) -> HitRateCounter {
+    let reg = ids_obs::metrics();
+    let hits_ctr = reg.counter("opt.prefetch.tile_hits");
+    let miss_ctr = reg.counter("opt.prefetch.tile_misses");
+    let prefetched_ctr = reg.counter("opt.prefetch.tiles_prefetched");
+    let rec = ids_obs::recorder();
+
     let mut counter = HitRateCounter::new(CacheLocation::Frontend);
     for session in sessions {
         // Per-session cache (a fresh browser).
         let mut cache: lru::LruCache = lru::LruCache::new(cache_capacity);
         let actions = actions_of(session);
+        let lookups_before = counter.lookups();
+        let hits_before = counter.hits();
+        let mut prefetched_this_session = 0u64;
         for (i, (state, action)) in actions.iter().enumerate() {
             let next_state = action.apply(state);
             // The user performs `action`: the next viewport's tiles load.
             for tile in viewport_tiles(&next_state) {
-                counter.record(cache.get(tile));
+                let was_hit = cache.get(tile);
+                counter.record(was_hit);
+                if was_hit {
+                    hits_ctr.inc();
+                } else {
+                    miss_ctr.inc();
+                }
                 cache.put(tile);
             }
             // During think time, prefetch for the predicted follow-up.
@@ -220,9 +235,35 @@ pub fn evaluate_tile_strategy(
                     let predicted_state = predicted.apply(&next_state);
                     for tile in viewport_tiles(&predicted_state) {
                         cache.put(tile);
+                        prefetched_this_session += 1;
                     }
                 }
             }
+        }
+        prefetched_ctr.add(prefetched_this_session);
+        // One span per session covering its map activity, so prefetch
+        // effectiveness is visible on the trace timeline.
+        if rec.is_enabled() && !session.steps.is_empty() {
+            let track = rec.track("opt/prefetch");
+            let start = session.steps[0].at;
+            let end = session.steps[session.steps.len() - 1].at;
+            let hits = counter.hits() - hits_before;
+            let lookups = counter.lookups() - lookups_before;
+            rec.record_span(
+                "opt",
+                "prefetch.session",
+                track,
+                start,
+                end.saturating_since(start),
+                vec![
+                    ("tile_hits", ids_obs::ArgValue::U64(hits)),
+                    ("tile_misses", ids_obs::ArgValue::U64(lookups - hits)),
+                    (
+                        "tiles_prefetched",
+                        ids_obs::ArgValue::U64(prefetched_this_session),
+                    ),
+                ],
+            );
         }
     }
     counter
@@ -355,8 +396,7 @@ mod tests {
         let mut m = MarkovPrefetcher::new();
         m.train_sessions(&ss);
         let demand = evaluate_tile_strategy(&ss, &m, TileStrategy::DemandOnly, 512);
-        let markov =
-            evaluate_tile_strategy(&ss, &m, TileStrategy::Markov { top_k: 2 }, 512);
+        let markov = evaluate_tile_strategy(&ss, &m, TileStrategy::Markov { top_k: 2 }, 512);
         assert!(
             markov.hit_rate() > demand.hit_rate(),
             "markov {:.3} vs demand {:.3}",

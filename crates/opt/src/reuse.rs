@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use ids_engine::{Backend, EngineResult, QueryOutcome, Query, ResultSet};
+use ids_engine::{Backend, EngineResult, Query, QueryOutcome, ResultSet};
 use ids_simclock::SimDuration;
 use parking_lot::Mutex;
 

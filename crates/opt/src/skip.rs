@@ -102,23 +102,65 @@ fn group_cost(backend: &dyn Backend, group: &QueryGroup) -> EngineResult<SimDura
     Ok(max)
 }
 
+/// Records one executed group as a trace span on the given track; no-op
+/// while the recorder is disabled.
+pub(crate) fn record_group_span(
+    track: Option<ids_obs::TrackId>,
+    timing: &GroupTiming,
+    queries: usize,
+) {
+    let Some(track) = track else { return };
+    ids_obs::recorder().record_span(
+        "exec",
+        "group",
+        track,
+        timing.started_at,
+        timing.execution(),
+        vec![
+            ("group", ids_obs::ArgValue::U64(timing.index as u64)),
+            ("queries", ids_obs::ArgValue::U64(queries as u64)),
+            (
+                "wait_ms",
+                ids_obs::ArgValue::F64(
+                    timing
+                        .started_at
+                        .saturating_since(timing.issued_at)
+                        .as_millis_f64(),
+                ),
+            ),
+        ],
+    );
+}
+
+/// Interns the execution track for a replay policy over a backend, or
+/// `None` when the recorder is off.
+pub(crate) fn exec_track(backend: &dyn Backend, policy: &str) -> Option<ids_obs::TrackId> {
+    let rec = ids_obs::recorder();
+    rec.is_enabled()
+        .then(|| rec.track(&format!("{}/{policy}", backend.name())))
+}
+
 /// FIFO baseline: every group executes in order; each waits for the
 /// previous to finish.
 pub fn replay_raw(backend: &dyn Backend, groups: &[QueryGroup]) -> EngineResult<ReplayOutcome> {
+    let track = exec_track(backend, "raw");
     let mut busy_until = SimTime::ZERO;
     let mut timings = Vec::with_capacity(groups.len());
     for (index, g) in groups.iter().enumerate() {
+        ids_obs::set_vnow(g.at);
         let cost = group_cost(backend, g)?;
         let started_at = g.at.max(busy_until);
         let finished_at = started_at + cost;
         busy_until = finished_at;
-        timings.push(GroupTiming {
+        let timing = GroupTiming {
             index,
             issued_at: g.at,
             started_at,
             finished_at,
             executed: true,
-        });
+        };
+        record_group_span(track, &timing, g.queries.len());
+        timings.push(timing);
     }
     Ok(ReplayOutcome { timings })
 }
@@ -139,6 +181,12 @@ pub fn replay_skip(backend: &dyn Backend, groups: &[QueryGroup]) -> EngineResult
         })
         .collect();
 
+    let reg = ids_obs::metrics();
+    let executed_ctr = reg.counter("opt.skip.executed");
+    let dropped_ctr = reg.counter("opt.skip.dropped");
+    let rec = ids_obs::recorder();
+    let track = exec_track(backend, "skip");
+
     let mut busy_until = SimTime::ZERO;
     let mut i = 0usize;
     while i < groups.len() {
@@ -148,13 +196,32 @@ pub fn replay_skip(backend: &dyn Backend, groups: &[QueryGroup]) -> EngineResult
         while latest + 1 < groups.len() && groups[latest + 1].at <= busy_until {
             latest += 1;
         }
+        if latest > i {
+            dropped_ctr.add((latest - i) as u64);
+            if rec.is_enabled() {
+                let track = rec.track("opt/skip");
+                rec.record_instant(
+                    "opt",
+                    "skip.drop",
+                    track,
+                    groups[latest].at,
+                    vec![
+                        ("stale_groups", ids_obs::ArgValue::U64((latest - i) as u64)),
+                        ("first", ids_obs::ArgValue::U64(i as u64)),
+                    ],
+                );
+            }
+        }
+        executed_ctr.inc();
         let g = &groups[latest];
+        ids_obs::set_vnow(g.at);
         let cost = group_cost(backend, g)?;
         let started_at = g.at.max(busy_until);
         let finished_at = started_at + cost;
         timings[latest].started_at = started_at;
         timings[latest].finished_at = finished_at;
         timings[latest].executed = true;
+        record_group_span(track, &timings[latest], g.queries.len());
         busy_until = finished_at;
         i = latest + 1;
     }
@@ -164,7 +231,9 @@ pub fn replay_skip(backend: &dyn Backend, groups: &[QueryGroup]) -> EngineResult
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ids_engine::{Backend, ColumnBuilder, CostParams, MemBackend, Predicate, Query, TableBuilder};
+    use ids_engine::{
+        Backend, ColumnBuilder, CostParams, MemBackend, Predicate, Query, TableBuilder,
+    };
 
     fn fixed_backend(cost_ms: u64) -> MemBackend {
         let params = CostParams {
@@ -205,7 +274,11 @@ mod tests {
         assert_eq!(out.skipped(), 0);
         assert_eq!(out.executed().len(), 5);
         // Latency cascades: each later group waits longer.
-        let lats: Vec<u64> = out.timings.iter().map(|t| t.latency().as_millis()).collect();
+        let lats: Vec<u64> = out
+            .timings
+            .iter()
+            .map(|t| t.latency().as_millis())
+            .collect();
         assert!(lats.windows(2).all(|w| w[0] <= w[1]), "{lats:?}");
         assert_eq!(lats[0], 50);
         assert_eq!(lats[4], 50 * 5 - 4 * 10);
@@ -247,7 +320,10 @@ mod tests {
             skip.lcv().fraction(),
             raw.lcv().fraction()
         );
-        assert!(raw.lcv().fraction() > 0.8, "slow raw should violate heavily");
+        assert!(
+            raw.lcv().fraction() > 0.8,
+            "slow raw should violate heavily"
+        );
     }
 
     #[test]

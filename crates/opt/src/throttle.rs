@@ -43,6 +43,10 @@ pub fn throttle_fixed(groups: &[QueryGroup], min_interval: SimDuration) -> Vec<Q
     if let Some(p) = pending {
         out.push(p.clone());
     }
+    let reg = ids_obs::metrics();
+    reg.counter("opt.throttle.fixed.kept").add(out.len() as u64);
+    reg.counter("opt.throttle.fixed.dropped")
+        .add((groups.len() - out.len()) as u64);
     out
 }
 
@@ -109,14 +113,43 @@ impl AdaptiveThrottle {
     where
         F: FnMut(&QueryGroup) -> SimDuration,
     {
+        let reg = ids_obs::metrics();
+        let admitted_ctr = reg.counter("opt.throttle.adaptive.admitted");
+        let dropped_ctr = reg.counter("opt.throttle.adaptive.dropped");
+        let rec = ids_obs::recorder();
         let mut out = Vec::new();
         for g in groups {
             if self.admit(g.at) {
+                admitted_ctr.inc();
                 let service = service_of(g);
                 // Correct the reservation with the real cost.
                 self.busy_until = g.at + service;
                 self.observe(service);
+                if rec.is_enabled() {
+                    rec.record_counter(
+                        "opt.throttle.estimate_ms",
+                        g.at,
+                        self.estimate.as_millis_f64(),
+                    );
+                }
                 out.push(g.clone());
+            } else {
+                dropped_ctr.inc();
+                if rec.is_enabled() {
+                    let track = rec.track("opt/throttle");
+                    rec.record_instant(
+                        "opt",
+                        "throttle.drop",
+                        track,
+                        g.at,
+                        vec![(
+                            "busy_for_ms",
+                            ids_obs::ArgValue::F64(
+                                self.busy_until.saturating_since(g.at).as_millis_f64(),
+                            ),
+                        )],
+                    );
+                }
             }
         }
         out

@@ -132,7 +132,10 @@ impl SimRng {
     /// weights vanish or the slice is empty is not allowed (panics), since
     /// a widget-choice model with no options is a programming error.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index requires at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index requires at least one weight"
+        );
         let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
         if total <= 0.0 {
             return 0;

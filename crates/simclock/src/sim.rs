@@ -158,7 +158,9 @@ impl<E> Simulation<E> {
     pub fn run<S: Stepper<E>>(&mut self, mut stepper: S) -> Result<(), SimError> {
         while !self.queue.is_empty() {
             if self.steps >= self.budget {
-                return Err(SimError::BudgetExhausted { budget: self.budget });
+                return Err(SimError::BudgetExhausted {
+                    budget: self.budget,
+                });
             }
             self.step_once(&mut stepper)?;
         }
@@ -178,7 +180,9 @@ impl<E> Simulation<E> {
                 break;
             }
             if self.steps >= self.budget {
-                return Err(SimError::BudgetExhausted { budget: self.budget });
+                return Err(SimError::BudgetExhausted {
+                    budget: self.budget,
+                });
             }
             self.step_once(stepper)?;
         }
@@ -254,7 +258,8 @@ mod tests {
         let clock = SimClock::new();
         let mut sim: Simulation<()> = Simulation::with_clock(clock.clone());
         sim.schedule(SimTime::from_millis(42), ());
-        sim.run(|_: SimTime, (): (), _: &mut EventQueue<()>| {}).unwrap();
+        sim.run(|_: SimTime, (): (), _: &mut EventQueue<()>| {})
+            .unwrap();
         assert_eq!(clock.now().as_millis(), 42);
     }
 }

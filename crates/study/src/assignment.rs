@@ -41,7 +41,9 @@ pub fn crossover_orders(participants: usize, rng: &mut SimRng) -> Vec<Vec<usize>
 /// A k×k Latin square: row *i* is the condition order for participant
 /// group *i*; every condition appears exactly once per row and per column.
 pub fn latin_square(k: usize) -> Vec<Vec<usize>> {
-    (0..k).map(|r| (0..k).map(|c| (r + c) % k).collect()).collect()
+    (0..k)
+        .map(|r| (0..k).map(|c| (r + c) % k).collect())
+        .collect()
 }
 
 /// A balanced Latin square for even `k`: additionally, every condition
@@ -55,7 +57,8 @@ pub fn balanced_latin_square(k: usize) -> Vec<Vec<usize>> {
             (0..k)
                 .map(|c| {
                     // Standard Williams design construction.
-                    #[allow(clippy::manual_div_ceil)] // (c+1)/2 here is a design index, not a rounding-up division
+                    #[allow(clippy::manual_div_ceil)]
+                    // (c+1)/2 here is a design index, not a rounding-up division
                     let base = if c % 2 == 0 { c / 2 } else { k - (c + 1) / 2 };
                     (base + r) % k
                 })

@@ -77,7 +77,9 @@ impl Bias {
                 "recruiting participants likely to perform favorably on the \
                  tested condition (e.g. only iPhone users for an iPhone study)"
             }
-            Bias::Confirmation => "the researcher's tendency to see results confirming the hypothesis",
+            Bias::Confirmation => {
+                "the researcher's tendency to see results confirming the hypothesis"
+            }
         }
     }
 
@@ -167,6 +169,8 @@ mod tests {
     #[test]
     fn anchoring_mitigated_by_counterbalancing() {
         assert!(Bias::Anchoring.mitigation().contains("counterbalance"));
-        assert!(Bias::Selection.mitigation().contains("before collecting demographics"));
+        assert!(Bias::Selection
+            .mitigation()
+            .contains("before collecting demographics"));
     }
 }

@@ -77,11 +77,7 @@ impl StudyOutcome {
 
 /// Runs a within-subject study with explicit per-participant condition
 /// orders (`orders[p]` is a permutation of `[0, 1]`).
-pub fn run_within_subject(
-    task: &TwoSystemTask,
-    orders: &[Vec<usize>],
-    seed: u64,
-) -> StudyOutcome {
+pub fn run_within_subject(task: &TwoSystemTask, orders: &[Vec<usize>], seed: u64) -> StudyOutcome {
     let rng = SimRng::seed(seed).split("study/within");
     let mut totals = [0.0f64; 2];
     let mut counts = [0usize; 2];
@@ -194,9 +190,11 @@ mod tests {
         let p = Participant::sample(&mut rng);
         let first = p.complete(1.0, 0, &mut rng);
         // Average over noise to see the learning trend.
-        let later: f64 =
-            (0..50).map(|_| p.complete(1.0, 2, &mut rng)).sum::<f64>() / 50.0;
-        assert!(later < first, "exposure 2 mean {later:.1} vs first {first:.1}");
+        let later: f64 = (0..50).map(|_| p.complete(1.0, 2, &mut rng)).sum::<f64>() / 50.0;
+        assert!(
+            later < first,
+            "exposure 2 mean {later:.1} vs first {first:.1}"
+        );
     }
 
     #[test]

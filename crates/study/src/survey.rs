@@ -37,77 +37,410 @@ use Metric::*;
 /// The full survey (Tables 1 + 2).
 pub const SURVEY: &[SurveyEntry] = &[
     // ----- Table 1: 1997-2012 -----
-    SurveyEntry { name: "Online Aggregation", year: 1997, era: Era::Early, metrics: &[Latency] },
-    SurveyEntry { name: "Igarashi et al.", year: 2000, era: Era::Early, metrics: &[UserFeedback, TaskCompletionTime] },
-    SurveyEntry { name: "Fekete and Plaisant", year: 2002, era: Era::Early, metrics: &[Latency] },
-    SurveyEntry { name: "Yang et al.", year: 2003, era: Era::Early, metrics: &[UserFeedback] },
-    SurveyEntry { name: "Plaisant", year: 2004, era: Era::Early, metrics: &[NumberOfInsights] },
-    SurveyEntry { name: "Yang et al.", year: 2004, era: Era::Early, metrics: &[UserFeedback] },
-    SurveyEntry { name: "Seo and Shneiderman", year: 2005, era: Era::Early, metrics: &[NumberOfInsights] },
-    SurveyEntry { name: "Kosara et al.", year: 2006, era: Era::Early, metrics: &[Latency] },
-    SurveyEntry { name: "Mackinlay et al.", year: 2007, era: Era::Early, metrics: &[UserFeedback] },
-    SurveyEntry { name: "Scented Widgets", year: 2007, era: Era::Early, metrics: &[UserFeedback, NumberOfInsights] },
-    SurveyEntry { name: "Faith", year: 2007, era: Era::Early, metrics: &[NumberOfInsights] },
-    SurveyEntry { name: "Jagadish et al.", year: 2007, era: Era::Early, metrics: &[UserFeedback] },
-    SurveyEntry { name: "Yang et al.", year: 2007, era: Era::Early, metrics: &[NumberOfInsights] },
-    SurveyEntry { name: "Nalix", year: 2007, era: Era::Early, metrics: &[UserFeedback] },
-    SurveyEntry { name: "Heer et al.", year: 2008, era: Era::Early, metrics: &[UserFeedback] },
-    SurveyEntry { name: "LiveRac", year: 2008, era: Era::Early, metrics: &[UserFeedback] },
-    SurveyEntry { name: "Basu et al.", year: 2008, era: Era::Early, metrics: &[NumberOfInteractions] },
-    SurveyEntry { name: "Atlas", year: 2008, era: Era::Early, metrics: &[Scalability, Throughput] },
-    SurveyEntry { name: "Liu and Jagadish", year: 2009, era: Era::Early, metrics: &[TaskCompletionTime] },
-    SurveyEntry { name: "Woodring and Shen", year: 2009, era: Era::Early, metrics: &[Latency, Scalability] },
-    SurveyEntry { name: "Facetor", year: 2010, era: Era::Early, metrics: &[UserFeedback, NumberOfInteractions, Latency] },
-    SurveyEntry { name: "Wrangler", year: 2011, era: Era::Early, metrics: &[UserFeedback, TaskCompletionTime] },
-    SurveyEntry { name: "Dicon", year: 2011, era: Era::Early, metrics: &[UserFeedback, NumberOfInsights] },
-    SurveyEntry { name: "Yang et al.", year: 2011, era: Era::Early, metrics: &[Latency] },
-    SurveyEntry { name: "Kashyap et al.", year: 2011, era: Era::Early, metrics: &[NumberOfInteractions] },
-    SurveyEntry { name: "Fisher et al.", year: 2012, era: Era::Early, metrics: &[UserFeedback] },
-    SurveyEntry { name: "GravNav", year: 2012, era: Era::Early, metrics: &[UserFeedback, TaskCompletionTime] },
-    SurveyEntry { name: "Wei et al.", year: 2012, era: Era::Early, metrics: &[NumberOfInsights] },
-    SurveyEntry { name: "Dataplay", year: 2012, era: Era::Early, metrics: &[UserFeedback, TaskCompletionTime] },
-    SurveyEntry { name: "Zhang et al.", year: 2012, era: Era::Early, metrics: &[NumberOfInsights] },
-    SurveyEntry { name: "VizDeck", year: 2012, era: Era::Early, metrics: &[UserFeedback] },
+    SurveyEntry {
+        name: "Online Aggregation",
+        year: 1997,
+        era: Era::Early,
+        metrics: &[Latency],
+    },
+    SurveyEntry {
+        name: "Igarashi et al.",
+        year: 2000,
+        era: Era::Early,
+        metrics: &[UserFeedback, TaskCompletionTime],
+    },
+    SurveyEntry {
+        name: "Fekete and Plaisant",
+        year: 2002,
+        era: Era::Early,
+        metrics: &[Latency],
+    },
+    SurveyEntry {
+        name: "Yang et al.",
+        year: 2003,
+        era: Era::Early,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "Plaisant",
+        year: 2004,
+        era: Era::Early,
+        metrics: &[NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "Yang et al.",
+        year: 2004,
+        era: Era::Early,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "Seo and Shneiderman",
+        year: 2005,
+        era: Era::Early,
+        metrics: &[NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "Kosara et al.",
+        year: 2006,
+        era: Era::Early,
+        metrics: &[Latency],
+    },
+    SurveyEntry {
+        name: "Mackinlay et al.",
+        year: 2007,
+        era: Era::Early,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "Scented Widgets",
+        year: 2007,
+        era: Era::Early,
+        metrics: &[UserFeedback, NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "Faith",
+        year: 2007,
+        era: Era::Early,
+        metrics: &[NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "Jagadish et al.",
+        year: 2007,
+        era: Era::Early,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "Yang et al.",
+        year: 2007,
+        era: Era::Early,
+        metrics: &[NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "Nalix",
+        year: 2007,
+        era: Era::Early,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "Heer et al.",
+        year: 2008,
+        era: Era::Early,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "LiveRac",
+        year: 2008,
+        era: Era::Early,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "Basu et al.",
+        year: 2008,
+        era: Era::Early,
+        metrics: &[NumberOfInteractions],
+    },
+    SurveyEntry {
+        name: "Atlas",
+        year: 2008,
+        era: Era::Early,
+        metrics: &[Scalability, Throughput],
+    },
+    SurveyEntry {
+        name: "Liu and Jagadish",
+        year: 2009,
+        era: Era::Early,
+        metrics: &[TaskCompletionTime],
+    },
+    SurveyEntry {
+        name: "Woodring and Shen",
+        year: 2009,
+        era: Era::Early,
+        metrics: &[Latency, Scalability],
+    },
+    SurveyEntry {
+        name: "Facetor",
+        year: 2010,
+        era: Era::Early,
+        metrics: &[UserFeedback, NumberOfInteractions, Latency],
+    },
+    SurveyEntry {
+        name: "Wrangler",
+        year: 2011,
+        era: Era::Early,
+        metrics: &[UserFeedback, TaskCompletionTime],
+    },
+    SurveyEntry {
+        name: "Dicon",
+        year: 2011,
+        era: Era::Early,
+        metrics: &[UserFeedback, NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "Yang et al.",
+        year: 2011,
+        era: Era::Early,
+        metrics: &[Latency],
+    },
+    SurveyEntry {
+        name: "Kashyap et al.",
+        year: 2011,
+        era: Era::Early,
+        metrics: &[NumberOfInteractions],
+    },
+    SurveyEntry {
+        name: "Fisher et al.",
+        year: 2012,
+        era: Era::Early,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "GravNav",
+        year: 2012,
+        era: Era::Early,
+        metrics: &[UserFeedback, TaskCompletionTime],
+    },
+    SurveyEntry {
+        name: "Wei et al.",
+        year: 2012,
+        era: Era::Early,
+        metrics: &[NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "Dataplay",
+        year: 2012,
+        era: Era::Early,
+        metrics: &[UserFeedback, TaskCompletionTime],
+    },
+    SurveyEntry {
+        name: "Zhang et al.",
+        year: 2012,
+        era: Era::Early,
+        metrics: &[NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "VizDeck",
+        year: 2012,
+        era: Era::Early,
+        metrics: &[UserFeedback],
+    },
     // ----- Table 2: 2012-present -----
-    SurveyEntry { name: "Skimmer", year: 2012, era: Era::Modern, metrics: &[UserFeedback, Latency] },
-    SurveyEntry { name: "Scout", year: 2012, era: Era::Modern, metrics: &[CacheHitRate] },
-    SurveyEntry { name: "Martin and Ward", year: 1995, era: Era::Modern, metrics: &[UserFeedback] },
-    SurveyEntry { name: "Bakke et al.", year: 2011, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime] },
-    SurveyEntry { name: "GestureDB", year: 2013, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime, Learnability, Discoverability] },
-    SurveyEntry { name: "Basole et al.", year: 2013, era: Era::Modern, metrics: &[UserFeedback, NumberOfInsights, TaskCompletionTime] },
-    SurveyEntry { name: "Biswas et al.", year: 2013, era: Era::Modern, metrics: &[NumberOfInsights, Accuracy] },
-    SurveyEntry { name: "MotionExplorer", year: 2013, era: Era::Modern, metrics: &[UserFeedback] },
-    SurveyEntry { name: "Yuan et al.", year: 2013, era: Era::Modern, metrics: &[NumberOfInsights] },
-    SurveyEntry { name: "Ferreira et al.", year: 2013, era: Era::Modern, metrics: &[NumberOfInsights] },
-    SurveyEntry { name: "Cooper et al. (YCSB)", year: 2010, era: Era::Modern, metrics: &[Latency] },
-    SurveyEntry { name: "Immens", year: 2013, era: Era::Modern, metrics: &[Latency, Scalability] },
-    SurveyEntry { name: "Nanocubes", year: 2013, era: Era::Modern, metrics: &[Latency] },
-    SurveyEntry { name: "Kinetica", year: 2014, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime, Learnability] },
-    SurveyEntry { name: "DICE", year: 2014, era: Era::Modern, metrics: &[Accuracy, Latency, Scalability, CacheHitRate] },
-    SurveyEntry { name: "Lyra", year: 2014, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime] },
-    SurveyEntry { name: "Dimitriadou et al.", year: 2014, era: Era::Modern, metrics: &[Accuracy, Latency, NumberOfInteractions] },
-    SurveyEntry { name: "SeeDB", year: 2014, era: Era::Modern, metrics: &[UserFeedback, Accuracy, Latency] },
-    SurveyEntry { name: "SnapToQuery", year: 2015, era: Era::Modern, metrics: &[UserFeedback, Learnability, Discoverability] },
-    SurveyEntry { name: "Kim et al.", year: 2015, era: Era::Modern, metrics: &[Accuracy] },
-    SurveyEntry { name: "ForeCache", year: 2015, era: Era::Modern, metrics: &[CacheHitRate] },
-    SurveyEntry { name: "Zenvisage", year: 2016, era: Era::Modern, metrics: &[UserFeedback, NumberOfInsights, TaskCompletionTime] },
-    SurveyEntry { name: "FluxQuery", year: 2016, era: Era::Modern, metrics: &[Latency] },
-    SurveyEntry { name: "Voyager", year: 2016, era: Era::Modern, metrics: &[UserFeedback] },
-    SurveyEntry { name: "Moritz et al.", year: 2017, era: Era::Modern, metrics: &[UserFeedback] },
-    SurveyEntry { name: "Incvisage", year: 2017, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime, Accuracy, Latency] },
-    SurveyEntry { name: "Data Tweening", year: 2017, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime] },
-    SurveyEntry { name: "Icarus", year: 2018, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime, Accuracy, Latency] },
-    SurveyEntry { name: "Datamaran", year: 2018, era: Era::Modern, metrics: &[Accuracy] },
-    SurveyEntry { name: "Tensorboard", year: 2018, era: Era::Modern, metrics: &[UserFeedback, NumberOfInsights] },
-    SurveyEntry { name: "DataSpread", year: 2018, era: Era::Modern, metrics: &[Scalability] },
-    SurveyEntry { name: "Sesame", year: 2018, era: Era::Modern, metrics: &[Latency, CacheHitRate] },
-    SurveyEntry { name: "Transformer", year: 2019, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime, Accuracy] },
-    SurveyEntry { name: "ARQuery", year: 2019, era: Era::Modern, metrics: &[UserFeedback, TaskCompletionTime] },
+    SurveyEntry {
+        name: "Skimmer",
+        year: 2012,
+        era: Era::Modern,
+        metrics: &[UserFeedback, Latency],
+    },
+    SurveyEntry {
+        name: "Scout",
+        year: 2012,
+        era: Era::Modern,
+        metrics: &[CacheHitRate],
+    },
+    SurveyEntry {
+        name: "Martin and Ward",
+        year: 1995,
+        era: Era::Modern,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "Bakke et al.",
+        year: 2011,
+        era: Era::Modern,
+        metrics: &[UserFeedback, TaskCompletionTime],
+    },
+    SurveyEntry {
+        name: "GestureDB",
+        year: 2013,
+        era: Era::Modern,
+        metrics: &[
+            UserFeedback,
+            TaskCompletionTime,
+            Learnability,
+            Discoverability,
+        ],
+    },
+    SurveyEntry {
+        name: "Basole et al.",
+        year: 2013,
+        era: Era::Modern,
+        metrics: &[UserFeedback, NumberOfInsights, TaskCompletionTime],
+    },
+    SurveyEntry {
+        name: "Biswas et al.",
+        year: 2013,
+        era: Era::Modern,
+        metrics: &[NumberOfInsights, Accuracy],
+    },
+    SurveyEntry {
+        name: "MotionExplorer",
+        year: 2013,
+        era: Era::Modern,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "Yuan et al.",
+        year: 2013,
+        era: Era::Modern,
+        metrics: &[NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "Ferreira et al.",
+        year: 2013,
+        era: Era::Modern,
+        metrics: &[NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "Cooper et al. (YCSB)",
+        year: 2010,
+        era: Era::Modern,
+        metrics: &[Latency],
+    },
+    SurveyEntry {
+        name: "Immens",
+        year: 2013,
+        era: Era::Modern,
+        metrics: &[Latency, Scalability],
+    },
+    SurveyEntry {
+        name: "Nanocubes",
+        year: 2013,
+        era: Era::Modern,
+        metrics: &[Latency],
+    },
+    SurveyEntry {
+        name: "Kinetica",
+        year: 2014,
+        era: Era::Modern,
+        metrics: &[UserFeedback, TaskCompletionTime, Learnability],
+    },
+    SurveyEntry {
+        name: "DICE",
+        year: 2014,
+        era: Era::Modern,
+        metrics: &[Accuracy, Latency, Scalability, CacheHitRate],
+    },
+    SurveyEntry {
+        name: "Lyra",
+        year: 2014,
+        era: Era::Modern,
+        metrics: &[UserFeedback, TaskCompletionTime],
+    },
+    SurveyEntry {
+        name: "Dimitriadou et al.",
+        year: 2014,
+        era: Era::Modern,
+        metrics: &[Accuracy, Latency, NumberOfInteractions],
+    },
+    SurveyEntry {
+        name: "SeeDB",
+        year: 2014,
+        era: Era::Modern,
+        metrics: &[UserFeedback, Accuracy, Latency],
+    },
+    SurveyEntry {
+        name: "SnapToQuery",
+        year: 2015,
+        era: Era::Modern,
+        metrics: &[UserFeedback, Learnability, Discoverability],
+    },
+    SurveyEntry {
+        name: "Kim et al.",
+        year: 2015,
+        era: Era::Modern,
+        metrics: &[Accuracy],
+    },
+    SurveyEntry {
+        name: "ForeCache",
+        year: 2015,
+        era: Era::Modern,
+        metrics: &[CacheHitRate],
+    },
+    SurveyEntry {
+        name: "Zenvisage",
+        year: 2016,
+        era: Era::Modern,
+        metrics: &[UserFeedback, NumberOfInsights, TaskCompletionTime],
+    },
+    SurveyEntry {
+        name: "FluxQuery",
+        year: 2016,
+        era: Era::Modern,
+        metrics: &[Latency],
+    },
+    SurveyEntry {
+        name: "Voyager",
+        year: 2016,
+        era: Era::Modern,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "Moritz et al.",
+        year: 2017,
+        era: Era::Modern,
+        metrics: &[UserFeedback],
+    },
+    SurveyEntry {
+        name: "Incvisage",
+        year: 2017,
+        era: Era::Modern,
+        metrics: &[UserFeedback, TaskCompletionTime, Accuracy, Latency],
+    },
+    SurveyEntry {
+        name: "Data Tweening",
+        year: 2017,
+        era: Era::Modern,
+        metrics: &[UserFeedback, TaskCompletionTime],
+    },
+    SurveyEntry {
+        name: "Icarus",
+        year: 2018,
+        era: Era::Modern,
+        metrics: &[UserFeedback, TaskCompletionTime, Accuracy, Latency],
+    },
+    SurveyEntry {
+        name: "Datamaran",
+        year: 2018,
+        era: Era::Modern,
+        metrics: &[Accuracy],
+    },
+    SurveyEntry {
+        name: "Tensorboard",
+        year: 2018,
+        era: Era::Modern,
+        metrics: &[UserFeedback, NumberOfInsights],
+    },
+    SurveyEntry {
+        name: "DataSpread",
+        year: 2018,
+        era: Era::Modern,
+        metrics: &[Scalability],
+    },
+    SurveyEntry {
+        name: "Sesame",
+        year: 2018,
+        era: Era::Modern,
+        metrics: &[Latency, CacheHitRate],
+    },
+    SurveyEntry {
+        name: "Transformer",
+        year: 2019,
+        era: Era::Modern,
+        metrics: &[UserFeedback, TaskCompletionTime, Accuracy],
+    },
+    SurveyEntry {
+        name: "ARQuery",
+        year: 2019,
+        era: Era::Modern,
+        metrics: &[UserFeedback, TaskCompletionTime],
+    },
 ];
 
 /// Systems whose evaluations reported `metric`.
 pub fn systems_using(metric: Metric) -> Vec<&'static SurveyEntry> {
-    SURVEY.iter().filter(|e| e.metrics.contains(&metric)).collect()
+    SURVEY
+        .iter()
+        .filter(|e| e.metrics.contains(&metric))
+        .collect()
 }
 
 /// How often each metric appears across the survey, descending.
@@ -138,7 +471,12 @@ pub fn render_table(era: Era) -> String {
     let mut out = String::new();
     for e in SURVEY.iter().filter(|e| e.era == era) {
         let metrics: Vec<&str> = e.metrics.iter().map(|m| m.name()).collect();
-        out.push_str(&format!("{:<28} {:>4} | {}\n", e.name, e.year, metrics.join(", ")));
+        out.push_str(&format!(
+            "{:<28} {:>4} | {}\n",
+            e.name,
+            e.year,
+            metrics.join(", ")
+        ));
     }
     out
 }

@@ -152,8 +152,9 @@ mod tests {
             ..sound_plan()
         };
         let concerns = check_plan(&plan);
-        assert!(concerns.iter().any(|c| c.aspect == ValidityAspect::External
-            && c.note.contains("learning")));
+        assert!(concerns
+            .iter()
+            .any(|c| c.aspect == ValidityAspect::External && c.note.contains("learning")));
     }
 
     #[test]
@@ -189,7 +190,9 @@ mod tests {
             ..sound_plan()
         };
         let concerns = check_plan(&plan);
-        assert!(concerns.iter().any(|c| c.aspect == ValidityAspect::Construct));
+        assert!(concerns
+            .iter()
+            .any(|c| c.aspect == ValidityAspect::Construct));
     }
 
     #[test]

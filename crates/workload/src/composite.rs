@@ -227,9 +227,9 @@ pub fn simulate_session(user: usize, seed: u64, config: &CompositeConfig) -> Com
         apply_widget(widget, &mut state, start_zoom, &mut rng);
 
         let request = match config.request_model {
-            Some(mean) => SimDuration::from_secs_f64(
-                rng.log_normal(mean.as_secs_f64().max(1e-3).ln(), 0.4),
-            ),
+            Some(mean) => {
+                SimDuration::from_secs_f64(rng.log_normal(mean.as_secs_f64().max(1e-3).ln(), 0.4))
+            }
             // Calibrated: log-normal(μ=-1.512, σ=1.8) → mean ≈ 1.1 s,
             // P(< 1 s) ≈ 0.8 (Fig 21).
             None => SimDuration::from_secs_f64(rng.log_normal(-1.512, 1.8).clamp(0.05, 30.0)),
@@ -238,7 +238,15 @@ pub fn simulate_session(user: usize, seed: u64, config: &CompositeConfig) -> Com
         // Exploration: log-normal(μ=2.06, σ=1.3) → mean ≈ 18.3 s.
         let explore = SimDuration::from_secs_f64(rng.log_normal(2.06, 1.3).clamp(0.3, 240.0));
 
-        emit_step_trace(&mut trace, &mut request_id, now, &state, request, render, &mut rng);
+        emit_step_trace(
+            &mut trace,
+            &mut request_id,
+            now,
+            &state,
+            request,
+            render,
+            &mut rng,
+        );
         steps.push(Step {
             at: now,
             widget,
@@ -295,8 +303,10 @@ fn apply_widget(widget: Widget, state: &mut QueryState, start_zoom: i32, rng: &m
                 let z = state.map.zoom;
                 let lng_scale = 0.4 / f64::powi(2.0, z - 11).max(1.0);
                 let lat_scale = 0.17 / f64::powi(2.0, z - 11).max(1.0);
-                state.map.center_lng += rng.normal_clamped(0.0, lng_scale / 2.0, -lng_scale, lng_scale);
-                state.map.center_lat += rng.normal_clamped(0.0, lat_scale / 2.0, -lat_scale, lat_scale);
+                state.map.center_lng +=
+                    rng.normal_clamped(0.0, lng_scale / 2.0, -lng_scale, lng_scale);
+                state.map.center_lat +=
+                    rng.normal_clamped(0.0, lat_scale / 2.0, -lat_scale, lat_scale);
             }
             state.page = 1;
         }
@@ -319,9 +329,8 @@ fn apply_widget(widget: Widget, state: &mut QueryState, start_zoom: i32, rng: &m
                 ("pets_allowed", "true"),
                 ("pool", "true"),
             ];
-            let base = |f: &FilterCondition| {
-                matches!(f.field.as_str(), "checkin" | "guests" | "price")
-            };
+            let base =
+                |f: &FilterCondition| matches!(f.field.as_str(), "checkin" | "guests" | "price");
             let active: Vec<usize> = state
                 .filters
                 .iter()
@@ -348,7 +357,9 @@ fn apply_widget(widget: Widget, state: &mut QueryState, start_zoom: i32, rng: &m
             state.map.center_lng = rng.uniform(-120.0, -70.0);
             state.page = 1;
             // A fresh search drops most refinements.
-            state.filters.retain(|f| f.field == "checkin" || f.field == "guests");
+            state
+                .filters
+                .retain(|f| f.field == "checkin" || f.field == "guests");
         }
     }
 }
@@ -473,7 +484,14 @@ pub fn widget_percentages(sessions: &[CompositeSession]) -> Vec<(Widget, f64)> {
         .iter()
         .map(|&w| {
             let c = counts.get(&w).copied().unwrap_or(0);
-            (w, if total == 0 { 0.0 } else { c as f64 / total as f64 * 100.0 })
+            (
+                w,
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64 * 100.0
+                },
+            )
         })
         .collect()
 }
@@ -552,10 +570,14 @@ mod tests {
 
     #[test]
     fn widget_mix_tracks_table9() {
-        let sessions = simulate_study(7, 8, &CompositeConfig {
-            min_duration: SimDuration::from_secs(20 * 60),
-            request_model: None,
-        });
+        let sessions = simulate_study(
+            7,
+            8,
+            &CompositeConfig {
+                min_duration: SimDuration::from_secs(20 * 60),
+                request_model: None,
+            },
+        );
         let pct = widget_percentages(&sessions);
         let get = |w: Widget| pct.iter().find(|&&(x, _)| x == w).unwrap().1;
         let map = get(Widget::Map);
@@ -583,10 +605,14 @@ mod tests {
 
     #[test]
     fn zoom_concentrates_in_11_to_14() {
-        let sessions = simulate_study(11, 10, &CompositeConfig {
-            min_duration: SimDuration::from_secs(600),
-            request_model: None,
-        });
+        let sessions = simulate_study(
+            11,
+            10,
+            &CompositeConfig {
+                min_duration: SimDuration::from_secs(600),
+                request_model: None,
+            },
+        );
         let mut in_band = 0usize;
         let mut total = 0usize;
         for s in &sessions {
@@ -603,10 +629,14 @@ mod tests {
 
     #[test]
     fn drag_distances_shrink_with_zoom() {
-        let sessions = simulate_study(13, 12, &CompositeConfig {
-            min_duration: SimDuration::from_secs(20 * 60),
-            request_model: None,
-        });
+        let sessions = simulate_study(
+            13,
+            12,
+            &CompositeConfig {
+                min_duration: SimDuration::from_secs(20 * 60),
+                request_model: None,
+            },
+        );
         let deltas = drag_deltas(&sessions);
         let spread = |zoom: i32| -> f64 {
             let d: Vec<f64> = deltas
@@ -624,17 +654,24 @@ mod tests {
         if s11.is_nan() || s14.is_nan() {
             panic!("expected drags at both zoom 11 and 14");
         }
-        assert!(s11 > s14 * 2.0, "zoom 11 spread {s11:.3} vs zoom 14 {s14:.4}");
+        assert!(
+            s11 > s14 * 2.0,
+            "zoom 11 spread {s11:.3} vs zoom 14 {s14:.4}"
+        );
         // Table 10 magnitude check at zoom 11: |d_lng| ≤ 0.4ish.
         assert!(s11 <= 0.45);
     }
 
     #[test]
     fn filter_count_cdf_shape() {
-        let sessions = simulate_study(17, 10, &CompositeConfig {
-            min_duration: SimDuration::from_secs(20 * 60),
-            request_model: None,
-        });
+        let sessions = simulate_study(
+            17,
+            10,
+            &CompositeConfig {
+                min_duration: SimDuration::from_secs(20 * 60),
+                request_model: None,
+            },
+        );
         let counts = filter_counts(&sessions);
         let le4 = counts.iter().filter(|&&c| c <= 4.0).count() as f64 / counts.len() as f64;
         assert!(
@@ -646,13 +683,20 @@ mod tests {
 
     #[test]
     fn phase_times_match_fig21_shape() {
-        let sessions = simulate_study(19, 10, &CompositeConfig {
-            min_duration: SimDuration::from_secs(20 * 60),
-            request_model: None,
-        });
+        let sessions = simulate_study(
+            19,
+            10,
+            &CompositeConfig {
+                min_duration: SimDuration::from_secs(20 * 60),
+                request_model: None,
+            },
+        );
         let (req, exp) = phase_times(&sessions);
         let req_under_1s = req.iter().filter(|&&r| r < 1.0).count() as f64 / req.len() as f64;
-        assert!((0.7..0.9).contains(&req_under_1s), "P(req<1s)={req_under_1s:.2}");
+        assert!(
+            (0.7..0.9).contains(&req_under_1s),
+            "P(req<1s)={req_under_1s:.2}"
+        );
         let exp_over_1s = exp.iter().filter(|&&e| e > 1.0).count() as f64 / exp.len() as f64;
         assert!(exp_over_1s > 0.75, "P(explore>1s)={exp_over_1s:.2}");
         let mean_req = req.iter().sum::<f64>() / req.len() as f64;

@@ -203,7 +203,17 @@ pub fn simulate_session(
         // Think pause. Leap Motion keeps emitting jitter events.
         let pause = SimDuration::from_secs_f64(rng.uniform(0.8, 3.0));
         if is_leap {
-            hover(&mut records, &mut now, &mut rng, &profile, dim, slider, ranges[slider], pause, end);
+            hover(
+                &mut records,
+                &mut now,
+                &mut rng,
+                &profile,
+                dim,
+                slider,
+                ranges[slider],
+                pause,
+                end,
+            );
         } else {
             now += pause;
         }
@@ -341,7 +351,9 @@ mod tests {
                 assert!(r.min_val >= d.min - 1e-9 && r.max_val <= d.max + 1e-9);
             }
             let recs = s.trace.records();
-            assert!(recs.windows(2).all(|w| w[0].timestamp_ms <= w[1].timestamp_ms));
+            assert!(recs
+                .windows(2)
+                .all(|w| w[0].timestamp_ms <= w[1].timestamp_ms));
         }
     }
 
@@ -373,9 +385,20 @@ mod tests {
             (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
         };
         // Compare only intra-burst intervals (< 100 ms) to exclude pauses.
-        let mi: Vec<f64> = intervals(&mouse.trace).into_iter().filter(|&x| x < 100.0).collect();
-        let li: Vec<f64> = intervals(&leap.trace).into_iter().filter(|&x| x < 100.0).collect();
-        assert!(std(&li) < std(&mi), "leap {:.2} vs mouse {:.2}", std(&li), std(&mi));
+        let mi: Vec<f64> = intervals(&mouse.trace)
+            .into_iter()
+            .filter(|&x| x < 100.0)
+            .collect();
+        let li: Vec<f64> = intervals(&leap.trace)
+            .into_iter()
+            .filter(|&x| x < 100.0)
+            .collect();
+        assert!(
+            std(&li) < std(&mi),
+            "leap {:.2} vs mouse {:.2}",
+            std(&li),
+            std(&mi)
+        );
     }
 
     #[test]
@@ -424,8 +447,7 @@ mod tests {
     fn study_covers_all_devices() {
         let sessions = simulate_study(3, 2);
         assert_eq!(sessions.len(), 6);
-        let devices: std::collections::HashSet<_> =
-            sessions.iter().map(|s| s.device).collect();
+        let devices: std::collections::HashSet<_> = sessions.iter().map(|s| s.device).collect();
         assert_eq!(devices.len(), 3);
     }
 

@@ -34,9 +34,24 @@ pub mod road_domain {
 pub const MOVIE_ROWS: usize = 4_000;
 
 const GENRES: [&str; 18] = [
-    "drama", "comedy", "action", "thriller", "romance", "horror", "sci-fi", "documentary",
-    "animation", "crime", "adventure", "fantasy", "mystery", "war", "western", "musical",
-    "biography", "noir",
+    "drama",
+    "comedy",
+    "action",
+    "thriller",
+    "romance",
+    "horror",
+    "sci-fi",
+    "documentary",
+    "animation",
+    "crime",
+    "adventure",
+    "fantasy",
+    "mystery",
+    "war",
+    "western",
+    "musical",
+    "biography",
+    "noir",
 ];
 
 /// Builds the `imdb` movie table: `id, poster, title, year, director,
@@ -92,7 +107,12 @@ pub fn movies_sized(seed: u64, rows: usize) -> Table {
 /// `movie(id, poster, title, year, director, genre, plot)`.
 pub fn movie_join_tables(seed: u64, rows: usize) -> (Table, Table) {
     let full = movies_sized(seed, rows);
-    let ids: Vec<i64> = full.column("id").expect("id").as_int().expect("int").to_vec();
+    let ids: Vec<i64> = full
+        .column("id")
+        .expect("id")
+        .as_int()
+        .expect("int")
+        .to_vec();
     let ratings: Vec<f64> = full
         .column("rating")
         .expect("rating")
@@ -116,9 +136,17 @@ pub fn movie_join_tables(seed: u64, rows: usize) -> (Table, Table) {
     }
     let mut years = ColumnBuilder::int([]);
     for row in 0..full.rows() {
-        years.push_int(full.value(row, "year").expect("year").as_i64().expect("int"));
+        years.push_int(
+            full.value(row, "year")
+                .expect("year")
+                .as_i64()
+                .expect("int"),
+        );
     }
-    (rating_table, movie.column("year", years).build().expect("static schema"))
+    (
+        rating_table,
+        movie.column("year", years).build().expect("static schema"),
+    )
 }
 
 /// Builds the `dataroad` table: 3-D road-network points with the paper's
@@ -212,8 +240,8 @@ fn title_for(i: usize, rng: &mut SimRng) -> String {
         "Midnight", "Paper", "Winter", "Burning",
     ];
     const NOUN: [&str; 12] = [
-        "Horizon", "River", "Letters", "Garden", "Empire", "Signal", "Harbor", "Mirror",
-        "Orchard", "Station", "Voyage", "Citadel",
+        "Horizon", "River", "Letters", "Garden", "Empire", "Signal", "Harbor", "Mirror", "Orchard",
+        "Station", "Voyage", "Citadel",
     ];
     format!(
         "{} {} {}",

@@ -331,7 +331,9 @@ mod tests {
     fn timestamps_are_monotone() {
         let s = quick_session();
         let recs = s.trace.records();
-        assert!(recs.windows(2).all(|w| w[0].timestamp_ms <= w[1].timestamp_ms));
+        assert!(recs
+            .windows(2)
+            .all(|w| w[0].timestamp_ms <= w[1].timestamp_ms));
     }
 
     #[test]

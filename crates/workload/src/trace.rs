@@ -48,8 +48,13 @@ fn err(msg: impl Into<String>) -> TraceParseError {
     }
 }
 
-fn field<'a>(parts: &mut std::str::Split<'a, char>, name: &str) -> Result<&'a str, TraceParseError> {
-    parts.next().ok_or_else(|| err(format!("missing field `{name}`")))
+fn field<'a>(
+    parts: &mut std::str::Split<'a, char>,
+    name: &str,
+) -> Result<&'a str, TraceParseError> {
+    parts
+        .next()
+        .ok_or_else(|| err(format!("missing field `{name}`")))
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, TraceParseError> {
@@ -375,9 +380,18 @@ mod tests {
 
     #[test]
     fn malformed_lines_are_rejected() {
-        assert!(ScrollRecord::parse_line("1\t2\t3").is_err(), "too few fields");
-        assert!(ScrollRecord::parse_line("1\t2\t3\t4\t5").is_err(), "too many");
-        assert!(ScrollRecord::parse_line("x\t2\t3\t4").is_err(), "bad number");
+        assert!(
+            ScrollRecord::parse_line("1\t2\t3").is_err(),
+            "too few fields"
+        );
+        assert!(
+            ScrollRecord::parse_line("1\t2\t3\t4\t5").is_err(),
+            "too many"
+        );
+        assert!(
+            ScrollRecord::parse_line("x\t2\t3\t4").is_err(),
+            "bad number"
+        );
         assert!(RequestRecord::parse_line("1\tu\t2\tbogus\turl_update\t200").is_err());
         assert!(RequestRecord::parse_line("1\tu\t2\tdata\tbogus\t200").is_err());
     }

@@ -34,7 +34,15 @@ fn main() {
 
     println!("{}", report.render_fig11());
 
-    let mut t = TextTable::new(["device", "opt", "disk median (ms)", "mem median (ms)", "disk LCV", "mem LCV", "skipped"]);
+    let mut t = TextTable::new([
+        "device",
+        "opt",
+        "disk median (ms)",
+        "mem median (ms)",
+        "disk LCV",
+        "mem LCV",
+        "skipped",
+    ]);
     for device in DEVICES {
         for opt in OPTS {
             let disk = report.condition("disk", opt, device).expect("condition");

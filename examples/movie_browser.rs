@@ -46,11 +46,16 @@ fn main() {
 
     // The backing store: the movie table on the disk-regime backend.
     let backend = DiskBackend::new();
-    backend.database().register(datasets::movies_sized(2026, tuples));
+    backend
+        .database()
+        .register(datasets::movies_sized(2026, tuples));
     let probe = |k: u64| {
         let q = Query::select(
             "imdb",
-            vec![Projection::title_with_year("title", "year"), Projection::column("rating")],
+            vec![
+                Projection::title_with_year("title", "year"),
+                Projection::column("rating"),
+            ],
             Predicate::True,
             Some(k as usize),
             tuples / 2,
@@ -78,8 +83,12 @@ fn main() {
         let mut timer_v = 0usize;
         for s in &sessions {
             let demand = demand_curve(s);
-            lazy_w += lazy_loading(&demand, &cfg).avg_violation_wait().as_millis_f64();
-            event_w += event_fetch(&demand, &cfg, size).avg_violation_wait().as_millis_f64();
+            lazy_w += lazy_loading(&demand, &cfg)
+                .avg_violation_wait()
+                .as_millis_f64();
+            event_w += event_fetch(&demand, &cfg, size)
+                .avg_violation_wait()
+                .as_millis_f64();
             let t = timer_fetch(&demand, &cfg, SimDuration::from_secs(1));
             timer_w += t.avg_violation_wait().as_millis_f64();
             timer_v += t.lcv(&demand).violations;
@@ -93,7 +102,10 @@ fn main() {
             timer_v.to_string(),
         ]);
     }
-    println!("loading-strategy comparison (averaged over users):\n{}", table.render());
+    println!(
+        "loading-strategy comparison (averaged over users):\n{}",
+        table.render()
+    );
     println!(
         "takeaway: timer fetch reaches zero perceived latency once the chunk\n\
          size covers the population's scrolling speed; event fetch stays at\n\

@@ -35,9 +35,14 @@ fn main() {
         ),
         Predicate::between("x", 8.5, 10.8),
     );
-    let exact = MemBackend::over(db.clone()).execute(&query).expect("exact").result;
+    let exact = MemBackend::over(db.clone())
+        .execute(&query)
+        .expect("exact")
+        .result;
 
-    let refinements = ProgressiveExecutor::new(db).run(&query).expect("progressive");
+    let refinements = ProgressiveExecutor::new(db)
+        .run(&query)
+        .expect("progressive");
     let mut t = TextTable::new(["sample", "elapsed", "rmse/bin", "histogram shape"]);
     for r in &refinements {
         let hist = r.estimate.histogram().expect("histogram query");

@@ -26,17 +26,25 @@ fn main() {
     disk.database().register(road.clone());
     let mem = MemBackend::new();
     mem.database().register(road);
-    disk.execute(&Query::count("dataroad", Predicate::True)).expect("warmup");
+    disk.execute(&Query::count("dataroad", Predicate::True))
+        .expect("warmup");
 
     // 3. An interactive workload: one user crossfiltering with a mouse.
     let ui = CrossfilterUi::for_road();
     let session = simulate_session(DeviceKind::Mouse, 0, 42, &ui);
     let mut groups = compile_query_groups(&ui, &session.trace);
     groups.truncate(400);
-    println!("workload: {} slider events -> {} query groups", session.trace.len(), groups.len());
+    println!(
+        "workload: {} slider events -> {} query groups",
+        session.trace.len(),
+        groups.len()
+    );
 
     // 4. Replay the stream, raw and with the skip optimization.
-    for (name, backend) in [("disk", &disk as &dyn Backend), ("mem", &mem as &dyn Backend)] {
+    for (name, backend) in [
+        ("disk", &disk as &dyn Backend),
+        ("mem", &mem as &dyn Backend),
+    ] {
         let raw = replay_raw(backend, &groups).expect("replay");
         let skip = replay_skip(backend, &groups).expect("replay");
         // Violations are reported over all *issued* queries, as in Fig 15.

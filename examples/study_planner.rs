@@ -18,9 +18,7 @@ use ids::study::bias::{mitigation_checklist, BiasSide};
 use ids::study::design::{
     recommend_design, recommend_setting, Setting, SettingNeeds, StudyDesign, TaskTraits,
 };
-use ids::study::simulate::{
-    run_counterbalanced, run_naive_within_subject, TwoSystemTask,
-};
+use ids::study::simulate::{run_counterbalanced, run_naive_within_subject, TwoSystemTask};
 use ids::study::validity::{check_plan, StudyPlan};
 
 fn main() {
@@ -93,7 +91,14 @@ fn main() {
         println!("  [{:?}] {}", concern.aspect, concern.note);
     }
     let issues = validate_plan(&traits, &metrics);
-    println!("metric-plan gaps: {}\n", if issues.is_empty() { "none" } else { "see above" });
+    println!(
+        "metric-plan gaps: {}\n",
+        if issues.is_empty() {
+            "none"
+        } else {
+            "see above"
+        }
+    );
 
     // 6. Why counterbalancing matters, demonstrated: simulate the study
     // with synthetic participants whose learning effect favors whichever

@@ -14,6 +14,8 @@
 //!   schemas and datasets;
 //! - [`metrics`] — the metric taxonomy, including the paper's novel
 //!   Latency Constraint Violation and Query Issuing Frequency metrics;
+//! - [`obs`] — observability: a virtual-time span recorder, hot-path
+//!   metric counters, and Chrome/Perfetto trace export;
 //! - [`study`] — user-study design: settings, counterbalancing, biases,
 //!   validity, and the survey tables;
 //! - [`opt`] — behavior-driven optimizations (loading strategies, skip,
@@ -44,6 +46,7 @@ pub use ids_core::report;
 pub use ids_devices as devices;
 pub use ids_engine as engine;
 pub use ids_metrics as metrics;
+pub use ids_obs as obs;
 pub use ids_opt as opt;
 pub use ids_simclock as simclock;
 pub use ids_study as study;

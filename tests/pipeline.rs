@@ -176,7 +176,8 @@ fn disk_cost_scales_with_data_size() {
     // Scalability sanity: double the rows, roughly double the scan cost.
     let cost_at = |rows: usize| {
         let disk = DiskBackend::new();
-        disk.database().register(datasets::road_network_sized(3, rows));
+        disk.database()
+            .register(datasets::road_network_sized(3, rows));
         let q = Query::count("dataroad", Predicate::True);
         disk.execute(&q).expect("warm");
         disk.execute(&q).expect("measure").cost

@@ -1,9 +1,7 @@
 //! Property-based tests over the workspace's core invariants.
 
-use ids::engine::{
-    BinSpec, ColumnBuilder, Histogram, Predicate, Query, Table, TableBuilder,
-};
 use ids::engine::{Backend, MemBackend};
+use ids::engine::{BinSpec, ColumnBuilder, Histogram, Predicate, Query, Table, TableBuilder};
 use ids::metrics::lcv::{cascade_violations, supply_violations, QuerySpan};
 use ids::metrics::stats::{Cdf, Summary};
 use ids::opt::klfilter::kl_divergence;

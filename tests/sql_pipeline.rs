@@ -13,7 +13,9 @@ fn paper_q1_select_runs_on_the_movie_table() {
     )
     .expect("Q1 parses");
     let backend = DiskBackend::new();
-    backend.database().register(datasets::movies_sized(1, 1_000));
+    backend
+        .database()
+        .register(datasets::movies_sized(1, 1_000));
     let out = backend.execute(&q).expect("Q1 executes");
     let rows = out.result.rows().expect("row result");
     assert_eq!(rows.len(), 100);
@@ -36,7 +38,8 @@ fn paper_crossfilter_histogram_runs_on_the_road_table() {
     )
     .expect("crossfilter SQL parses");
     let mem = MemBackend::new();
-    mem.database().register(datasets::road_network_sized(1, 50_000));
+    mem.database()
+        .register(datasets::road_network_sized(1, 50_000));
     let out = mem.execute(&q).expect("histogram executes");
     let hist = out.result.histogram().expect("histogram result");
     assert_eq!(hist.bins(), 21);
@@ -48,7 +51,8 @@ fn paper_crossfilter_histogram_runs_on_the_road_table() {
 fn parsed_and_constructed_queries_agree() {
     use ids::engine::{BinSpec, Predicate, Query};
     let mem = MemBackend::new();
-    mem.database().register(datasets::road_network_sized(2, 20_000));
+    mem.database()
+        .register(datasets::road_network_sized(2, 20_000));
 
     let parsed = sql::parse(
         "SELECT HISTOGRAM(z, -8.608, 137.361, 20), COUNT(*) FROM dataroad \

@@ -1,0 +1,81 @@
+//! Offline stand-in for the `bytes` crate: an `Arc`-backed immutable byte
+//! buffer with the subset of the `Bytes` API this workspace touches.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable, reference-counted immutable bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copies a static slice into a buffer.
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes { data: data.into() }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_and_clone_share_storage() {
+        let a = Bytes::from(vec![0u8; 128]);
+        let b = a.clone();
+        assert_eq!(a.len(), 128);
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(b[1], 2);
+        assert_eq!(&b[..2], &[1, 2]);
+        assert!(!b.is_empty());
+    }
+}

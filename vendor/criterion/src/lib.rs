@@ -1,0 +1,288 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the API surface this workspace's benches use. Like upstream
+//! criterion, it distinguishes *test mode* (`cargo test` runs each bench
+//! body once, as a smoke test) from *bench mode* (`cargo bench` passes
+//! `--bench`, enabling a simple warm-up + timed measurement loop). There
+//! are no statistics beyond mean ns/iter — this exists so benches build
+//! and run offline, not to replace criterion's analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Returns its argument while defeating simple optimizations, like
+/// `std::hint::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to bench closures; `iter` runs the measured routine.
+pub struct Bencher {
+    test_mode: bool,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration from the last `iter` call.
+    last_mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine`: once in test mode, in a timed loop in bench mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.last_mean_ns = 0.0;
+            self.iters = 1;
+            return;
+        }
+        // Warm-up: one untimed call, then scale the batch so the timed
+        // region approaches the measurement budget without a clock read
+        // per iteration.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let budget = self.measurement.max(Duration::from_millis(1));
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.last_mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn bench_mode() -> bool {
+    // `cargo bench` forwards `--bench` to the target; `cargo test` does not.
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn run_one(
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        test_mode: !bench_mode(),
+        measurement,
+        last_mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if b.test_mode {
+        println!("test bench {full} ... ok (1 iteration, test mode)");
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if b.last_mean_ns > 0.0 => {
+            format!(
+                "  ({:.1} Melem/s)",
+                n as f64 / b.last_mean_ns * 1_000.0 / 1_000_000.0
+            )
+        }
+        Some(Throughput::Bytes(n)) if b.last_mean_ns > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / b.last_mean_ns * 1e9 / 1048576.0 / 1e6
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {full:<50} {:>14.0} ns/iter  [{} iters]{rate}",
+        b.last_mean_ns, b.iters
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the stub's
+    /// measurement loop sizes itself from the time budget instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates throughput for subsequent benches in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(
+            Some(&self.name),
+            &id.to_string(),
+            self.throughput,
+            self.measurement,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(
+            Some(&self.name),
+            &id.to_string(),
+            self.throughput,
+            self.measurement,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration (the stub only inspects `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measurement: Duration::from_secs(1),
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(None, &id.to_string(), None, Duration::from_secs(1), f);
+        self
+    }
+
+    /// Prints the end-of-run marker.
+    pub fn final_summary(&self) {
+        if bench_mode() {
+            println!("benchmarks complete");
+        }
+    }
+}
+
+/// Mirror of criterion's group-declaration macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirror of criterion's main-declaration macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches_in_test_mode() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10)
+                .measurement_time(Duration::from_millis(10))
+                .warm_up_time(Duration::from_millis(1))
+                .throughput(Throughput::Elements(100));
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("b", 7), &7, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        c.final_summary();
+        assert_eq!(ran, 1, "test mode runs the routine exactly once");
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides `Serialize`/`Deserialize` as blanket-implemented marker
+//! traits and re-exports the no-op derives, so `#[derive(Serialize,
+//! Deserialize)]` and `T: Serialize` bounds compile. No actual
+//! serialization machinery exists — every codec in this workspace is
+//! hand-rolled (TSV trace lines, Chrome trace JSON).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
