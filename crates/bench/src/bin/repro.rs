@@ -6,6 +6,7 @@
 //! repro --index                  # the artifact → module → target index
 //! repro --table 8                # one table
 //! repro --figure 13              # one figure
+//! repro --robustness             # fault-injection robustness table
 //! repro --trace-out trace.json --figure 13
 //!                                # also export a Chrome/Perfetto trace
 //! repro --metrics-out run.tsv ...# write the metrics snapshot as TSV
@@ -15,7 +16,7 @@
 use std::collections::BTreeSet;
 
 use ids_bench::Scale;
-use ids_core::experiments::{case1, case2, case3, methodology, scalability};
+use ids_core::experiments::{case1, case2, case3, methodology, robustness, scalability};
 use ids_core::registry;
 use ids_core::report;
 
@@ -42,18 +43,22 @@ fn main() {
             let c3 = case3::run(&scale.case3());
             println!("{}", c3.render());
             println!("{}", scalability::run(&scale.scalability()).render());
+            println!("{}", robustness::run(&scale.robustness()).render());
         }
         Command::Table(n) => print_table(&n, scale),
         Command::Figure(n) => print_figure(&n, scale),
         Command::Scalability => {
             println!("{}", scalability::run(&scale.scalability()).render());
         }
+        Command::Robustness => {
+            println!("{}", robustness::run(&scale.robustness()).render());
+        }
         Command::Help(err) => {
             if let Some(e) = err {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro [--all | --index | --table N | --figure N]\n\
+                "usage: repro [--all | --index | --table N | --figure N | --robustness]\n\
                  \x20      [--trace-out FILE] [--metrics-out FILE]\n\
                  scale: set IDS_SCALE=paper for full study sizes"
             );
@@ -112,6 +117,7 @@ enum Command {
     Table(String),
     Figure(String),
     Scalability,
+    Robustness,
     Help(Option<String>),
 }
 
@@ -126,6 +132,7 @@ fn parse(args: &[String]) -> Command {
         [a] if a == "--all" => Command::All,
         [a] if a == "--index" => Command::Index,
         [a] if a == "--scalability" => Command::Scalability,
+        [a] if a == "--robustness" => Command::Robustness,
         [a, n] if a == "--table" => Command::Table(n.clone()),
         [a, n] if a == "--figure" => Command::Figure(n.clone()),
         [a] if a == "--help" || a == "-h" => Command::Help(None),

@@ -9,7 +9,7 @@
 
 #![warn(missing_docs)]
 
-use ids_core::experiments::{case1, case2, case3, scalability};
+use ids_core::experiments::{case1, case2, case3, robustness, scalability};
 use ids_simclock::SimDuration;
 
 /// Experiment scale.
@@ -62,6 +62,21 @@ impl Scale {
         match self {
             Scale::Paper => scalability::ScalabilityConfig::paper(),
             Scale::Bench => scalability::ScalabilityConfig::smoke_test(),
+        }
+    }
+
+    /// Robustness-sweep configuration at this scale.
+    pub fn robustness(self) -> robustness::RobustnessConfig {
+        match self {
+            Scale::Paper => robustness::RobustnessConfig::paper(),
+            Scale::Bench => robustness::RobustnessConfig {
+                seed: 83,
+                rows: 8_000,
+                max_groups: 400,
+                intensities: [0.0, 0.33, 0.67, 1.0],
+                latency_budget: SimDuration::from_millis(100),
+                workers: 2,
+            },
         }
     }
 

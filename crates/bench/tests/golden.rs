@@ -1,0 +1,81 @@
+//! Golden-snapshot tests: the `repro` end-of-run tables, byte-compared
+//! to checked-in fixtures.
+//!
+//! Every experiment here is a pure function of its seeded config, so its
+//! rendered table must reproduce byte-identically on any machine. A
+//! mismatch means either an intentional change to an experiment or a
+//! broken determinism contract — the fixture diff tells you which.
+//!
+//! To regenerate fixtures after an intentional change:
+//!
+//! ```text
+//! IDS_BLESS=1 cargo test -p ids-bench --test golden
+//! git diff crates/bench/tests/golden/   # review before committing
+//! ```
+//!
+//! Wall-clock output (the per-phase timing table, Criterion numbers) is
+//! deliberately NOT snapshotted — only virtual-time tables are stable.
+
+use std::path::PathBuf;
+
+use ids_core::experiments::{case1, methodology, robustness, scalability};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Byte-compares `actual` against the named fixture, or rewrites the
+/// fixture when `IDS_BLESS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var("IDS_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("fixture dir");
+        std::fs::write(&path, actual).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run `IDS_BLESS=1 cargo test -p ids-bench \
+             --test golden` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for {name}: if the change is intentional, regenerate with \
+         `IDS_BLESS=1 cargo test -p ids-bench --test golden` and review the diff"
+    );
+}
+
+#[test]
+fn golden_methodology_tables() {
+    let text = format!(
+        "{}\n{}\n{}\n{}\n",
+        methodology::render_table1(),
+        methodology::render_table2(),
+        methodology::render_table3(),
+        methodology::render_table4(),
+    );
+    check_golden("methodology_tables.txt", &text);
+}
+
+#[test]
+fn golden_case1_report() {
+    let report = case1::run(&case1::Case1Config::smoke_test());
+    check_golden("case1_report.txt", &report.render());
+}
+
+#[test]
+fn golden_scalability_table() {
+    let report = scalability::run(&scalability::ScalabilityConfig::smoke_test());
+    check_golden("scalability_table.txt", &report.render());
+}
+
+#[test]
+fn golden_robustness_table() {
+    let report = robustness::run(&robustness::RobustnessConfig::smoke_test());
+    check_golden("robustness_table.txt", &report.render());
+}

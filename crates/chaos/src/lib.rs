@@ -1,0 +1,57 @@
+//! Deterministic fault injection for the IDS engine.
+//!
+//! The paper's two novel metrics — latency constraint violations and
+//! query issuing frequency — only become interesting when a backend
+//! *misses* its interactivity budget. This crate manufactures that
+//! adversity reproducibly: a [`FaultPlan`] describes latency spikes,
+//! backend stalls, transient query failures, buffer-pool pressure, and
+//! cluster node loss as pure data derived from a seed, and
+//! [`ChaosBackend`] applies it to any [`ids_engine::Backend`] on the
+//! shared virtual clock.
+//!
+//! # Determinism contract
+//!
+//! Every fault decision is a pure function of `(plan, virtual time,
+//! query fingerprint, attempt number)`. No wall clocks, no ambient
+//! randomness, no dependence on thread interleaving — so a seeded run
+//! replays bit-identically: same outcome vectors, same metric snapshots,
+//! same trace exports. The one deliberate exception is buffer-pool
+//! pressure, whose effect depends on pool state and therefore on
+//! execution *order*; parallel batches that must stay order-independent
+//! should use plans without pressure windows (the fault-matrix tests
+//! do exactly that).
+//!
+//! # Example
+//!
+//! ```
+//! use ids_chaos::{ChaosBackend, FaultPlan};
+//! use ids_engine::{Backend, ColumnBuilder, MemBackend, Predicate, Query, TableBuilder};
+//! use ids_simclock::{SimDuration, SimTime};
+//!
+//! let inner = MemBackend::new();
+//! inner.database().register(
+//!     TableBuilder::new("t")
+//!         .column("x", ColumnBuilder::float((0..100).map(|i| i as f64)))
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let plan = FaultPlan::builder(42)
+//!     .latency_spike(SimTime::from_millis(100), SimDuration::from_millis(50), 4.0)
+//!     .build();
+//! let chaos = ChaosBackend::new(&inner, plan);
+//!
+//! let q = Query::count("t", Predicate::True);
+//! ids_obs::set_vnow(SimTime::from_millis(10)); // outside the spike
+//! let calm_cost = chaos.execute(&q).unwrap().cost;
+//! ids_obs::set_vnow(SimTime::from_millis(120)); // inside the spike
+//! let spiked_cost = chaos.execute(&q).unwrap().cost;
+//! assert_eq!(spiked_cost, calm_cost.mul_f64(4.0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod inject;
+mod plan;
+
+pub use inject::ChaosBackend;
+pub use plan::{query_fingerprint, FaultKind, FaultPlan, FaultPlanBuilder, FaultWindow};

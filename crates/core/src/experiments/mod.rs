@@ -10,4 +10,5 @@ pub mod case1;
 pub mod case2;
 pub mod case3;
 pub mod methodology;
+pub mod robustness;
 pub mod scalability;

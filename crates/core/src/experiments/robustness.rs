@@ -1,0 +1,411 @@
+//! Robustness under injected faults: LCV and QIF as a function of fault
+//! intensity.
+//!
+//! The paper evaluates interactive systems under *nominal* conditions;
+//! this experiment asks how its two novel metrics — latency constraint
+//! violations and query issuing frequency — shift when the backend
+//! misbehaves. A seeded [`ids_chaos::FaultPlan`] storm injects latency
+//! spikes, stalls, and transient failures into a crossfilter replay at
+//! increasing intensities, and three mitigation layers are measured:
+//!
+//! - **retries** ([`ids_engine::RetryingBackend`]) absorb transient
+//!   failures before the scheduler sees them;
+//! - **graceful degradation**
+//!   ([`ids_engine::scheduler::ReplayScheduler::replay_resilient`])
+//!   truncates over-budget queries into partial estimates instead of
+//!   letting the Fig 2 latency cascade run unbounded;
+//! - **adaptive throttling** ([`ids_opt::throttle::AdaptiveThrottle`]
+//!   with stall reaction) sheds issue pressure while the backend is
+//!   wedged, shifting the admitted QIF down.
+//!
+//! The storm generator derives window *positions* from the seed alone
+//! and scales only widths, factors, and failure rates with intensity, so
+//! a harsher storm strictly dominates a milder one and the rigid LCV
+//! count is monotone in intensity — the experiment's sanity anchor.
+
+use ids_chaos::{ChaosBackend, FaultPlan};
+use ids_devices::DeviceKind;
+use ids_engine::scheduler::{IssuedQuery, QueryTiming, ReplayScheduler, ResiliencePolicy};
+use ids_engine::{
+    Backend, Database, MemBackend, QueryOutcome, ResultQuality, RetryPolicy, RetryingBackend,
+};
+use ids_metrics::lcv::{budget_violations, LcvReport, QuerySpan};
+use ids_metrics::qif::QifReport;
+use ids_opt::throttle::AdaptiveThrottle;
+use ids_simclock::{SimDuration, SimTime};
+use ids_workload::crossfilter::{
+    compile_query_groups, simulate_session, CrossfilterUi, QueryGroup,
+};
+use ids_workload::datasets;
+
+use crate::report::{pct, TextTable};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessConfig {
+    /// RNG seed (drives the workload *and* the fault plans).
+    pub seed: u64,
+    /// Road-network cardinality.
+    pub rows: usize,
+    /// Cap on query groups replayed (keeps smoke tests fast).
+    pub max_groups: usize,
+    /// Fault intensities swept, ascending; `0.0` is the calm baseline.
+    pub intensities: [f64; 4],
+    /// Per-query latency budget for LCV and for the degraded condition.
+    pub latency_budget: SimDuration,
+    /// Scheduler worker slots.
+    pub workers: usize,
+}
+
+impl RobustnessConfig {
+    /// Full-scale sweep.
+    pub fn paper() -> RobustnessConfig {
+        RobustnessConfig {
+            seed: 83,
+            rows: datasets::road_domain::ROWS,
+            max_groups: usize::MAX,
+            intensities: [0.0, 0.33, 0.67, 1.0],
+            latency_budget: SimDuration::from_millis(100),
+            workers: 2,
+        }
+    }
+
+    /// Reduced scale for tests.
+    pub fn smoke_test() -> RobustnessConfig {
+        RobustnessConfig {
+            seed: 83,
+            rows: 4_000,
+            max_groups: 200,
+            intensities: [0.0, 0.33, 0.67, 1.0],
+            latency_budget: SimDuration::from_millis(100),
+            workers: 2,
+        }
+    }
+
+    /// Per-tuple cost multiplier keeping the latency regime
+    /// scale-invariant (same trick as case study 2): a scaled-down table
+    /// gets proportionally more expensive tuples.
+    fn cost_scale(&self) -> f64 {
+        datasets::road_domain::ROWS as f64 / self.rows.max(1) as f64
+    }
+}
+
+/// Scales the per-tuple charges of a cost calibration.
+fn scale_params(mut p: ids_engine::CostParams, k: f64) -> ids_engine::CostParams {
+    let mul = |ns: u64| ((ns as f64) * k).round() as u64;
+    p.tuple_scan_ns = mul(p.tuple_scan_ns);
+    p.tuple_agg_ns = mul(p.tuple_agg_ns);
+    p.join_build_ns = mul(p.join_build_ns);
+    p.join_probe_ns = mul(p.join_probe_ns);
+    p.predicate_eval_ns = mul(p.predicate_eval_ns);
+    p
+}
+
+/// One intensity's measurements.
+#[derive(Debug, Clone)]
+pub struct RobustnessPoint {
+    /// Storm intensity in `[0, 1]`.
+    pub intensity: f64,
+    /// Fault windows the storm put on the clock.
+    pub fault_windows: usize,
+    /// LCV without any degradation (full answers, latency cascades).
+    pub rigid_lcv: LcvReport,
+    /// LCV with graceful degradation under the same storm.
+    pub degraded_lcv: LcvReport,
+    /// Partial (truncated-and-extrapolated) answers in the degraded run.
+    pub partial: usize,
+    /// Terminally failed queries (placeholder answers) in the degraded run.
+    pub failed: usize,
+    /// Issued QIF of the raw stream, queries/s (intensity-invariant).
+    pub issued_qps: f64,
+    /// QIF actually admitted by the stall-reacting adaptive throttle.
+    pub admitted_qps: f64,
+    /// Stall reactions the throttle triggered.
+    pub stall_reactions: usize,
+}
+
+/// The full robustness report.
+#[derive(Debug, Clone)]
+pub struct RobustnessReport {
+    /// Configuration used.
+    pub config: RobustnessConfig,
+    /// Query groups replayed per intensity.
+    pub groups: usize,
+    /// Individual queries per replay.
+    pub queries: usize,
+    /// One point per configured intensity, ascending.
+    pub points: Vec<RobustnessPoint>,
+}
+
+/// Flattens query groups into the scheduler's issued stream.
+fn issue_stream(groups: &[QueryGroup]) -> Vec<IssuedQuery> {
+    let mut out = Vec::new();
+    for g in groups {
+        for q in &g.queries {
+            let tag = out.len() as u64;
+            out.push(IssuedQuery::new(g.at, q.clone(), tag));
+        }
+    }
+    out
+}
+
+/// Measured spans for LCV.
+fn spans(timings: &[(QueryTiming, QueryOutcome)]) -> Vec<QuerySpan> {
+    timings
+        .iter()
+        .map(|(t, _)| QuerySpan {
+            issued_at: t.issued_at,
+            finished_at: t.finished_at,
+        })
+        .collect()
+}
+
+/// Runs the sweep.
+pub fn run(config: &RobustnessConfig) -> RobustnessReport {
+    let setup = ids_obs::phase("robustness.setup");
+    let ui = CrossfilterUi::for_road();
+    let session = simulate_session(DeviceKind::Mouse, 0, config.seed, &ui);
+    let mut groups = compile_query_groups(&ui, &session.trace);
+    groups.truncate(config.max_groups);
+    let stream = issue_stream(&groups);
+    let horizon = groups
+        .last()
+        .map(|g| g.at.saturating_since(SimTime::ZERO))
+        .unwrap_or(SimDuration::ZERO);
+    let issued_qps =
+        QifReport::from_timestamps(&stream.iter().map(|iq| iq.issued_at).collect::<Vec<_>>())
+            .queries_per_second();
+
+    let db = Database::new();
+    db.register(datasets::road_network_sized(config.seed, config.rows));
+    let mem = MemBackend::over_with(
+        db,
+        scale_params(ids_engine::CostParams::mem_default(), config.cost_scale()),
+    );
+    // Calm-probe the first group so the throttle's initial estimate is
+    // honest: a cold-start underestimate would read the very first real
+    // observation as a stall.
+    let baseline_estimate = groups
+        .first()
+        .map(|g| {
+            g.queries
+                .iter()
+                .map(|q| mem.execute(q).expect("registered table").cost)
+                .fold(SimDuration::ZERO, |acc, c| acc + c)
+        })
+        .unwrap_or(SimDuration::from_millis(5));
+    drop(setup);
+
+    let _p = ids_obs::phase("robustness.sweep");
+    let sched = ReplayScheduler::new(config.workers);
+    let mut points = Vec::new();
+    for &intensity in &config.intensities {
+        let plan = FaultPlan::storm(config.seed, intensity, horizon);
+        let fault_windows = plan.windows().len();
+
+        // Rigid: full answers, latency cascades, failures become
+        // placeholders after retries. Fresh injector per condition so
+        // attempt counters — and therefore injection decisions — are
+        // identical across conditions.
+        let rigid = {
+            let chaos = ChaosBackend::new(&mem, plan.clone());
+            let retrying = RetryingBackend::new(&chaos, RetryPolicy::interactive());
+            sched
+                .replay_resilient(&retrying, &stream, &ResiliencePolicy::rigid())
+                .expect("replay over registered tables cannot fail")
+        };
+        let rigid_lcv = budget_violations(&spans(&rigid), config.latency_budget);
+
+        // Degraded: same storm, but over-budget queries truncate to
+        // partial estimates.
+        let degraded = {
+            let chaos = ChaosBackend::new(&mem, plan.clone());
+            let retrying = RetryingBackend::new(&chaos, RetryPolicy::interactive());
+            sched
+                .replay_resilient(
+                    &retrying,
+                    &stream,
+                    &ResiliencePolicy::degrade_after(config.latency_budget),
+                )
+                .expect("replay over registered tables cannot fail")
+        };
+        let degraded_lcv = budget_violations(&spans(&degraded), config.latency_budget);
+        let partial = degraded
+            .iter()
+            .filter(|(_, o)| matches!(o.quality, ResultQuality::Partial { .. }))
+            .count();
+        let failed = degraded
+            .iter()
+            .filter(|(_, o)| o.quality == ResultQuality::Failed)
+            .count();
+
+        // Throttled admission: the closed-loop throttle probes the
+        // chaotic backend and backs off through stall windows, shifting
+        // the admitted QIF down as intensity grows.
+        let (admitted_qps, stall_reactions) = {
+            let chaos = ChaosBackend::new(&mem, plan.clone());
+            let retrying = RetryingBackend::new(&chaos, RetryPolicy::interactive());
+            let mut throttle =
+                AdaptiveThrottle::new(baseline_estimate).with_stall_reaction(3.0, 2.0);
+            let admitted = throttle.filter_stream(&groups, |g| {
+                ids_obs::set_vnow(g.at);
+                g.queries
+                    .iter()
+                    .map(|q| match retrying.execute(q) {
+                        Ok(outcome) => outcome.cost,
+                        // Retry-exhausted probe: the frontend waits out
+                        // the budget before giving up.
+                        Err(_) => config.latency_budget,
+                    })
+                    .fold(SimDuration::ZERO, |acc, c| acc + c)
+            });
+            let stamps: Vec<SimTime> = admitted.iter().map(|g| g.at).collect();
+            (
+                QifReport::from_timestamps(&stamps).queries_per_second(),
+                throttle.stall_reactions(),
+            )
+        };
+
+        points.push(RobustnessPoint {
+            intensity,
+            fault_windows,
+            rigid_lcv,
+            degraded_lcv,
+            partial,
+            failed,
+            issued_qps,
+            admitted_qps,
+            stall_reactions,
+        });
+    }
+
+    RobustnessReport {
+        config: *config,
+        groups: groups.len(),
+        queries: stream.len(),
+        points,
+    }
+}
+
+impl RobustnessReport {
+    /// Rigid-condition LCV fractions, ascending intensity.
+    pub fn rigid_lcv_fractions(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.rigid_lcv.fraction()).collect()
+    }
+
+    /// Renders the robustness table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "intensity",
+            "fault windows",
+            "LCV rigid",
+            "LCV degraded",
+            "partial",
+            "failed",
+            "admitted q/s",
+            "stall reactions",
+        ]);
+        for p in &self.points {
+            t.row([
+                format!("{:.2}", p.intensity),
+                p.fault_windows.to_string(),
+                pct(p.rigid_lcv.fraction()),
+                pct(p.degraded_lcv.fraction()),
+                p.partial.to_string(),
+                p.failed.to_string(),
+                format!("{:.1}", p.admitted_qps),
+                p.stall_reactions.to_string(),
+            ]);
+        }
+        format!(
+            "Robustness under injected faults ({} queries in {} groups, budget {} ms, \
+             issued {:.1} q/s):\n{}",
+            self.queries,
+            self.groups,
+            self.config.latency_budget.as_millis(),
+            self.points.first().map(|p| p.issued_qps).unwrap_or(0.0),
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> &'static RobustnessReport {
+        use std::sync::OnceLock;
+        static REPORT: OnceLock<RobustnessReport> = OnceLock::new();
+        REPORT.get_or_init(|| run(&RobustnessConfig::smoke_test()))
+    }
+
+    #[test]
+    fn calm_baseline_is_fault_free() {
+        let p = &report().points[0];
+        assert_eq!(p.intensity, 0.0);
+        assert_eq!(p.fault_windows, 0);
+        assert_eq!(p.partial + p.failed, 0, "no degradation without faults");
+    }
+
+    #[test]
+    fn rigid_lcv_rate_is_monotone_in_intensity() {
+        let fractions = report().rigid_lcv_fractions();
+        assert!(
+            fractions.windows(2).all(|w| w[1] >= w[0]),
+            "harsher storms must violate at least as often: {fractions:?}"
+        );
+        assert!(
+            fractions.last().unwrap() > fractions.first().unwrap(),
+            "the sweep must actually produce violations: {fractions:?}"
+        );
+    }
+
+    #[test]
+    fn degradation_rescues_violations_under_storms() {
+        for p in &report().points {
+            if p.intensity == 0.0 {
+                continue;
+            }
+            assert!(
+                p.degraded_lcv.violations <= p.rigid_lcv.violations,
+                "at intensity {}: degraded {} vs rigid {}",
+                p.intensity,
+                p.degraded_lcv.violations,
+                p.rigid_lcv.violations
+            );
+        }
+        let worst = report().points.last().unwrap();
+        assert!(
+            worst.degraded_lcv.violations < worst.rigid_lcv.violations,
+            "at full intensity degradation must pay off: {} vs {}",
+            worst.degraded_lcv.violations,
+            worst.rigid_lcv.violations
+        );
+        assert!(worst.partial > 0, "full-intensity storm truncates queries");
+    }
+
+    #[test]
+    fn throttle_sheds_load_as_storms_worsen() {
+        let points = &report().points;
+        let calm = &points[0];
+        let worst = points.last().unwrap();
+        assert_eq!(calm.stall_reactions, 0, "no stalls to react to when calm");
+        assert!(worst.stall_reactions > 0, "storm stalls must be noticed");
+        assert!(
+            worst.admitted_qps <= calm.admitted_qps,
+            "admitted QIF must not rise under faults: {:.1} vs {:.1}",
+            worst.admitted_qps,
+            calm.admitted_qps
+        );
+    }
+
+    #[test]
+    fn render_is_a_full_table() {
+        let text = report().render();
+        assert!(text.contains("Robustness under injected faults"));
+        assert!(text.contains("LCV rigid"));
+        for p in &report().points {
+            assert!(text.contains(&format!("{:.2}", p.intensity)));
+        }
+    }
+}

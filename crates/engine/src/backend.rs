@@ -81,6 +81,35 @@ impl Database {
     }
 }
 
+/// How trustworthy a query's answer is, for consumers that must decide
+/// whether to render, annotate, or discard it.
+///
+/// Healthy execution always yields [`ResultQuality::Exact`]. The degraded
+/// paths (latency-budget truncation in the resilient scheduler, node loss
+/// in the cluster) return approximate answers instead of blocking, and
+/// mark them so the frontend can badge the view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResultQuality {
+    /// The full, exact answer.
+    Exact,
+    /// An estimate extrapolated from a fraction of the data (progressive
+    /// truncation or surviving cluster partitions).
+    Partial {
+        /// Fraction of the data actually consumed, in `(0, 1)`.
+        fraction: f64,
+    },
+    /// Execution failed terminally; the result is a placeholder (empty)
+    /// answer emitted so the session can continue.
+    Failed,
+}
+
+impl ResultQuality {
+    /// `true` unless the result is exact.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, ResultQuality::Exact)
+    }
+}
+
 /// Result of executing one query on a backend: the answer, the work done,
 /// and the *virtual* execution time.
 #[derive(Debug, Clone)]
@@ -91,6 +120,8 @@ pub struct QueryOutcome {
     pub footprint: QueryFootprint,
     /// Virtual execution time charged by the backend's cost model.
     pub cost: SimDuration,
+    /// Whether the answer is exact or a degraded-mode approximation.
+    pub quality: ResultQuality,
 }
 
 impl QueryOutcome {
@@ -170,6 +201,7 @@ impl Backend for MemBackend {
             result,
             footprint,
             cost,
+            quality: ResultQuality::Exact,
         })
     }
 }
@@ -340,7 +372,112 @@ impl Backend for DiskBackend {
             result,
             footprint,
             cost,
+            quality: ResultQuality::Exact,
         })
+    }
+}
+
+/// Exponential backoff schedule for retrying transient failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total execution attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// Virtual-time wait before the first retry.
+    pub base_backoff: SimDuration,
+    /// Multiplier applied to the backoff after each failed retry.
+    pub factor: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is final.
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::ZERO,
+            factor: 1.0,
+        }
+    }
+
+    /// A sensible interactive default: 3 attempts, 5 ms doubling backoff
+    /// (bounded by the ~100 ms interactivity budget the paper uses).
+    pub const fn interactive() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(5),
+            factor: 2.0,
+        }
+    }
+
+    /// Backoff charged before retry number `retry` (1-based; zero for
+    /// the first attempt).
+    pub fn backoff_before(&self, retry: u32) -> SimDuration {
+        if retry == 0 {
+            return SimDuration::ZERO;
+        }
+        self.base_backoff
+            .mul_f64(self.factor.powi(retry as i32 - 1))
+    }
+}
+
+/// A backend decorator that retries transient failures of its inner
+/// backend under a [`RetryPolicy`], charging each retry's backoff into
+/// the final outcome's virtual cost.
+///
+/// Deterministic: the retry schedule depends only on the inner backend's
+/// (deterministic) failure decisions and the policy, never on wall time.
+pub struct RetryingBackend<'a> {
+    inner: &'a (dyn Backend + Sync),
+    policy: RetryPolicy,
+    name: String,
+    retries: Arc<ids_obs::Counter>,
+    exhausted: Arc<ids_obs::Counter>,
+}
+
+impl<'a> RetryingBackend<'a> {
+    /// Wraps `inner` with the given retry policy.
+    pub fn new(inner: &'a (dyn Backend + Sync), policy: RetryPolicy) -> RetryingBackend<'a> {
+        let reg = ids_obs::metrics();
+        RetryingBackend {
+            name: format!("retry({})", inner.name()),
+            inner,
+            policy,
+            retries: reg.counter("engine.retry.attempts"),
+            exhausted: reg.counter("engine.retry.exhausted"),
+        }
+    }
+}
+
+impl Backend for RetryingBackend<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn database(&self) -> Database {
+        self.inner.database()
+    }
+
+    fn execute(&self, query: &Query) -> EngineResult<QueryOutcome> {
+        let mut waited = SimDuration::ZERO;
+        let attempts = self.policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            waited += self.policy.backoff_before(attempt);
+            match self.inner.execute(query) {
+                Ok(mut outcome) => {
+                    outcome.cost += waited;
+                    return Ok(outcome);
+                }
+                Err(err) if err.is_transient() && attempt + 1 < attempts => {
+                    self.retries.inc();
+                }
+                Err(err) => {
+                    if err.is_transient() {
+                        self.exhausted.inc();
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        unreachable!("loop returns on the last attempt")
     }
 }
 

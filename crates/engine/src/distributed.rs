@@ -18,10 +18,11 @@
 
 use ids_simclock::SimDuration;
 
-use crate::backend::Database;
+use crate::backend::{Database, ResultQuality};
 use crate::cost::{CostModel, CostParams, LinearCostModel};
 use crate::error::{EngineError, EngineResult};
 use crate::exec::run_query;
+use crate::progressive::scale_result;
 use crate::query::Query;
 use crate::result::{Histogram, ResultSet};
 
@@ -52,7 +53,8 @@ impl ClusterParams {
 /// Outcome of one distributed query.
 #[derive(Debug, Clone)]
 pub struct DistributedOutcome {
-    /// Merged result (identical to single-node execution).
+    /// Merged result (identical to single-node execution when every
+    /// partition participated; a scaled estimate under node loss).
     pub result: ResultSet,
     /// Virtual wall time: slowest worker + coordination + merge.
     pub elapsed: SimDuration,
@@ -60,6 +62,8 @@ pub struct DistributedOutcome {
     pub total_work: SimDuration,
     /// Number of partitions that participated.
     pub nodes: usize,
+    /// Exact when all partitions answered; `Partial` under node loss.
+    pub quality: ResultQuality,
 }
 
 /// A simulated shared-nothing cluster executing queries over hash
@@ -128,6 +132,20 @@ impl Cluster {
     /// distributable under a row-partition without a shuffle, which this
     /// simulator intentionally does not model.
     pub fn execute(&self, query: &Query) -> EngineResult<DistributedOutcome> {
+        self.execute_excluding(query, &[])
+    }
+
+    /// Executes a query with the partitions in `lost` excluded — a node
+    /// failure mid-session. The surviving partitions' merged answer is
+    /// extrapolated to the full population (round-robin partitions are
+    /// near-uniform samples) and marked [`ResultQuality::Partial`], so an
+    /// interactive view keeps refreshing instead of freezing until the
+    /// node recovers. Losing every node is a transient failure.
+    pub fn execute_excluding(
+        &self,
+        query: &Query,
+        lost: &[usize],
+    ) -> EngineResult<DistributedOutcome> {
         match query {
             Query::Count { .. } | Query::Histogram { .. } => {}
             _ => {
@@ -137,12 +155,24 @@ impl Cluster {
                 })
             }
         }
+        let surviving: Vec<&Database> = self
+            .partitions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !lost.contains(i))
+            .map(|(_, db)| db)
+            .collect();
+        if surviving.is_empty() {
+            return Err(EngineError::TransientFailure {
+                reason: "all cluster nodes lost".into(),
+            });
+        }
 
         let mut slowest = SimDuration::ZERO;
         let mut total_work = SimDuration::ZERO;
         let mut merged: Option<ResultSet> = None;
         let mut merge_groups = 0u64;
-        for db in &self.partitions {
+        for db in &surviving {
             let (partial, footprint) = run_query(db, query)?;
             let cost = self.model.price(&footprint);
             slowest = slowest.max(cost);
@@ -156,15 +186,26 @@ impl Cluster {
 
         let coordination = SimDuration::from_micros(
             (self.params.coordinator_ns
-                + self.params.per_node_overhead_ns * self.nodes() as u64
+                + self.params.per_node_overhead_ns * surviving.len() as u64
                 + self.params.merge_per_group_ns * merge_groups)
                 / 1_000,
         );
+        let merged = merged.expect("at least one surviving partition");
+        let fraction = surviving.len() as f64 / self.nodes() as f64;
+        let (result, quality) = if surviving.len() == self.nodes() {
+            (merged, ResultQuality::Exact)
+        } else {
+            (
+                scale_result(merged, 1.0 / fraction),
+                ResultQuality::Partial { fraction },
+            )
+        };
         Ok(DistributedOutcome {
-            result: merged.expect("at least one partition"),
+            result,
             elapsed: slowest + coordination,
             total_work: total_work + coordination,
-            nodes: self.nodes(),
+            nodes: surviving.len(),
+            quality,
         })
     }
 }

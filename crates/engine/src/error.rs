@@ -41,6 +41,19 @@ pub enum EngineError {
     InvalidBinSpec(String),
     /// The scheduler rejected or dropped the query (e.g. shut down).
     SchedulerClosed,
+    /// The backend failed transiently (injected fault, dropped
+    /// connection); the query may succeed if retried.
+    TransientFailure {
+        /// What failed ("fault injection", "connection reset", ...).
+        reason: String,
+    },
+}
+
+impl EngineError {
+    /// `true` for failures that a retry policy is allowed to retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::TransientFailure { .. })
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -65,6 +78,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidBinSpec(why) => write!(f, "invalid bin spec: {why}"),
             EngineError::SchedulerClosed => write!(f, "query scheduler is closed"),
+            EngineError::TransientFailure { reason } => {
+                write!(f, "transient backend failure: {reason}")
+            }
         }
     }
 }

@@ -71,7 +71,10 @@ mod stats;
 mod table;
 mod value;
 
-pub use backend::{Backend, Database, DiskBackend, MemBackend, QueryOutcome};
+pub use backend::{
+    Backend, Database, DiskBackend, MemBackend, QueryOutcome, ResultQuality, RetryPolicy,
+    RetryingBackend,
+};
 pub use buffer::{BufferPool, BufferPoolStats, EvictionPolicy};
 pub use column::{Column, ColumnBuilder};
 pub use cost::{CostModel, CostParams, QueryFootprint};

@@ -161,7 +161,11 @@ impl ProgressiveExecutor {
     }
 }
 
-fn scale_result(partial: ResultSet, scale: f64) -> ResultSet {
+/// Scales a count or histogram result by `scale`, rounding each value;
+/// other result shapes pass through unchanged. This is how a partial
+/// aggregate over `fraction` of the rows becomes a full-population
+/// estimate (`scale = 1 / fraction`).
+pub fn scale_result(partial: ResultSet, scale: f64) -> ResultSet {
     match partial {
         ResultSet::Count(c) => ResultSet::Count((c as f64 * scale).round() as u64),
         ResultSet::Histogram(h) => ResultSet::Histogram(Histogram::from_counts(
@@ -172,6 +176,19 @@ fn scale_result(partial: ResultSet, scale: f64) -> ResultSet {
         )),
         other => other,
     }
+}
+
+/// Simulates answering from only `fraction` of the data: the exact
+/// result is scaled down to the sample a truncated scan would have seen
+/// (with integer rounding), then extrapolated back up. The round trip
+/// reintroduces the estimation error a real progressive cutoff pays, so
+/// degraded answers are approximately — not suspiciously exactly — right.
+pub fn degrade_result(exact: ResultSet, fraction: f64) -> ResultSet {
+    let fraction = fraction.clamp(f64::MIN_POSITIVE, 1.0);
+    if fraction >= 1.0 {
+        return exact;
+    }
+    scale_result(scale_result(exact, fraction), 1.0 / fraction)
 }
 
 /// Mean squared error of a refinement's estimate against the exact

@@ -10,9 +10,12 @@
 
 use ids_simclock::{SimDuration, SimTime};
 
-use crate::backend::{Backend, QueryOutcome};
+use crate::backend::{Backend, QueryOutcome, ResultQuality};
+use crate::cost::QueryFootprint;
 use crate::error::EngineResult;
+use crate::progressive::degrade_result;
 use crate::query::Query;
+use crate::result::{Histogram, ResultSet};
 
 /// A query stamped with the virtual time the frontend issued it.
 #[derive(Debug, Clone)]
@@ -64,6 +67,49 @@ impl QueryTiming {
     /// End-to-end latency perceived from issue to completion.
     pub fn latency(&self) -> SimDuration {
         self.finished_at.saturating_since(self.issued_at)
+    }
+}
+
+/// Degraded-mode policy for [`ReplayScheduler::replay_resilient`]:
+/// instead of letting latency cascade unboundedly (or aborting the whole
+/// replay on a transient failure), queries that would blow their budget
+/// return progressive-style partial estimates, and terminally failed
+/// queries return an empty placeholder so the session continues.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Per-query latency budget (issue → finish). When queueing plus
+    /// execution would exceed it, execution is truncated and the result
+    /// extrapolated from the fraction of data actually read. `None`
+    /// disables degradation.
+    pub latency_budget: Option<SimDuration>,
+    /// Floor on the truncation fraction: even a hopelessly late query
+    /// reads at least this share of its data, so estimates never come
+    /// from nothing.
+    pub min_fraction: f64,
+    /// Virtual cost charged for a query whose backend failed terminally
+    /// (models the timeout the frontend waits before giving up).
+    pub failure_penalty: SimDuration,
+}
+
+impl ResiliencePolicy {
+    /// No degradation: full answers at whatever latency it takes.
+    /// Terminal failures still produce placeholders rather than abort.
+    pub const fn rigid() -> ResiliencePolicy {
+        ResiliencePolicy {
+            latency_budget: None,
+            min_fraction: 1.0,
+            failure_penalty: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Degrade to partial results past `budget`, reading no less than 10%
+    /// of the data.
+    pub const fn degrade_after(budget: SimDuration) -> ResiliencePolicy {
+        ResiliencePolicy {
+            latency_budget: Some(budget),
+            min_fraction: 0.1,
+            failure_penalty: budget,
+        }
     }
 }
 
@@ -143,6 +189,120 @@ impl ReplayScheduler {
         }
         Ok(out)
     }
+
+    /// Replays a stream with graceful degradation under `policy`.
+    ///
+    /// Differences from [`replay_with_outcomes`](Self::replay_with_outcomes):
+    ///
+    /// - a query whose queueing delay plus execution would exceed the
+    ///   latency budget is truncated: its cost shrinks to fit the budget
+    ///   (down to `min_fraction` of the full scan) and its result becomes
+    ///   a scaled estimate marked [`ResultQuality::Partial`];
+    /// - a transient backend failure (after any retries a wrapping
+    ///   [`crate::backend::RetryingBackend`] already performed) yields an
+    ///   empty placeholder marked [`ResultQuality::Failed`] and charges
+    ///   `failure_penalty`, instead of aborting the whole replay.
+    ///
+    /// Non-transient errors (unknown tables, type mismatches) still
+    /// propagate — those are bugs, not adversity.
+    pub fn replay_resilient(
+        &self,
+        backend: &dyn Backend,
+        stream: &[IssuedQuery],
+        policy: &ResiliencePolicy,
+    ) -> EngineResult<Vec<(QueryTiming, QueryOutcome)>> {
+        debug_assert!(
+            stream.windows(2).all(|w| w[0].issued_at <= w[1].issued_at),
+            "issued-query stream must be sorted by issue time"
+        );
+        let telemetry = SchedulerTelemetry::new(backend.name(), self.workers);
+        let reg = ids_obs::metrics();
+        let degraded_ctr = reg.counter("sched.degraded");
+        let failed_ctr = reg.counter("sched.failed");
+        let mut free: Vec<SimTime> = vec![SimTime::ZERO; self.workers];
+        let mut out = Vec::with_capacity(stream.len());
+        for iq in stream {
+            ids_obs::set_vnow(iq.issued_at);
+            let mut outcome = match backend.execute(&iq.query) {
+                Ok(outcome) => outcome,
+                Err(err) if err.is_transient() => {
+                    failed_ctr.inc();
+                    record_resilience_instant(backend.name(), "fail", iq, 0.0);
+                    QueryOutcome {
+                        result: placeholder_result(&iq.query),
+                        footprint: QueryFootprint::default(),
+                        cost: policy.failure_penalty,
+                        quality: ResultQuality::Failed,
+                    }
+                }
+                Err(err) => return Err(err),
+            };
+            let (slot, &slot_free) = free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("at least one worker");
+            let started_at = iq.issued_at.max(slot_free);
+            let wait = started_at.saturating_since(iq.issued_at);
+            if let (Some(budget), ResultQuality::Exact) = (policy.latency_budget, outcome.quality) {
+                if wait + outcome.cost > budget && !outcome.cost.is_zero() {
+                    let allowed = budget.saturating_sub(wait);
+                    let fraction = (allowed.as_secs_f64() / outcome.cost.as_secs_f64())
+                        .clamp(policy.min_fraction.clamp(f64::MIN_POSITIVE, 1.0), 1.0);
+                    if fraction < 1.0 {
+                        degraded_ctr.inc();
+                        record_resilience_instant(backend.name(), "degrade", iq, fraction);
+                        outcome.cost = outcome.cost.mul_f64(fraction);
+                        outcome.result = degrade_result(outcome.result, fraction);
+                        outcome.quality = ResultQuality::Partial { fraction };
+                    }
+                }
+            }
+            let finished_at = started_at + outcome.cost;
+            free[slot] = finished_at;
+            let timing = QueryTiming {
+                tag: iq.tag,
+                issued_at: iq.issued_at,
+                started_at,
+                finished_at,
+            };
+            let busy = free.iter().filter(|&&t| t > iq.issued_at).count();
+            telemetry.observe(iq, &timing, &outcome, slot, busy);
+            out.push((timing, outcome));
+        }
+        Ok(out)
+    }
+}
+
+/// Empty placeholder answer matching the query's result shape.
+fn placeholder_result(query: &Query) -> ResultSet {
+    match query {
+        Query::Count { .. } => ResultSet::Count(0),
+        Query::Histogram { bins, .. } => {
+            ResultSet::Histogram(Histogram::zeros(bins.bucket_count()))
+        }
+        Query::Select(_) | Query::Join(_) => ResultSet::Rows(Vec::new()),
+    }
+}
+
+/// Marks a degradation decision on the trace timeline; no-op when the
+/// recorder is off.
+fn record_resilience_instant(backend_name: &str, what: &str, iq: &IssuedQuery, fraction: f64) {
+    let rec = ids_obs::recorder();
+    if !rec.is_enabled() {
+        return;
+    }
+    let track = rec.track(&format!("{backend_name}/resilience"));
+    rec.record_instant(
+        "resilience",
+        what.to_string(),
+        track,
+        iq.issued_at,
+        vec![
+            ("tag", ids_obs::ArgValue::U64(iq.tag)),
+            ("fraction", ids_obs::ArgValue::F64(fraction)),
+        ],
+    );
 }
 
 /// Always-on metric handles plus (when the recorder is enabled) trace

@@ -12,7 +12,7 @@
 //!   when the number of tuples the user has scrolled past exceeds the
 //!   number the loader has cached — the user stares at an empty viewport.
 
-use ids_simclock::SimTime;
+use ids_simclock::{SimDuration, SimTime};
 
 /// The issue and completion instants of one query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +64,23 @@ pub fn cascade_violations(spans: &[QuerySpan]) -> LcvReport {
     let violations = spans
         .windows(2)
         .filter(|w| w[1].issued_at < w[0].finished_at)
+        .count();
+    LcvReport {
+        total: spans.len(),
+        violations,
+    }
+}
+
+/// Budget-form LCV: a query violates when its perceived latency
+/// (issue → finish) strictly exceeds `budget` — the fixed interactivity
+/// threshold reading (e.g. the classic 100 ms rule).
+///
+/// Monotone by construction: growing the budget can only remove
+/// violations, never add them (the property-test suite pins this).
+pub fn budget_violations(spans: &[QuerySpan], budget: SimDuration) -> LcvReport {
+    let violations = spans
+        .iter()
+        .filter(|s| s.finished_at.saturating_since(s.issued_at) > budget)
         .count();
     LcvReport {
         total: spans.len(),
@@ -147,6 +164,18 @@ mod tests {
         let one = cascade_violations(&[span(0, 1_000_000)]);
         assert_eq!(one.violations, 0);
         assert_eq!(one.total, 1);
+    }
+
+    #[test]
+    fn budget_violations_count_late_queries() {
+        let spans = vec![span(0, 50), span(100, 250), span(300, 301)];
+        let ms = SimDuration::from_millis;
+        assert_eq!(budget_violations(&spans, ms(100)).violations, 1);
+        assert_eq!(budget_violations(&spans, ms(150)).violations, 0);
+        assert_eq!(budget_violations(&spans, ms(10)).violations, 2);
+        // Exactly on budget is not a violation.
+        assert_eq!(budget_violations(&[span(0, 100)], ms(100)).violations, 0);
+        assert_eq!(budget_violations(&[], ms(1)).total, 0);
     }
 
     #[test]

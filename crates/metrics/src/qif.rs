@@ -67,6 +67,31 @@ impl QifReport {
     }
 }
 
+/// Partitions sorted issue timestamps into fixed windows of `window`
+/// length anchored at the first timestamp, returning each window's
+/// `(start, queries issued)`. Windows are contiguous — quiet stretches
+/// appear as zero counts — so the counts always sum to the stream length,
+/// an invariant the property-test suite pins.
+///
+/// This is the time-resolved QIF view: under a backend stall the issue
+/// rate of a throttled frontend visibly dips in the affected windows.
+pub fn qif_windows(timestamps: &[SimTime], window: SimDuration) -> Vec<(SimTime, usize)> {
+    debug_assert!(timestamps.windows(2).all(|w| w[0] <= w[1]));
+    let Some((&first, &last)) = timestamps.first().zip(timestamps.last()) else {
+        return Vec::new();
+    };
+    let window = window.as_micros().max(1);
+    let buckets = (last.saturating_since(first).as_micros() / window) as usize + 1;
+    let mut out: Vec<(SimTime, usize)> = (0..buckets)
+        .map(|i| (first + SimDuration::from_micros(window * i as u64), 0))
+        .collect();
+    for &t in timestamps {
+        let idx = (t.saturating_since(first).as_micros() / window) as usize;
+        out[idx].1 += 1;
+    }
+    out
+}
+
 /// Frontend issuing-rate class, relative to what the backend can drain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackendSpeed {
@@ -163,6 +188,27 @@ mod tests {
         let one = QifReport::from_timestamps(&[SimTime::from_millis(5)]);
         assert_eq!(one.queries_per_second(), 0.0);
         assert_eq!(one.modal_interval_ms(), None);
+    }
+
+    #[test]
+    fn qif_windows_partition_the_stream() {
+        // 20 ms apart over a 100 ms window: 5 per window, except the
+        // last window which holds the final stamp.
+        let w = qif_windows(&stamps(20, 11), SimDuration::from_millis(100));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], (SimTime::ZERO, 5));
+        assert_eq!(w[1], (SimTime::from_millis(100), 5));
+        assert_eq!(w[2], (SimTime::from_millis(200), 1));
+        assert_eq!(w.iter().map(|&(_, n)| n).sum::<usize>(), 11);
+        assert!(qif_windows(&[], SimDuration::from_millis(10)).is_empty());
+        // A quiet gap shows up as a zero-count window.
+        let gappy = [
+            SimTime::ZERO,
+            SimTime::from_millis(250),
+            SimTime::from_millis(260),
+        ];
+        let w = qif_windows(&gappy, SimDuration::from_millis(100));
+        assert_eq!(w.iter().map(|&(_, n)| n).collect::<Vec<_>>(), vec![1, 0, 2]);
     }
 
     #[test]

@@ -174,11 +174,14 @@ impl Recorder {
 
     /// Publishes the current virtual time (the scheduler calls this as
     /// it advances through a replay).
+    ///
+    /// Always tracked, even while the recorder is disabled: beyond
+    /// timestamping trace samples, the published time is the clock bus
+    /// that fault injection keys its windows on, and fault behavior must
+    /// not change with observability on or off.
     #[inline]
     pub fn set_vnow(&self, t: SimTime) {
-        if self.is_enabled() {
-            self.vnow.store(t.as_micros(), Ordering::Relaxed);
-        }
+        self.vnow.store(t.as_micros(), Ordering::Relaxed);
     }
 
     /// The most recently published virtual time.

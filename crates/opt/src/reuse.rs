@@ -86,6 +86,7 @@ impl<'b> SessionCache<'b> {
                 result,
                 footprint: Default::default(),
                 cost: CACHE_LOOKUP_COST,
+                quality: ids_engine::ResultQuality::Exact,
             });
         }
         let outcome = self.backend.execute(query)?;

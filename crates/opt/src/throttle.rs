@@ -63,6 +63,13 @@ pub struct AdaptiveThrottle {
     busy_until: SimTime,
     admitted: usize,
     dropped: usize,
+    /// A service time this many times over the running estimate counts
+    /// as a stall; `0` disables stall reaction.
+    stall_factor: f64,
+    /// Extra back-off on a detected stall, as a multiple of the observed
+    /// service time.
+    stall_hold: f64,
+    stall_reactions: usize,
 }
 
 impl AdaptiveThrottle {
@@ -74,7 +81,21 @@ impl AdaptiveThrottle {
             busy_until: SimTime::ZERO,
             admitted: 0,
             dropped: 0,
+            stall_factor: 0.0,
+            stall_hold: 0.0,
+            stall_reactions: 0,
         }
+    }
+
+    /// Enables stall reaction: when an observed service time exceeds
+    /// `stall_factor ×` the running estimate (the signature of a fault
+    /// window, not ordinary load), the throttle backs off for an extra
+    /// `stall_hold ×` that service time instead of hammering a wedged
+    /// backend with queries it would only queue.
+    pub fn with_stall_reaction(mut self, stall_factor: f64, stall_hold: f64) -> AdaptiveThrottle {
+        self.stall_factor = stall_factor.max(0.0);
+        self.stall_hold = stall_hold.max(0.0);
+        self
     }
 
     /// Current service-time estimate.
@@ -85,6 +106,11 @@ impl AdaptiveThrottle {
     /// `(admitted, dropped)` counts so far.
     pub fn counts(&self) -> (usize, usize) {
         (self.admitted, self.dropped)
+    }
+
+    /// Number of stall reactions triggered so far.
+    pub fn stall_reactions(&self) -> usize {
+        self.stall_reactions
     }
 
     /// Decides whether a group issued at `at` should reach the backend.
@@ -116,15 +142,39 @@ impl AdaptiveThrottle {
         let reg = ids_obs::metrics();
         let admitted_ctr = reg.counter("opt.throttle.adaptive.admitted");
         let dropped_ctr = reg.counter("opt.throttle.adaptive.dropped");
+        let stall_ctr = reg.counter("opt.throttle.stall_reactions");
         let rec = ids_obs::recorder();
         let mut out = Vec::new();
         for g in groups {
             if self.admit(g.at) {
                 admitted_ctr.inc();
                 let service = service_of(g);
+                let prior = self.estimate;
                 // Correct the reservation with the real cost.
                 self.busy_until = g.at + service;
                 self.observe(service);
+                if self.stall_factor > 0.0
+                    && service.as_secs_f64() > prior.as_secs_f64() * self.stall_factor
+                {
+                    // The backend is stalling, not just loaded: back off
+                    // beyond the observed service before the next probe.
+                    self.busy_until += service.mul_f64(self.stall_hold);
+                    self.stall_reactions += 1;
+                    stall_ctr.inc();
+                    if rec.is_enabled() {
+                        let track = rec.track("opt/throttle");
+                        rec.record_instant(
+                            "opt",
+                            "throttle.stall_reaction",
+                            track,
+                            g.at,
+                            vec![(
+                                "service_ms",
+                                ids_obs::ArgValue::F64(service.as_millis_f64()),
+                            )],
+                        );
+                    }
+                }
                 if rec.is_enabled() {
                     rec.record_counter(
                         "opt.throttle.estimate_ms",
@@ -220,6 +270,31 @@ mod tests {
         let mut throttle = AdaptiveThrottle::new(SimDuration::from_millis(5));
         let out = throttle.filter_stream(&input, |_| SimDuration::from_millis(2));
         assert_eq!(out.len(), input.len());
+    }
+
+    #[test]
+    fn stall_reaction_backs_off_through_a_fault_window() {
+        // Steady 10 ms service, except a stall burst at 10× between
+        // groups 40 and 60 (by issue time).
+        let input = groups(20, 100);
+        let service = |g: &QueryGroup| {
+            if (SimTime::from_millis(800)..SimTime::from_millis(1_200)).contains(&g.at) {
+                SimDuration::from_millis(100)
+            } else {
+                SimDuration::from_millis(10)
+            }
+        };
+        let mut plain = AdaptiveThrottle::new(SimDuration::from_millis(10));
+        let kept_plain = plain.filter_stream(&input, service).len();
+        let mut reactive =
+            AdaptiveThrottle::new(SimDuration::from_millis(10)).with_stall_reaction(3.0, 2.0);
+        let kept_reactive = reactive.filter_stream(&input, service).len();
+        assert!(reactive.stall_reactions() > 0, "the burst must be noticed");
+        assert!(
+            kept_reactive < kept_plain,
+            "backing off must shed probes during the stall: {kept_reactive} vs {kept_plain}"
+        );
+        assert_eq!(plain.stall_reactions(), 0, "disabled by default");
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   validity, and the survey tables;
 //! - [`opt`] — behavior-driven optimizations (loading strategies, skip,
 //!   KL filtering, Markov prefetching, session reuse);
+//! - [`chaos`] — deterministic fault injection: seeded fault plans
+//!   (latency spikes, stalls, transient failures, buffer pressure, node
+//!   loss) applied on the virtual clock;
 //! - [`experiments`] — the case studies as deterministic experiments
 //!   regenerating every table and figure.
 //!
@@ -40,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub use ids_chaos as chaos;
 pub use ids_core::experiments;
 pub use ids_core::registry;
 pub use ids_core::report;

@@ -1,0 +1,199 @@
+//! Fault-matrix integration tests: the determinism contract of the
+//! chaos layer, end to end.
+//!
+//! Two guarantees are checked here rather than in any one crate's unit
+//! tests because they span the whole pipeline:
+//!
+//! - **thread-count invariance** — `execute_batch` over a fault-injected
+//!   backend returns identical outcome vectors at 1/2/4/8 threads (the
+//!   plan decides faults from `(virtual time, query fingerprint,
+//!   attempt)`, never from scheduling order);
+//! - **bit determinism** — a seeded robustness sweep replays
+//!   byte-identically: same rendered table, same metrics snapshot, same
+//!   exported trace.
+
+use ids::chaos::{ChaosBackend, FaultPlan};
+use ids::engine::distributed::Cluster;
+use ids::engine::parallel::execute_batch;
+use ids::engine::scheduler::{IssuedQuery, ReplayScheduler, ResiliencePolicy};
+use ids::engine::{
+    Backend, ColumnBuilder, Database, MemBackend, Predicate, Query, ResultQuality, RetryPolicy,
+    RetryingBackend, TableBuilder,
+};
+use ids::experiments::robustness::{self, RobustnessConfig};
+use ids::simclock::{SimDuration, SimTime};
+
+/// The chaos clock (`ids::obs::set_vnow`) and the metrics/trace
+/// registries are process-global; tests touching them must not
+/// interleave.
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn backend(rows: usize) -> MemBackend {
+    let b = MemBackend::new();
+    b.database().register(
+        TableBuilder::new("t")
+            .column("x", ColumnBuilder::float((0..rows).map(|i| i as f64)))
+            .build()
+            .unwrap(),
+    );
+    b
+}
+
+/// Distinct queries (distinct fingerprints), so per-query attempt
+/// counters stay independent of execution order.
+fn distinct_queries(n: usize) -> Vec<Query> {
+    (0..n)
+        .map(|i| Query::count("t", Predicate::between("x", 0.0, 10.0 + i as f64)))
+        .collect()
+}
+
+#[test]
+fn batch_outcomes_identical_across_thread_counts_under_faults() {
+    let _g = obs_lock();
+    let inner = backend(2_000);
+    let queries = distinct_queries(40);
+    // A storm with spikes, stalls, and transient failures all active;
+    // CI sweeps the intensity via IDS_CHAOS_INTENSITY (full strength by
+    // default). Buffer-pressure windows are inert without a disk target —
+    // pool state is the one deliberately order-dependent fault.
+    let plan = FaultPlan::from_env(17, SimDuration::from_secs(60), 1.0);
+    assert!(plan.failure_rate() > 0.0, "failures must be in play");
+    // Pin the clock inside the storm so time-keyed windows are active.
+    let spike_at = plan.windows()[0].start;
+    ids::obs::set_vnow(spike_at);
+
+    let run = |threads: usize| {
+        // Fresh injector per run: attempt counters restart, so every
+        // thread count sees the same injection decisions.
+        let chaos = ChaosBackend::new(&inner, plan.clone());
+        let retrying = RetryingBackend::new(&chaos, RetryPolicy::interactive());
+        execute_batch(&retrying, &queries, threads)
+            .expect("retries absorb this seed's transient failures")
+    };
+
+    let reference = run(1);
+    assert_eq!(reference.len(), queries.len());
+    for threads in [2, 4, 8] {
+        let outcomes = run(threads);
+        assert_eq!(outcomes.len(), reference.len());
+        for (i, (a, b)) in reference.iter().zip(&outcomes).enumerate() {
+            assert_eq!(a.result, b.result, "query {i} answer at {threads} threads");
+            assert_eq!(a.cost, b.cost, "query {i} cost at {threads} threads");
+            assert_eq!(
+                a.quality, b.quality,
+                "query {i} quality at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn resilient_replay_is_reproducible() {
+    let _g = obs_lock();
+    let inner = backend(5_000);
+    let stream: Vec<IssuedQuery> = distinct_queries(60)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| IssuedQuery::new(SimTime::from_millis(20 * i as u64), q, i as u64))
+        .collect();
+    let plan = FaultPlan::storm(23, 0.8, SimDuration::from_millis(20 * 60));
+    let sched = ReplayScheduler::new(2);
+    let policy = ResiliencePolicy::degrade_after(SimDuration::from_millis(40));
+
+    let run = || {
+        let chaos = ChaosBackend::new(&inner, plan.clone());
+        let retrying = RetryingBackend::new(&chaos, RetryPolicy::interactive());
+        sched
+            .replay_resilient(&retrying, &stream, &policy)
+            .expect("resilient replay absorbs storms")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for ((ta, oa), (tb, ob)) in a.iter().zip(&b) {
+        assert_eq!(ta, tb, "timings replay identically");
+        assert_eq!(oa.result, ob.result);
+        assert_eq!(oa.cost, ob.cost);
+        assert_eq!(oa.quality, ob.quality);
+    }
+}
+
+#[test]
+fn node_loss_degrades_cluster_answers_gracefully() {
+    // No obs lock needed: the cluster layer never reads the chaos clock.
+    let db = Database::new();
+    db.register(
+        TableBuilder::new("t")
+            .column("x", ColumnBuilder::float((0..4_000).map(|i| i as f64)))
+            .build()
+            .unwrap(),
+    );
+    let cluster = Cluster::partition(&db, 4).unwrap();
+    let q = Query::count("t", Predicate::True);
+
+    let plan = FaultPlan::builder(11).lose_node(2).build();
+    assert!(plan.node_lost(2) && !plan.node_lost(0));
+    let full = cluster.execute(&q).unwrap();
+    assert_eq!(full.quality, ResultQuality::Exact);
+
+    let lossy = cluster.execute_excluding(&q, plan.lost_nodes()).unwrap();
+    assert_eq!(lossy.nodes, 3);
+    assert_eq!(
+        lossy.quality,
+        ResultQuality::Partial { fraction: 0.75 },
+        "losing 1 of 4 nodes marks the answer partial"
+    );
+    // The surviving 3/4 of the rows are extrapolated back to an estimate
+    // of the full answer (round-robin partitions are near-uniform).
+    assert_eq!(lossy.result.scalar_count(), Some(4_000));
+
+    // Losing everything is transient adversity, not a hard error.
+    let all = FaultPlan::builder(11)
+        .lose_node(0)
+        .lose_node(1)
+        .lose_node(2)
+        .lose_node(3)
+        .build();
+    let err = cluster.execute_excluding(&q, all.lost_nodes()).unwrap_err();
+    assert!(err.is_transient());
+}
+
+#[test]
+fn robustness_sweep_is_bit_deterministic() {
+    let _g = obs_lock();
+    let config = RobustnessConfig {
+        seed: 83,
+        rows: 2_000,
+        max_groups: 80,
+        intensities: [0.0, 0.33, 0.67, 1.0],
+        latency_budget: SimDuration::from_millis(100),
+        workers: 2,
+    };
+
+    let capture = || {
+        ids::obs::reset_all();
+        ids::obs::enable();
+        let report = robustness::run(&config);
+        let rec = ids::obs::recorder();
+        let trace = ids::obs::chrome_trace_json(&rec.events(), &rec.tracks());
+        let metrics = ids::obs::metrics_tsv(&ids::obs::metrics().snapshot());
+        ids::obs::disable();
+        ids::obs::reset_all();
+        (report.render(), metrics, trace)
+    };
+
+    let (render_a, metrics_a, trace_a) = capture();
+    let (render_b, metrics_b, trace_b) = capture();
+    assert_eq!(render_a, render_b, "rendered table is byte-identical");
+    assert_eq!(metrics_a, metrics_b, "metrics snapshot is byte-identical");
+    assert_eq!(trace_a, trace_b, "exported trace is byte-identical");
+    assert!(render_a.contains("Robustness under injected faults"));
+    assert!(
+        trace_a.contains("chaos") || trace_a.contains("resilience"),
+        "fault events appear in the trace"
+    );
+}

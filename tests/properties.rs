@@ -1,11 +1,14 @@
 //! Property-based tests over the workspace's core invariants.
 
+use ids::chaos::FaultPlan;
 use ids::engine::{Backend, MemBackend};
 use ids::engine::{BinSpec, ColumnBuilder, Histogram, Predicate, Query, Table, TableBuilder};
-use ids::metrics::lcv::{cascade_violations, supply_violations, QuerySpan};
+use ids::metrics::lcv::{budget_violations, cascade_violations, supply_violations, QuerySpan};
+use ids::metrics::qif::qif_windows;
 use ids::metrics::stats::{Cdf, Summary};
 use ids::opt::klfilter::kl_divergence;
-use ids::simclock::{EventQueue, SimTime};
+use ids::simclock::rng::SimRng;
+use ids::simclock::{EventQueue, SimDuration, SimTime};
 use ids::study::assignment::{balanced_latin_square, is_latin_square, latin_square};
 use ids::workload::trace::{ScrollRecord, SliderRecord, Trace, TraceRecord};
 use proptest::prelude::*;
@@ -238,6 +241,101 @@ proptest! {
         }
         prop_assert_eq!(qs[0], s.min().expect("non-empty"));
         prop_assert_eq!(qs[4], s.max().expect("non-empty"));
+    }
+
+    /// Budget LCV is monotone non-increasing as the budget grows: a more
+    /// generous constraint can only forgive violations, never create
+    /// them.
+    #[test]
+    fn lcv_shrinks_as_budget_grows(
+        spans in prop::collection::vec((0u64..10_000, 0u64..2_000), 1..80),
+        budget_a in 0u64..2_500,
+        extra in 0u64..2_500,
+    ) {
+        let spans: Vec<QuerySpan> = spans
+            .into_iter()
+            .map(|(t, lat)| QuerySpan {
+                issued_at: SimTime::from_millis(t),
+                finished_at: SimTime::from_millis(t + lat),
+            })
+            .collect();
+        let tight = budget_violations(&spans, SimDuration::from_millis(budget_a));
+        let loose = budget_violations(&spans, SimDuration::from_millis(budget_a + extra));
+        prop_assert!(loose.violations <= tight.violations);
+        prop_assert_eq!(tight.total, spans.len());
+        prop_assert_eq!(loose.total, spans.len());
+        // The zero budget counts every positive-latency query.
+        let zero = budget_violations(&spans, SimDuration::ZERO);
+        let positive = spans
+            .iter()
+            .filter(|s| s.finished_at > s.issued_at)
+            .count();
+        prop_assert_eq!(zero.violations, positive);
+    }
+
+    /// QIF windows partition the issued stream: counts sum to the total
+    /// number of queries, windows tile the time axis contiguously.
+    #[test]
+    fn qif_windows_conserve_queries(
+        stamps in prop::collection::vec(0u64..100_000, 1..150),
+        window_ms in 1u64..5_000,
+    ) {
+        let mut stamps: Vec<SimTime> =
+            stamps.into_iter().map(SimTime::from_millis).collect();
+        stamps.sort();
+        let window = SimDuration::from_millis(window_ms);
+        let windows = qif_windows(&stamps, window);
+        let total: usize = windows.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(total, stamps.len(), "no query lost or double-counted");
+        for w in windows.windows(2) {
+            prop_assert_eq!(w[0].0 + window, w[1].0, "windows tile contiguously");
+        }
+        prop_assert!(windows[0].0 <= stamps[0]);
+    }
+
+    /// Latency percentiles are order-insensitive: any permutation of the
+    /// sample reports identical quantiles.
+    #[test]
+    fn latency_percentiles_ignore_arrival_order(
+        xs in prop::collection::vec(0.0f64..1e6, 1..150),
+        seed in 0u64..1_000,
+    ) {
+        // A deterministic shuffle driven by the sim RNG.
+        let mut shuffled = xs.clone();
+        SimRng::seed(seed)
+            .split("properties/shuffle")
+            .shuffle(&mut shuffled);
+        let a = Summary::of(&xs);
+        let b = Summary::of(&shuffled);
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(
+                a.quantile(q).expect("non-empty"),
+                b.quantile(q).expect("non-empty")
+            );
+        }
+    }
+
+    /// Storm fault plans are reproducible from their seed and pointwise
+    /// monotone in intensity: a harsher storm never charges a query less.
+    #[test]
+    fn storm_plans_replay_and_dominate(
+        seed in 0u64..10_000,
+        lo in 0.05f64..0.5,
+        extra in 0.0f64..0.5,
+        probe_ms in 0u64..60_000,
+    ) {
+        let horizon = SimDuration::from_secs(60);
+        let mild = FaultPlan::storm(seed, lo, horizon);
+        prop_assert_eq!(&mild, &FaultPlan::storm(seed, lo, horizon));
+        let harsh = FaultPlan::storm(seed, lo + extra, horizon);
+        let t = SimTime::from_millis(probe_ms);
+        prop_assert!(harsh.cost_multiplier_at(t) >= mild.cost_multiplier_at(t));
+        prop_assert!(harsh.failure_rate() >= mild.failure_rate());
+        match (mild.stall_until(t), harsh.stall_until(t)) {
+            (Some(m), Some(h)) => prop_assert!(h >= m),
+            (Some(_), None) => prop_assert!(false, "harsh storm lost a stall"),
+            _ => {}
+        }
     }
 
     /// CDF is a valid distribution function: monotone, 0 below min,

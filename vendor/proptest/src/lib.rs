@@ -28,6 +28,17 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
     }
+
+    /// The case count to actually run: a set `PROPTEST_CASES`
+    /// environment variable overrides the configured count (matching
+    /// upstream proptest), so CI can schedule deeper passes without code
+    /// changes.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(self.cases)
+    }
 }
 
 /// Failure raised by `prop_assert!`-family macros, or a rejection from
@@ -293,7 +304,7 @@ macro_rules! __proptest_items {
         #[test]
         fn $name() {
             let config = $cfg;
-            for case in 0..config.cases {
+            for case in 0..config.resolved_cases() {
                 let mut __rng =
                     $crate::test_runner::TestRng::for_case(stringify!($name), case);
                 $(
@@ -388,6 +399,17 @@ mod tests {
             assert!((5..10).contains(&x));
             let y = (-2.0f64..2.0).sample(&mut rng);
             assert!((-2.0..2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn resolved_cases_defaults_to_configured_count() {
+        // CI sets PROPTEST_CASES to deepen every property test; in that
+        // environment the override winning IS the contract under test.
+        let config = ProptestConfig::with_cases(17);
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => assert_eq!(config.resolved_cases(), v.trim().parse().unwrap()),
+            Err(_) => assert_eq!(config.resolved_cases(), 17),
         }
     }
 
