@@ -7,6 +7,7 @@
 //! repro --table 8                # one table
 //! repro --figure 13              # one figure
 //! repro --robustness             # fault-injection robustness table
+//! repro --fleet                  # multi-tenant fleet-serving table
 //! repro --trace-out trace.json --figure 13
 //!                                # also export a Chrome/Perfetto trace
 //! repro --metrics-out run.tsv ...# write the metrics snapshot as TSV
@@ -16,7 +17,7 @@
 use std::collections::BTreeSet;
 
 use ids_bench::Scale;
-use ids_core::experiments::{case1, case2, case3, methodology, robustness, scalability};
+use ids_core::experiments::{case1, case2, case3, fleet, methodology, robustness, scalability};
 use ids_core::registry;
 use ids_core::report;
 
@@ -44,6 +45,7 @@ fn main() {
             println!("{}", c3.render());
             println!("{}", scalability::run(&scale.scalability()).render());
             println!("{}", robustness::run(&scale.robustness()).render());
+            println!("{}", fleet::run(&scale.fleet()).render());
         }
         Command::Table(n) => print_table(&n, scale),
         Command::Figure(n) => print_figure(&n, scale),
@@ -53,12 +55,16 @@ fn main() {
         Command::Robustness => {
             println!("{}", robustness::run(&scale.robustness()).render());
         }
+        Command::Fleet => {
+            println!("{}", fleet::run(&scale.fleet()).render());
+        }
         Command::Help(err) => {
             if let Some(e) = err {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro [--all | --index | --table N | --figure N | --robustness]\n\
+                "usage: repro [--all | --index | --table N | --figure N\n\
+                 \x20            | --scalability | --robustness | --fleet]\n\
                  \x20      [--trace-out FILE] [--metrics-out FILE]\n\
                  scale: set IDS_SCALE=paper for full study sizes"
             );
@@ -118,6 +124,7 @@ enum Command {
     Figure(String),
     Scalability,
     Robustness,
+    Fleet,
     Help(Option<String>),
 }
 
@@ -133,6 +140,7 @@ fn parse(args: &[String]) -> Command {
         [a] if a == "--index" => Command::Index,
         [a] if a == "--scalability" => Command::Scalability,
         [a] if a == "--robustness" => Command::Robustness,
+        [a] if a == "--fleet" => Command::Fleet,
         [a, n] if a == "--table" => Command::Table(n.clone()),
         [a, n] if a == "--figure" => Command::Figure(n.clone()),
         [a] if a == "--help" || a == "-h" => Command::Help(None),

@@ -18,7 +18,7 @@
 
 use std::path::PathBuf;
 
-use ids_core::experiments::{case1, methodology, robustness, scalability};
+use ids_core::experiments::{case1, fleet, methodology, robustness, scalability};
 
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -78,4 +78,10 @@ fn golden_scalability_table() {
 fn golden_robustness_table() {
     let report = robustness::run(&robustness::RobustnessConfig::smoke_test());
     check_golden("robustness_table.txt", &report.render());
+}
+
+#[test]
+fn golden_fleet_table() {
+    let report = fleet::run(&fleet::FleetConfig::smoke_test());
+    check_golden("fleet_table.txt", &report.render());
 }

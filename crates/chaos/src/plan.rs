@@ -27,6 +27,15 @@ pub enum FaultKind {
     /// The buffer pool is evicted when the window opens (cold restart of
     /// the cache mid-session).
     BufferPressure,
+    /// Cluster node (or serving worker slot) `node` is unreachable for
+    /// the duration of the window — the time-scoped sibling of the
+    /// static [`FaultPlan::lost_nodes`] set. Serving loops shrink their
+    /// worker pool while the window is open and recover when it closes:
+    /// degradation, not a wedge.
+    NodeLoss {
+        /// Index of the lost node / worker slot.
+        node: usize,
+    },
 }
 
 /// A half-open window `[start, end)` of virtual time with a fault active.
@@ -133,6 +142,42 @@ impl FaultPlan {
         }
     }
 
+    /// A [`storm`](Self::storm) extended with recoverable node-loss
+    /// windows for a serving pool of `workers` slots.
+    ///
+    /// On top of the storm's spikes, stalls, and transient failures, up
+    /// to half the pool (scaled by intensity, always at least one node
+    /// when the storm is live) drops out for a mid-run window and comes
+    /// back. Node-loss draws use an independent RNG split, so the storm
+    /// windows themselves are identical to [`FaultPlan::storm`]'s at the
+    /// same `(seed, intensity)` — existing storm-based fixtures are
+    /// unaffected by composing loss on top.
+    pub fn storm_with_node_loss(
+        seed: u64,
+        intensity: f64,
+        horizon: SimDuration,
+        workers: usize,
+    ) -> FaultPlan {
+        let intensity = intensity.clamp(0.0, 1.0);
+        let mut plan = FaultPlan::storm(seed, intensity, horizon);
+        if intensity == 0.0 || horizon.is_zero() || workers == 0 {
+            return plan;
+        }
+        let mut rng = SimRng::seed(seed).split("chaos/node-loss");
+        let h = horizon.as_secs_f64();
+        let lost = ((workers as f64 * 0.5 * intensity).round() as usize).clamp(1, workers);
+        for node in 0..lost {
+            let at = SimTime::from_secs_f64(rng.uniform(h * 0.3, h * 0.7));
+            plan.windows.push(FaultWindow {
+                start: at,
+                end: at + SimDuration::from_secs_f64(h * 0.1 * intensity),
+                kind: FaultKind::NodeLoss { node },
+            });
+        }
+        plan.windows.sort_by_key(|w| (w.start, w.end));
+        plan
+    }
+
     /// Reads `IDS_CHAOS_INTENSITY` (a float in `[0, 1]`) and builds a
     /// storm at that intensity, or at `default_intensity` when unset or
     /// unparsable. This is the CI fault-matrix toggle: the same tests run
@@ -203,6 +248,25 @@ impl FaultPlan {
             .position(|w| w.kind == FaultKind::BufferPressure && w.contains(t))
     }
 
+    /// Nodes lost at instant `t`: the union of the static
+    /// [`lost_nodes`](Self::lost_nodes) set and every
+    /// [`FaultKind::NodeLoss`] window covering `t`, deduplicated and
+    /// sorted. A serving loop subtracts these from its worker capacity
+    /// while the window is open.
+    pub fn lost_nodes_at(&self, t: SimTime) -> Vec<usize> {
+        let mut lost = self.lost_nodes.clone();
+        for w in &self.windows {
+            if let FaultKind::NodeLoss { node } = w.kind {
+                if w.contains(t) {
+                    lost.push(node);
+                }
+            }
+        }
+        lost.sort_unstable();
+        lost.dedup();
+        lost
+    }
+
     /// Whether execution attempt `attempt` of the query with fingerprint
     /// `fingerprint` fails transiently.
     ///
@@ -271,6 +335,22 @@ impl FaultPlanBuilder {
     /// Sets the per-attempt transient-failure probability.
     pub fn transient_failures(mut self, rate: f64) -> FaultPlanBuilder {
         self.plan.failure_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Declares a node lost only while the window is open (the static
+    /// [`lose_node`](Self::lose_node) is forever; this one recovers).
+    pub fn lose_node_during(
+        mut self,
+        node: usize,
+        start: SimTime,
+        width: SimDuration,
+    ) -> FaultPlanBuilder {
+        self.plan.windows.push(FaultWindow {
+            start,
+            end: start + width,
+            kind: FaultKind::NodeLoss { node },
+        });
         self
     }
 
@@ -425,6 +505,50 @@ mod tests {
             (1..8).any(|a| !plan.should_fail(fp, a)),
             "an 8-deep retry chain all failing at rate 0.5 is ~0.4%"
         );
+    }
+
+    #[test]
+    fn node_loss_windows_are_scoped_in_time() {
+        let plan = FaultPlan::builder(17)
+            .lose_node(9)
+            .lose_node_during(3, at(100), ms(50))
+            .lose_node_during(1, at(120), ms(10))
+            .build();
+        // Static losses apply at all times; windowed ones only inside.
+        assert_eq!(plan.lost_nodes_at(at(0)), vec![9]);
+        assert_eq!(plan.lost_nodes_at(at(110)), vec![3, 9]);
+        assert_eq!(plan.lost_nodes_at(at(125)), vec![1, 3, 9]);
+        assert_eq!(plan.lost_nodes_at(at(150)), vec![9], "end is exclusive");
+        // Windowed loss does not mark the node statically lost.
+        assert!(!plan.node_lost(3));
+        assert!(plan.node_lost(9));
+    }
+
+    #[test]
+    fn storm_with_node_loss_extends_storm_without_perturbing_it() {
+        let h = SimDuration::from_secs(10);
+        let base = FaultPlan::storm(21, 0.6, h);
+        let lossy = FaultPlan::storm_with_node_loss(21, 0.6, h, 8);
+        // Every storm window survives unchanged; only NodeLoss is added.
+        for w in base.windows() {
+            assert!(lossy.windows().contains(w), "storm window preserved");
+        }
+        let loss: Vec<_> = lossy
+            .windows()
+            .iter()
+            .filter(|w| matches!(w.kind, FaultKind::NodeLoss { .. }))
+            .collect();
+        assert_eq!(lossy.windows().len(), base.windows().len() + loss.len());
+        assert!(!loss.is_empty(), "live storm loses at least one node");
+        assert!(loss.len() <= 8, "never loses more than the pool");
+        for w in &loss {
+            assert!(w.start >= SimTime::from_secs_f64(10.0 * 0.3));
+            assert!(w.start <= SimTime::from_secs_f64(10.0 * 0.7));
+            assert!(w.end > w.start, "loss windows recover");
+        }
+        // Deterministic, and calm storms stay calm.
+        assert_eq!(lossy, FaultPlan::storm_with_node_loss(21, 0.6, h, 8));
+        assert!(FaultPlan::storm_with_node_loss(21, 0.0, h, 8).is_calm());
     }
 
     #[test]

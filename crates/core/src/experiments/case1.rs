@@ -15,7 +15,7 @@ use ids_workload::scrolling::{
     demand_curve, simulate_study, speed_stats, ScrollSession, SpeedStats, TUPLE_HEIGHT_PX,
 };
 
-use crate::report::{pct, TextTable};
+use crate::report::{pct, Table};
 
 /// Experiment parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -252,7 +252,7 @@ impl Case1Report {
                 s.median().unwrap_or(0.0)
             )
         };
-        let mut t = TextTable::new([
+        let mut t = Table::new([
             "unit",
             "range, mean, median of MAX",
             "range, mean, median of AVG",
@@ -266,7 +266,7 @@ impl Case1Report {
     pub fn render_fig8(&self) -> String {
         let mut rows: Vec<&SpeedStats> = self.speeds.iter().collect();
         rows.sort_by(|a, b| b.max_tuples_per_s.total_cmp(&a.max_tuples_per_s));
-        let mut t = TextTable::new([
+        let mut t = Table::new([
             "user",
             "max tuples/s",
             "avg tuples/s",
@@ -290,7 +290,7 @@ impl Case1Report {
 
     /// Fig 9: selections vs backscrolled selections per user.
     pub fn render_fig9(&self) -> String {
-        let mut t = TextTable::new([
+        let mut t = Table::new([
             "user",
             "movies selected",
             "backscrolled selections",
@@ -321,7 +321,7 @@ impl Case1Report {
 
     /// Fig 10: average latency by strategy and fetch size.
     pub fn render_fig10(&self) -> String {
-        let mut t = TextTable::new(["# tuples", "event fetch (ms)", "timer fetch (ms)"]);
+        let mut t = Table::new(["# tuples", "event fetch (ms)", "timer fetch (ms)"]);
         for (e, tm) in self.event.iter().zip(&self.timer) {
             t.row([
                 e.fetch_size.to_string(),
@@ -340,7 +340,7 @@ impl Case1Report {
         let sizes: Vec<String> = self.config.fetch_sizes.iter().map(u64::to_string).collect();
         let mut header = vec!["# tuples fetched".to_string()];
         header.extend(sizes);
-        let mut t = TextTable::new(header);
+        let mut t = Table::new(header);
         let row = |label: &str, f: &dyn Fn(&StrategyPoint) -> String, pts: &[StrategyPoint]| {
             let mut cells = vec![label.to_string()];
             cells.extend(pts.iter().map(f));

@@ -22,7 +22,7 @@ use ids_workload::crossfilter::{
 use ids_workload::datasets;
 use parking_lot::Mutex;
 
-use crate::report::{downsample, pct, sparkline, TextTable};
+use crate::report::{downsample, pct, sparkline, Table};
 
 /// The optimization strategies compared (Fig 13/15 legend).
 pub const OPTS: [&str; 4] = ["raw", "kl>0", "kl>0.2", "skip"];
@@ -320,7 +320,7 @@ impl Case2Report {
 
     /// Fig 11 rendering.
     pub fn render_fig11(&self) -> String {
-        let mut t = TextTable::new(["device", "path wobble (mean sq. px)"]);
+        let mut t = Table::new(["device", "path wobble (mean sq. px)"]);
         for &(d, w) in &self.fig11_wobble {
             t.row([d.label().to_string(), format!("{w:.1}")]);
         }
@@ -333,7 +333,7 @@ impl Case2Report {
     /// Fig 13 rendering: median latency and a latency-over-time sparkline
     /// per condition.
     pub fn render_fig13(&self) -> String {
-        let mut t = TextTable::new([
+        let mut t = Table::new([
             "device",
             "backend:opt",
             "median latency (ms)",
@@ -360,7 +360,7 @@ impl Case2Report {
 
     /// Fig 14 rendering: QIF summaries per device × optimization.
     pub fn render_fig14(&self) -> String {
-        let mut t = TextTable::new([
+        let mut t = Table::new([
             "device:opt",
             "queries",
             "mean interval (ms)",
@@ -387,7 +387,7 @@ impl Case2Report {
 
     /// Fig 15 rendering: violation percentages.
     pub fn render_fig15(&self) -> String {
-        let mut t = TextTable::new(["condition", "postgreSQL-role (disk)", "memSQL-role (mem)"]);
+        let mut t = Table::new(["condition", "postgreSQL-role (disk)", "memSQL-role (mem)"]);
         for opt in OPTS {
             for device in DEVICES {
                 let disk = self

@@ -13,7 +13,7 @@ use ids_workload::composite::{
     CompositeSession, Widget,
 };
 
-use crate::report::{pct, TextTable};
+use crate::report::{pct, Table};
 
 /// Experiment parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,7 +182,7 @@ impl Case3Report {
 
     /// Table 9 rendering.
     pub fn render_table9(&self) -> String {
-        let mut t = TextTable::new(["interface", "percent"]);
+        let mut t = Table::new(["interface", "percent"]);
         // The paper reports slider and checkbox together.
         let get = |w: Widget| {
             self.widget_pct
@@ -206,7 +206,7 @@ impl Case3Report {
 
     /// Fig 18 rendering: zoom dwell summary per user.
     pub fn render_fig18(&self) -> String {
-        let mut t = TextTable::new(["user", "start", "min", "max", "% in 11-14"]);
+        let mut t = Table::new(["user", "start", "min", "max", "% in 11-14"]);
         for (i, series) in self.zoom_series.iter().enumerate() {
             if series.is_empty() {
                 continue;
@@ -229,7 +229,7 @@ impl Case3Report {
 
     /// Table 10 rendering.
     pub fn render_table10(&self) -> String {
-        let mut t = TextTable::new(["zoom", "latitude", "longitude", "# drags"]);
+        let mut t = Table::new(["zoom", "latitude", "longitude", "# drags"]);
         for r in &self.drag_ranges {
             t.row([
                 r.zoom.to_string(),
@@ -243,7 +243,7 @@ impl Case3Report {
 
     /// Fig 20 rendering.
     pub fn render_fig20(&self) -> String {
-        let mut t = TextTable::new(["# filter conditions", "CDF"]);
+        let mut t = Table::new(["# filter conditions", "CDF"]);
         for k in 0..=14 {
             t.row([
                 k.to_string(),
@@ -255,7 +255,7 @@ impl Case3Report {
 
     /// Fig 21 rendering.
     pub fn render_fig21(&self) -> String {
-        let mut t = TextTable::new(["time (s)", "request CDF", "exploration CDF"]);
+        let mut t = Table::new(["time (s)", "request CDF", "exploration CDF"]);
         for x in [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0] {
             t.row([
                 format!("{x}"),

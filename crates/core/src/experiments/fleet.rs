@@ -1,0 +1,323 @@
+//! Fleet-scale serving: violation-rate-versus-concurrency curves for a
+//! multi-tenant session fleet over one shared engine.
+//!
+//! The paper's evaluations are single-session; a deployed interactive
+//! system serves thousands of sessions against shared workers and a
+//! shared buffer pool. This experiment sweeps fleet concurrency and, at
+//! each level, serves the *same* offered query stream twice through
+//! `ids-serve`:
+//!
+//! - **admission on** — per-tenant token buckets, a bounded queue, and
+//!   prefetch suppression shed the overload;
+//! - **baseline** — every query is admitted and queues behind its
+//!   predecessors, the fleet-scale version of the paper's Fig 2
+//!   latency cascade.
+//!
+//! Both conditions replay one per-query cost sequence fixed by a single
+//! chaos-wrapped execution pass, so the delta in tail latency and LCV
+//! rate is attributable to admission control alone. With a nonzero
+//! chaos intensity the fault plan also includes mid-run node-loss
+//! windows, demonstrating that capacity loss degrades the fleet (later
+//! drain, fatter tail) without wedging it.
+
+use ids_chaos::FaultPlan;
+use ids_engine::{Backend, CostParams, DiskBackend, EvictionPolicy};
+use ids_serve::{
+    measure_costs, simulate_service, synthesize_fleet, AdmissionPolicy, ArrivalProcess,
+    FleetOutcome, FleetSpec, ServeParams,
+};
+use ids_simclock::{SimDuration, SimTime};
+use ids_workload::datasets;
+
+use crate::report::{pct, Table};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// RNG seed (drives arrivals, traces, lanes, and fault plans).
+    pub seed: u64,
+    /// Rows in each tenant's table.
+    pub rows: usize,
+    /// Tenants the fleet is striped across.
+    pub tenants: usize,
+    /// Concurrency levels swept (sessions per level, ascending).
+    pub session_counts: Vec<usize>,
+    /// Cap on slider-move groups per session.
+    pub max_groups: usize,
+    /// Fraction of queries offered on the prefetch lane.
+    pub prefetch_rate: f64,
+    /// Mean gap between session arrivals (Poisson process).
+    pub arrival_gap: SimDuration,
+    /// Per-query latency budget (LCV threshold).
+    pub latency_budget: SimDuration,
+    /// Shared engine worker slots.
+    pub workers: usize,
+    /// Host threads used for fleet synthesis (output-invariant).
+    pub threads: usize,
+    /// Fault-plan intensity in `[0, 1]`; zero serves calm.
+    pub chaos_intensity: f64,
+    /// Sustained per-tenant admission rate, queries/second.
+    pub tenant_rate: f64,
+    /// Per-tenant burst allowance — sized to absorb one session's
+    /// slider-drag burst, so a lone tenant is not rate-limited while
+    /// overlapping tenants are.
+    pub tenant_burst: f64,
+    /// Bounded-queue depth for the admission condition.
+    pub queue_limit: usize,
+    /// Shared buffer-pool size, pages.
+    pub pool_pages: usize,
+}
+
+impl FleetConfig {
+    /// Full-scale sweep: thousands of sessions at the top level.
+    pub fn paper() -> FleetConfig {
+        FleetConfig {
+            seed: 271,
+            rows: datasets::road_domain::ROWS,
+            tenants: 8,
+            session_counts: vec![256, 512, 1024, 2048],
+            max_groups: 30,
+            prefetch_rate: 0.25,
+            arrival_gap: SimDuration::from_millis(40),
+            latency_budget: SimDuration::from_millis(500),
+            workers: 8,
+            threads: 4,
+            chaos_intensity: 0.0,
+            tenant_rate: 1.5,
+            tenant_burst: 60.0,
+            queue_limit: 16,
+            pool_pages: DiskBackend::DEFAULT_POOL_PAGES,
+        }
+    }
+
+    /// Reduced scale for tests and the golden snapshot.
+    pub fn smoke_test() -> FleetConfig {
+        FleetConfig {
+            seed: 271,
+            rows: 2_000,
+            tenants: 4,
+            session_counts: vec![4, 8, 16, 32],
+            max_groups: 8,
+            prefetch_rate: 0.25,
+            arrival_gap: SimDuration::from_millis(500),
+            latency_budget: SimDuration::from_millis(1_000),
+            workers: 4,
+            threads: 1,
+            chaos_intensity: 0.0,
+            tenant_rate: 3.0,
+            tenant_burst: 20.0,
+            queue_limit: 8,
+            pool_pages: 512,
+        }
+    }
+
+    /// Per-tuple cost multiplier keeping the latency regime invariant
+    /// when tables are scaled down (same trick as the robustness
+    /// experiment).
+    fn cost_scale(&self) -> f64 {
+        datasets::road_domain::ROWS as f64 / self.rows.max(1) as f64
+    }
+}
+
+/// Scales the per-tuple charges of a cost calibration.
+fn scale_params(mut p: CostParams, k: f64) -> CostParams {
+    let mul = |ns: u64| ((ns as f64) * k).round() as u64;
+    p.tuple_scan_ns = mul(p.tuple_scan_ns);
+    p.tuple_agg_ns = mul(p.tuple_agg_ns);
+    p.join_build_ns = mul(p.join_build_ns);
+    p.join_probe_ns = mul(p.join_probe_ns);
+    p.predicate_eval_ns = mul(p.predicate_eval_ns);
+    p
+}
+
+/// One concurrency level's measurements.
+#[derive(Debug, Clone)]
+pub struct FleetPoint {
+    /// Sessions served at this level.
+    pub sessions: usize,
+    /// Queries the fleet offered.
+    pub offered: usize,
+    /// Outcome under the admission policy.
+    pub admission: FleetOutcome,
+    /// Outcome with everything admitted.
+    pub baseline: FleetOutcome,
+}
+
+/// The full concurrency-scaling report.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Configuration used.
+    pub config: FleetConfig,
+    /// One point per concurrency level, ascending.
+    pub points: Vec<FleetPoint>,
+}
+
+/// Runs the sweep.
+pub fn run(config: &FleetConfig) -> FleetReport {
+    let _p = ids_obs::phase("fleet.sweep");
+    let params = ServeParams {
+        workers: config.workers,
+        latency_budget: config.latency_budget,
+    };
+    let admission_policy = AdmissionPolicy {
+        tenant_rate: config.tenant_rate,
+        tenant_burst: config.tenant_burst,
+        queue_limit: config.queue_limit,
+        prefetch_queue_limit: 0,
+    };
+    let mut points = Vec::new();
+    for &sessions in &config.session_counts {
+        let spec = FleetSpec {
+            seed: config.seed,
+            sessions,
+            tenants: config.tenants,
+            arrival: ArrivalProcess::Poisson {
+                mean_gap: config.arrival_gap,
+            },
+            max_groups: config.max_groups,
+            prefetch_rate: config.prefetch_rate,
+        };
+        let offered = synthesize_fleet(&spec, config.threads);
+
+        // One shared engine per level: every tenant's table goes through
+        // the same buffer pool, so concurrency genuinely widens the
+        // working set.
+        let disk = DiskBackend::with_config(
+            scale_params(CostParams::disk_default(), config.cost_scale()),
+            config.pool_pages,
+            EvictionPolicy::Lru,
+        );
+        let db = disk.database();
+        for tenant in 0..config.tenants {
+            db.register(datasets::road_network_named(
+                &FleetSpec::tenant_table(tenant),
+                config.seed,
+                config.rows,
+            ));
+        }
+
+        let horizon = offered
+            .last()
+            .map(|q| q.at.saturating_since(SimTime::ZERO))
+            .unwrap_or(SimDuration::ZERO);
+        let plan = if config.chaos_intensity > 0.0 {
+            FaultPlan::storm_with_node_loss(
+                config.seed,
+                config.chaos_intensity,
+                horizon,
+                config.workers,
+            )
+        } else {
+            FaultPlan::calm(config.seed)
+        };
+
+        let costs = measure_costs(&disk, Some(&disk), &offered, &plan, config.latency_budget);
+        let admission = simulate_service(&offered, &costs, &admission_policy, &plan, &params);
+        let baseline = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &plan,
+            &params,
+        );
+        points.push(FleetPoint {
+            sessions,
+            offered: offered.len(),
+            admission,
+            baseline,
+        });
+    }
+    FleetReport {
+        config: config.clone(),
+        points,
+    }
+}
+
+impl FleetReport {
+    /// Renders the concurrency-scaling table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "sessions", "offered", "adm q/s", "shed", "LCV adm", "LCV base", "p99 adm", "p99 base",
+        ]);
+        for p in &self.points {
+            t.row([
+                p.sessions.to_string(),
+                p.offered.to_string(),
+                format!("{:.1}", p.admission.admitted_qps),
+                pct(p.admission.shed_fraction()),
+                pct(p.admission.lcv.fraction()),
+                pct(p.baseline.lcv.fraction()),
+                format!("{}ms", p.admission.p99.as_millis()),
+                format!("{}ms", p.baseline.p99.as_millis()),
+            ]);
+        }
+        format!(
+            "Fleet serving: admission control vs open queueing \
+             ({} tenants, {} workers, budget {} ms, chaos {:.2}):\n{}",
+            self.config.tenants,
+            self.config.workers,
+            self.config.latency_budget.as_millis(),
+            self.config.chaos_intensity,
+            t.section("fleet: concurrency scaling")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> &'static FleetReport {
+        use std::sync::OnceLock;
+        static REPORT: OnceLock<FleetReport> = OnceLock::new();
+        REPORT.get_or_init(|| run(&FleetConfig::smoke_test()))
+    }
+
+    #[test]
+    fn offered_load_grows_with_concurrency() {
+        let offered: Vec<usize> = report().points.iter().map(|p| p.offered).collect();
+        assert!(offered.windows(2).all(|w| w[1] > w[0]), "{offered:?}");
+    }
+
+    #[test]
+    fn conservation_holds_at_every_level() {
+        for p in &report().points {
+            assert_eq!(
+                p.admission.admitted + p.admission.shed.total(),
+                p.offered,
+                "at {} sessions",
+                p.sessions
+            );
+            assert_eq!(p.baseline.admitted, p.offered);
+            assert_eq!(p.baseline.shed.total(), 0);
+        }
+    }
+
+    #[test]
+    fn admission_flattens_tail_at_high_concurrency() {
+        let top = report().points.last().unwrap();
+        assert!(
+            top.admission.p99 < top.baseline.p99,
+            "admission p99 {:?} must beat baseline {:?}",
+            top.admission.p99,
+            top.baseline.p99
+        );
+        assert!(
+            top.admission.lcv.fraction() < top.baseline.lcv.fraction(),
+            "admission LCV {} must beat baseline {}",
+            top.admission.lcv.fraction(),
+            top.baseline.lcv.fraction()
+        );
+        assert!(top.admission.shed.total() > 0, "overload must shed");
+    }
+
+    #[test]
+    fn render_is_a_full_table() {
+        let text = report().render();
+        assert!(text.contains("fleet: concurrency scaling"));
+        assert!(text.contains("LCV adm"));
+        for p in &report().points {
+            assert!(text.contains(&p.sessions.to_string()));
+        }
+    }
+}

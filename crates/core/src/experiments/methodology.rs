@@ -10,7 +10,7 @@ use ids_study::bias::{Bias, BiasSide};
 use ids_study::design::{recommend_design, recommend_setting, SettingNeeds, TaskTraits};
 use ids_study::survey::{render_table, Era};
 
-use crate::report::TextTable;
+use crate::report::Table;
 
 /// Fig 1: the metric taxonomy tree.
 pub fn render_fig1() -> String {
@@ -19,7 +19,7 @@ pub fn render_fig1() -> String {
 
 /// Fig 3: the QIF × backend quadrant with example classifications.
 pub fn render_fig3() -> String {
-    let mut t = TextTable::new(["QIF (q/s)", "mean service", "quadrant", "guidance"]);
+    let mut t = Table::new(["QIF (q/s)", "mean service", "quadrant", "guidance"]);
     let cases = [(50.0, 5u64), (50.0, 100), (5.0, 5), (5.0, 500)];
     for (qif, service_ms) in cases {
         let q = QifQuadrant::classify(qif, SimDuration::from_millis(service_ms), 40.0);
@@ -38,7 +38,7 @@ pub fn render_fig3() -> String {
 
 /// Fig 4: in-person vs remote decision, enumerated.
 pub fn render_fig4() -> String {
-    let mut t = TextTable::new(["control?", "device-dep?", "think-aloud?", "setting"]);
+    let mut t = Table::new(["control?", "device-dep?", "think-aloud?", "setting"]);
     for control in [false, true] {
         for device in [false, true] {
             for aloud in [false, true] {
@@ -61,7 +61,7 @@ pub fn render_fig4() -> String {
 
 /// Fig 5: study design per metric.
 pub fn render_fig5() -> String {
-    let mut t = TextTable::new(["metric", "design"]);
+    let mut t = Table::new(["metric", "design"]);
     for m in Metric::ALL {
         let d = recommend_design(m, &TaskTraits::default());
         t.row([m.name().to_string(), format!("{d:?}")]);
@@ -87,7 +87,7 @@ pub fn render_table2() -> String {
 
 /// Table 3 rendering: metric selection guidelines.
 pub fn render_table3() -> String {
-    let mut t = TextTable::new(["metric", "when to use"]);
+    let mut t = Table::new(["metric", "when to use"]);
     for m in Metric::ALL {
         t.row([m.name(), when_to_use(m)]);
     }
@@ -96,7 +96,7 @@ pub fn render_table3() -> String {
 
 /// Table 4 rendering: cognitive biases and mitigations.
 pub fn render_table4() -> String {
-    let mut t = TextTable::new(["side", "bias", "mitigation"]);
+    let mut t = Table::new(["side", "bias", "mitigation"]);
     for b in Bias::ALL {
         let side = match b.side() {
             BiasSide::Participant => "participant",

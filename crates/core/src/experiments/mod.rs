@@ -9,6 +9,7 @@
 pub mod case1;
 pub mod case2;
 pub mod case3;
+pub mod fleet;
 pub mod methodology;
 pub mod robustness;
 pub mod scalability;

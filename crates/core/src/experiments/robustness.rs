@@ -38,7 +38,7 @@ use ids_workload::crossfilter::{
 };
 use ids_workload::datasets;
 
-use crate::report::{pct, TextTable};
+use crate::report::{pct, Table};
 
 /// Experiment parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -295,7 +295,7 @@ impl RobustnessReport {
 
     /// Renders the robustness table.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new([
+        let mut t = Table::new([
             "intensity",
             "fault windows",
             "LCV rigid",

@@ -20,7 +20,7 @@ use ids_metrics::throughput::{ScalabilityCurve, ScalePoint};
 use ids_simclock::SimDuration;
 use ids_workload::datasets;
 
-use crate::report::TextTable;
+use crate::report::Table;
 
 /// Experiment parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,7 +145,7 @@ impl ScalabilityReport {
     pub fn render(&self) -> String {
         let curve = self.curve();
         let speedups = curve.speedups();
-        let mut nodes_t = TextTable::new(["nodes", "elapsed (ms)", "speedup", "throughput (q/s)"]);
+        let mut nodes_t = Table::new(["nodes", "elapsed (ms)", "speedup", "throughput (q/s)"]);
         for ((&(n, t), &(_, s)), &(_, qps)) in self
             .node_sweep
             .iter()
@@ -164,7 +164,7 @@ impl ScalabilityReport {
             .map(|k| k.to_string())
             .unwrap_or_else(|| "none".into());
 
-        let mut dims_t = TextTable::new(["# WHERE conditions", "elapsed (ms)", "rows matched"]);
+        let mut dims_t = Table::new(["# WHERE conditions", "elapsed (ms)", "rows matched"]);
         for &(d, t, m) in &self.dim_sweep {
             dims_t.row([
                 d.to_string(),

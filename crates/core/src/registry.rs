@@ -3,7 +3,7 @@
 //! regenerates it. Also renders the paper's own Tables 5 and 6 (the
 //! case-study summaries), which are registry content themselves.
 
-use crate::report::TextTable;
+use crate::report::Table;
 
 /// Kind of paper artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -260,7 +260,7 @@ pub fn find(kind: ArtifactKind, number: &str) -> Option<&'static Artifact> {
 
 /// Renders the registry index.
 pub fn render_index() -> String {
-    let mut t = TextTable::new(["artifact", "title", "modules", "regenerate"]);
+    let mut t = Table::new(["artifact", "title", "modules", "regenerate"]);
     for a in ARTIFACTS {
         let label = match a.kind {
             ArtifactKind::Table => format!("Table {}", a.number),
@@ -278,7 +278,7 @@ pub fn render_index() -> String {
 
 /// Table 5: the case-study summary, as in the paper.
 pub fn render_table5() -> String {
-    let mut t = TextTable::new([
+    let mut t = Table::new([
         "name",
         "device",
         "query interface",
@@ -315,7 +315,7 @@ pub fn render_table5() -> String {
 
 /// Table 6: behaviors and metrics per case study.
 pub fn render_table6() -> String {
-    let mut t = TextTable::new(["interface", "behavior", "performance"]);
+    let mut t = Table::new(["interface", "behavior", "performance"]);
     t.row([
         "inertial scrolling",
         "scrolling speed",

@@ -5,15 +5,19 @@ use std::fmt::Write as _;
 
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default)]
-pub struct TextTable {
+pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
 }
 
-impl TextTable {
+/// Former name of [`Table`], kept so downstream code and examples keep
+/// compiling.
+pub type TextTable = Table;
+
+impl Table {
     /// Starts a table with the given column headers.
-    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> TextTable {
-        TextTable {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table {
             header: header.into_iter().map(Into::into).collect(),
             rows: Vec::new(),
         }
@@ -72,6 +76,13 @@ impl TextTable {
         }
         out
     }
+
+    /// Renders the table under a `== title ==` banner — the shared
+    /// end-of-run section format used by the telemetry summaries and
+    /// the fleet report.
+    pub fn section(&self, title: &str) -> String {
+        format!("== {title} ==\n{}", self.render())
+    }
 }
 
 /// Renders a numeric series as a unicode sparkline (one glyph per point),
@@ -117,18 +128,18 @@ pub fn pct(fraction: f64) -> String {
 pub fn metrics_summary(snap: &ids_obs::MetricsSnapshot) -> String {
     let mut out = String::new();
     if !snap.counters.is_empty() {
-        let mut t = TextTable::new(["counter", "value"]);
+        let mut t = Table::new(["counter", "value"]);
         for (name, v) in &snap.counters {
             t.row([name.clone(), v.to_string()]);
         }
-        let _ = writeln!(out, "== telemetry: counters ==\n{}", t.render());
+        let _ = writeln!(out, "{}", t.section("telemetry: counters"));
     }
     if !snap.gauges.is_empty() {
-        let mut t = TextTable::new(["gauge", "value", "high-water"]);
+        let mut t = Table::new(["gauge", "value", "high-water"]);
         for (name, v, hwm) in &snap.gauges {
             t.row([name.clone(), v.to_string(), hwm.to_string()]);
         }
-        let _ = writeln!(out, "== telemetry: gauges ==\n{}", t.render());
+        let _ = writeln!(out, "{}", t.section("telemetry: gauges"));
     }
     let active: Vec<_> = snap
         .histograms
@@ -136,7 +147,7 @@ pub fn metrics_summary(snap: &ids_obs::MetricsSnapshot) -> String {
         .filter(|(_, h)| h.count > 0)
         .collect();
     if !active.is_empty() {
-        let mut t = TextTable::new(["histogram", "count", "mean", "p50", "p90", "p99", "max"]);
+        let mut t = Table::new(["histogram", "count", "mean", "p50", "p90", "p99", "max"]);
         for (name, h) in active {
             t.row([
                 name.clone(),
@@ -148,7 +159,7 @@ pub fn metrics_summary(snap: &ids_obs::MetricsSnapshot) -> String {
                 h.max.to_string(),
             ]);
         }
-        let _ = writeln!(out, "== telemetry: histograms ==\n{}", t.render());
+        let _ = writeln!(out, "{}", t.section("telemetry: histograms"));
     }
     out
 }
@@ -161,7 +172,7 @@ pub fn phase_summary(phases: &[ids_obs::PhaseRecord]) -> String {
     if phases.is_empty() {
         return String::new();
     }
-    let mut t = TextTable::new(["phase", "wall", "virtual", "events"]);
+    let mut t = Table::new(["phase", "wall", "virtual", "events"]);
     for p in phases {
         t.row([
             p.name.clone(),
@@ -174,7 +185,7 @@ pub fn phase_summary(phases: &[ids_obs::PhaseRecord]) -> String {
             p.events.to_string(),
         ]);
     }
-    format!("== run phases ==\n{}", t.render())
+    t.section("run phases")
 }
 
 #[cfg(test)]
@@ -183,7 +194,7 @@ mod tests {
 
     #[test]
     fn table_renders_aligned() {
-        let mut t = TextTable::new(["name", "value"]);
+        let mut t = Table::new(["name", "value"]);
         t.row(["alpha", "1"]);
         t.row(["b", "22222"]);
         let s = t.render();
@@ -199,11 +210,21 @@ mod tests {
 
     #[test]
     fn short_rows_are_padded() {
-        let mut t = TextTable::new(["a", "b", "c"]);
+        let mut t = TextTable::new(["a", "b", "c"]); // alias still works
         t.row(["only"]);
         assert!(t.render().contains("only"));
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn section_wraps_render_in_banner() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["a", "1"]);
+        let s = t.section("fleet");
+        assert!(s.starts_with("== fleet ==\n"));
+        assert!(s.contains('a'));
+        assert_eq!(s.trim_start_matches("== fleet ==\n"), t.render());
     }
 
     #[test]

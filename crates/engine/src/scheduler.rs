@@ -113,6 +113,99 @@ impl ResiliencePolicy {
     }
 }
 
+/// The scheduler's queueing core: `workers` equivalent execution slots
+/// plus the FIFO backlog in front of them, advanced in virtual time.
+///
+/// [`ReplayScheduler`] drives this for single-session replays; the
+/// multi-tenant serving layer (`ids-serve`) drives it directly so its
+/// admission controller sees the very same queueing semantics the replay
+/// experiments measure. Queries must be offered in nondecreasing
+/// `ready_at` order.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    /// Earliest instant each slot is free.
+    free: Vec<SimTime>,
+    /// Start times of assigned queries that had to wait, oldest first.
+    /// Popped lazily as the clock (the `now` of observation calls)
+    /// passes them; the remainder is the queue backlog.
+    pending_starts: std::collections::VecDeque<SimTime>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with the given number of parallel slots (clamped
+    /// to at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        WorkerPool {
+            free: vec![SimTime::ZERO; workers.max(1)],
+            pending_starts: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Number of execution slots.
+    pub fn workers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Assigns a query that becomes ready at `ready_at` and costs `cost`
+    /// to the earliest-free slot, returning `(slot, started_at,
+    /// finished_at)`. FIFO: the query starts at
+    /// `max(ready_at, earliest slot free time)`.
+    pub fn assign(&mut self, ready_at: SimTime, cost: SimDuration) -> (usize, SimTime, SimTime) {
+        let (slot, &slot_free) = self
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("at least one worker");
+        let started_at = ready_at.max(slot_free);
+        let finished_at = started_at + cost;
+        self.free[slot] = finished_at;
+        if started_at > ready_at {
+            self.pending_starts.push_back(started_at);
+        }
+        (slot, started_at, finished_at)
+    }
+
+    /// The instant the next assigned query would start if offered at
+    /// `ready_at` — what [`assign`](Self::assign) will return as
+    /// `started_at` — without committing the assignment. Callers that
+    /// shrink a query's cost based on its queueing delay (degraded-mode
+    /// policies) peek here first.
+    pub fn next_start(&self, ready_at: SimTime) -> SimTime {
+        let earliest = self
+            .free
+            .iter()
+            .copied()
+            .min()
+            .expect("at least one worker");
+        ready_at.max(earliest)
+    }
+
+    /// Number of slots still executing at `now`.
+    pub fn busy_at(&self, now: SimTime) -> usize {
+        self.free.iter().filter(|&&t| t > now).count()
+    }
+
+    /// Queue backlog at `now`: assigned queries that have not yet started
+    /// executing. This is the depth an admission controller bounds.
+    pub fn backlog_at(&mut self, now: SimTime) -> usize {
+        while self
+            .pending_starts
+            .front()
+            .is_some_and(|&start| start <= now)
+        {
+            self.pending_starts.pop_front();
+        }
+        self.pending_starts.len()
+    }
+
+    /// The instant the last assigned query finishes (drain time), or
+    /// [`SimTime::ZERO`] for an untouched pool.
+    pub fn drained_at(&self) -> SimTime {
+        self.free.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+}
+
 /// A FIFO queue in front of `workers` equivalent execution slots.
 ///
 /// The paper's setup forks one OS process per concurrent query with
@@ -160,30 +253,21 @@ impl ReplayScheduler {
             "issued-query stream must be sorted by issue time"
         );
         let telemetry = SchedulerTelemetry::new(backend.name(), self.workers);
-        // Min-heap of worker free times, fixed size `workers`.
-        let mut free: Vec<SimTime> = vec![SimTime::ZERO; self.workers];
+        let mut pool = WorkerPool::new(self.workers);
         let mut out = Vec::with_capacity(stream.len());
         for iq in stream {
             // Publish virtual time so deeper layers (buffer pool) can
             // timestamp their own telemetry at query granularity.
             ids_obs::set_vnow(iq.issued_at);
             let outcome = backend.execute(&iq.query)?;
-            // Earliest-free worker takes the query.
-            let (slot, &slot_free) = free
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .expect("at least one worker");
-            let started_at = iq.issued_at.max(slot_free);
-            let finished_at = started_at + outcome.cost;
-            free[slot] = finished_at;
+            let (slot, started_at, finished_at) = pool.assign(iq.issued_at, outcome.cost);
             let timing = QueryTiming {
                 tag: iq.tag,
                 issued_at: iq.issued_at,
                 started_at,
                 finished_at,
             };
-            let busy = free.iter().filter(|&&t| t > iq.issued_at).count();
+            let busy = pool.busy_at(iq.issued_at);
             telemetry.observe(iq, &timing, &outcome, slot, busy);
             out.push((timing, outcome));
         }
@@ -219,7 +303,7 @@ impl ReplayScheduler {
         let reg = ids_obs::metrics();
         let degraded_ctr = reg.counter("sched.degraded");
         let failed_ctr = reg.counter("sched.failed");
-        let mut free: Vec<SimTime> = vec![SimTime::ZERO; self.workers];
+        let mut pool = WorkerPool::new(self.workers);
         let mut out = Vec::with_capacity(stream.len());
         for iq in stream {
             ids_obs::set_vnow(iq.issued_at);
@@ -237,13 +321,7 @@ impl ReplayScheduler {
                 }
                 Err(err) => return Err(err),
             };
-            let (slot, &slot_free) = free
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .expect("at least one worker");
-            let started_at = iq.issued_at.max(slot_free);
-            let wait = started_at.saturating_since(iq.issued_at);
+            let wait = pool.next_start(iq.issued_at).saturating_since(iq.issued_at);
             if let (Some(budget), ResultQuality::Exact) = (policy.latency_budget, outcome.quality) {
                 if wait + outcome.cost > budget && !outcome.cost.is_zero() {
                     let allowed = budget.saturating_sub(wait);
@@ -258,15 +336,14 @@ impl ReplayScheduler {
                     }
                 }
             }
-            let finished_at = started_at + outcome.cost;
-            free[slot] = finished_at;
+            let (slot, started_at, finished_at) = pool.assign(iq.issued_at, outcome.cost);
             let timing = QueryTiming {
                 tag: iq.tag,
                 issued_at: iq.issued_at,
                 started_at,
                 finished_at,
             };
-            let busy = free.iter().filter(|&&t| t > iq.issued_at).count();
+            let busy = pool.busy_at(iq.issued_at);
             telemetry.observe(iq, &timing, &outcome, slot, busy);
             out.push((timing, outcome));
         }
@@ -529,5 +606,47 @@ mod tests {
         let sched = ReplayScheduler::new(0);
         let backend = fixed_cost_backend(1, 1);
         assert!(sched.replay(&backend, &stream(&[1])).is_ok());
+    }
+
+    #[test]
+    fn worker_pool_tracks_backlog_and_drain() {
+        let ms = SimDuration::from_millis;
+        let at = SimTime::from_millis;
+        let mut pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.backlog_at(at(0)), 0);
+        // Three queries arriving every 10 ms, each costing 50 ms: the
+        // second and third wait behind the first.
+        let (_, s0, f0) = pool.assign(at(0), ms(50));
+        assert_eq!((s0, f0), (at(0), at(50)));
+        assert_eq!(pool.next_start(at(10)), at(50));
+        let (_, s1, f1) = pool.assign(at(10), ms(50));
+        assert_eq!((s1, f1), (at(50), at(100)));
+        let (_, s2, _) = pool.assign(at(20), ms(50));
+        assert_eq!(s2, at(100));
+        // At t=20 both later queries are still queued; at t=60 one
+        // started, one remains; by t=100 the queue is empty.
+        assert_eq!(pool.backlog_at(at(20)), 2);
+        assert_eq!(pool.busy_at(at(20)), 1);
+        assert_eq!(pool.backlog_at(at(60)), 1);
+        assert_eq!(pool.backlog_at(at(100)), 0);
+        assert_eq!(pool.drained_at(), at(150));
+    }
+
+    #[test]
+    fn worker_pool_matches_replay_scheduler_timings() {
+        let backend = fixed_cost_backend(50, 10);
+        let stream = stream(&[10, 10, 10, 10]);
+        for workers in [1, 2, 3] {
+            let timings = ReplayScheduler::new(workers)
+                .replay(&backend, &stream)
+                .unwrap();
+            let mut pool = WorkerPool::new(workers);
+            for t in &timings {
+                let (_, started, finished) = pool.assign(t.issued_at, SimDuration::from_millis(50));
+                assert_eq!(started, t.started_at, "{workers} workers");
+                assert_eq!(finished, t.finished_at, "{workers} workers");
+            }
+        }
     }
 }

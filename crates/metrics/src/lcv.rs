@@ -48,6 +48,16 @@ impl LcvReport {
     pub fn any(&self) -> bool {
         self.violations > 0
     }
+
+    /// Folds another report into this one. LCV counts are mergeable —
+    /// a fleet-level report is exactly the sum of its per-session
+    /// reports, independent of fold order — which is what lets the
+    /// serving layer aggregate thousands of concurrent sessions without
+    /// keeping every span around.
+    pub fn absorb(&mut self, other: &LcvReport) {
+        self.total += other.total;
+        self.violations += other.violations;
+    }
 }
 
 /// Cascade-form LCV over a query stream sorted by issue time: query *i*
@@ -214,5 +224,21 @@ mod tests {
         let demand = vec![(t(1), 1)];
         let r = supply_violations(&demand, &[]);
         assert_eq!(r.violations, 1);
+    }
+
+    #[test]
+    fn absorb_matches_combined_measurement() {
+        let ms = SimDuration::from_millis;
+        let a_spans = vec![span(0, 50), span(100, 300)];
+        let b_spans = vec![span(0, 10), span(20, 500), span(600, 800)];
+        let mut folded = budget_violations(&a_spans, ms(100));
+        folded.absorb(&budget_violations(&b_spans, ms(100)));
+        let mut all = a_spans.clone();
+        all.extend(&b_spans);
+        let combined = budget_violations(&all, ms(100));
+        assert_eq!(folded, combined);
+        // Absorbing an empty report is a no-op.
+        folded.absorb(&LcvReport::default());
+        assert_eq!(folded, combined);
     }
 }

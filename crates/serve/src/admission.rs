@@ -1,0 +1,325 @@
+//! Admission control: per-tenant token buckets, priority lanes, and
+//! bounded queues with shed-on-overload.
+//!
+//! An interactive serving tier degrades in a very particular way: when
+//! offered load exceeds capacity, *queueing* is what kills the user
+//! experience — every query admitted into a deep backlog pays the whole
+//! backlog's latency (the fleet-scale version of the paper's Fig 2
+//! cascade). Shedding the excess instead keeps the queries that *are*
+//! admitted inside their latency budget. The controller here makes that
+//! trade explicitly and deterministically:
+//!
+//! - each tenant has a token bucket (rate + burst) so one hot tenant
+//!   cannot starve the rest of the shared engine;
+//! - prefetch-lane queries are suppressed as soon as the queue is
+//!   non-trivial — speculative work is the cheapest thing to drop;
+//! - a bounded global queue sheds any query that would wait behind more
+//!   than `queue_limit` others, regardless of lane.
+//!
+//! Everything is pure virtual-time arithmetic: the same offered stream
+//! and policy always shed the same queries.
+
+use std::collections::HashMap;
+
+use ids_simclock::SimTime;
+
+use crate::session::{Lane, OfferedQuery};
+
+/// Why a query was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ShedReason {
+    /// The tenant's token bucket was empty.
+    RateLimited,
+    /// The shared queue was at its bound.
+    QueueFull,
+    /// A prefetch-lane query arrived while the queue was non-empty.
+    PrefetchSuppressed,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::RateLimited => write!(f, "rate-limited"),
+            ShedReason::QueueFull => write!(f, "queue-full"),
+            ShedReason::PrefetchSuppressed => write!(f, "prefetch-suppressed"),
+        }
+    }
+}
+
+/// A deterministic token bucket on the virtual clock.
+///
+/// Holds at most `burst` tokens, refilling at `rate_per_sec` from the
+/// instant of the last take. Starts full, so a tenant's first burst is
+/// admitted even at low rates.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// A full bucket with the given refill rate and capacity.
+    pub fn new(rate_per_sec: f64, burst: f64) -> TokenBucket {
+        let burst = burst.max(0.0);
+        TokenBucket {
+            rate_per_sec: rate_per_sec.max(0.0),
+            burst,
+            tokens: burst,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Refills for virtual time elapsed since the last interaction.
+    /// Time never runs backwards in a sorted offered stream; a stale
+    /// `now` simply refills nothing.
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+        self.last = self.last.max(now);
+    }
+
+    /// Takes one token at `now`; `false` means the caller must shed.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens available at `now` (for tests and introspection).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// Admission policy for a serving tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Sustained per-tenant admission rate, queries/second.
+    pub tenant_rate: f64,
+    /// Per-tenant burst allowance (bucket capacity).
+    pub tenant_burst: f64,
+    /// Queries allowed to wait for a worker before new arrivals shed.
+    pub queue_limit: usize,
+    /// Queue depth at which prefetch-lane queries are suppressed.
+    pub prefetch_queue_limit: usize,
+}
+
+impl AdmissionPolicy {
+    /// The no-admission baseline: everything is admitted, nothing is
+    /// shed. This is the condition the fleet experiment compares
+    /// against — it shows what the backlog does to tail latency.
+    pub fn unlimited() -> AdmissionPolicy {
+        AdmissionPolicy {
+            tenant_rate: f64::INFINITY,
+            tenant_burst: f64::INFINITY,
+            queue_limit: usize::MAX,
+            prefetch_queue_limit: usize::MAX,
+        }
+    }
+
+    /// An interactive-tier default: tenants sustain `rate` q/s with a
+    /// 2× burst, the queue bounds at `queue_limit`, and prefetch is
+    /// suppressed once anything at all is waiting.
+    pub fn interactive(rate: f64, queue_limit: usize) -> AdmissionPolicy {
+        AdmissionPolicy {
+            tenant_rate: rate,
+            tenant_burst: (2.0 * rate).max(1.0),
+            queue_limit,
+            prefetch_queue_limit: 0,
+        }
+    }
+
+    /// `true` when this policy can never shed anything.
+    pub fn is_unlimited(&self) -> bool {
+        self.tenant_rate.is_infinite()
+            && self.queue_limit == usize::MAX
+            && self.prefetch_queue_limit == usize::MAX
+    }
+}
+
+/// Per-lane, per-reason shed accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedCounts {
+    /// Sheds due to an empty tenant bucket.
+    pub rate_limited: usize,
+    /// Sheds due to the bounded queue.
+    pub queue_full: usize,
+    /// Prefetch suppressions.
+    pub prefetch_suppressed: usize,
+}
+
+impl ShedCounts {
+    /// Total queries shed.
+    pub fn total(&self) -> usize {
+        self.rate_limited + self.queue_full + self.prefetch_suppressed
+    }
+
+    fn bump(&mut self, reason: ShedReason) {
+        match reason {
+            ShedReason::RateLimited => self.rate_limited += 1,
+            ShedReason::QueueFull => self.queue_full += 1,
+            ShedReason::PrefetchSuppressed => self.prefetch_suppressed += 1,
+        }
+    }
+}
+
+/// The admission controller: policy plus per-tenant bucket state.
+#[derive(Debug)]
+pub struct AdmissionController {
+    policy: AdmissionPolicy,
+    buckets: HashMap<usize, TokenBucket>,
+    admitted: usize,
+    shed: ShedCounts,
+}
+
+impl AdmissionController {
+    /// A fresh controller (all buckets start full).
+    pub fn new(policy: AdmissionPolicy) -> AdmissionController {
+        AdmissionController {
+            policy,
+            buckets: HashMap::new(),
+            admitted: 0,
+            shed: ShedCounts::default(),
+        }
+    }
+
+    /// Decides one offered query given the current queue `backlog`
+    /// (queries admitted but not yet started). Checks run cheapest
+    /// first: lane suppression, then the queue bound, then the tenant
+    /// bucket — so a suppressed prefetch does not consume a token.
+    pub fn admit(&mut self, q: &OfferedQuery, backlog: usize) -> Result<(), ShedReason> {
+        let decision = self.decide(q, backlog);
+        match decision {
+            Ok(()) => self.admitted += 1,
+            Err(reason) => self.shed.bump(reason),
+        }
+        decision
+    }
+
+    fn decide(&mut self, q: &OfferedQuery, backlog: usize) -> Result<(), ShedReason> {
+        if q.lane == Lane::Prefetch && backlog > self.policy.prefetch_queue_limit {
+            return Err(ShedReason::PrefetchSuppressed);
+        }
+        if backlog >= self.policy.queue_limit {
+            return Err(ShedReason::QueueFull);
+        }
+        if self.policy.tenant_rate.is_finite() {
+            let bucket = self.buckets.entry(q.tenant).or_insert_with(|| {
+                TokenBucket::new(self.policy.tenant_rate, self.policy.tenant_burst)
+            });
+            if !bucket.try_take(q.at) {
+                return Err(ShedReason::RateLimited);
+            }
+        }
+        Ok(())
+    }
+
+    /// Queries admitted so far.
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+
+    /// Shed accounting so far.
+    pub fn shed(&self) -> ShedCounts {
+        self.shed
+    }
+
+    /// The policy this controller enforces.
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_engine::{Predicate, Query};
+
+    fn offered(tenant: usize, at_ms: u64, lane: Lane) -> OfferedQuery {
+        OfferedQuery {
+            session: tenant,
+            tenant,
+            seq: 0,
+            at: SimTime::from_millis(at_ms),
+            lane,
+            query: Query::count("t", Predicate::True),
+        }
+    }
+
+    #[test]
+    fn bucket_admits_burst_then_rate() {
+        let mut b = TokenBucket::new(10.0, 3.0);
+        let t0 = SimTime::ZERO;
+        assert!(b.try_take(t0) && b.try_take(t0) && b.try_take(t0));
+        assert!(!b.try_take(t0), "burst exhausted");
+        // 100 ms refills exactly one token at 10/s.
+        assert!(b.try_take(SimTime::from_millis(100)));
+        assert!(!b.try_take(SimTime::from_millis(100)));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let mut b = TokenBucket::new(1_000.0, 2.0);
+        assert!(b.available(SimTime::from_secs(3600)) <= 2.0);
+    }
+
+    #[test]
+    fn controller_rate_limits_per_tenant() {
+        let mut c = AdmissionController::new(AdmissionPolicy {
+            tenant_rate: 1.0,
+            tenant_burst: 1.0,
+            queue_limit: usize::MAX,
+            prefetch_queue_limit: usize::MAX,
+        });
+        assert!(c.admit(&offered(0, 0, Lane::Interactive), 0).is_ok());
+        assert_eq!(
+            c.admit(&offered(0, 1, Lane::Interactive), 0),
+            Err(ShedReason::RateLimited)
+        );
+        // A different tenant has its own bucket.
+        assert!(c.admit(&offered(1, 1, Lane::Interactive), 0).is_ok());
+        assert_eq!(c.admitted(), 2);
+        assert_eq!(c.shed().rate_limited, 1);
+    }
+
+    #[test]
+    fn queue_bound_and_prefetch_suppression() {
+        let mut c = AdmissionController::new(AdmissionPolicy {
+            tenant_rate: f64::INFINITY,
+            tenant_burst: f64::INFINITY,
+            queue_limit: 4,
+            prefetch_queue_limit: 0,
+        });
+        assert!(c.admit(&offered(0, 0, Lane::Interactive), 3).is_ok());
+        assert_eq!(
+            c.admit(&offered(0, 0, Lane::Interactive), 4),
+            Err(ShedReason::QueueFull)
+        );
+        assert_eq!(
+            c.admit(&offered(0, 0, Lane::Prefetch), 1),
+            Err(ShedReason::PrefetchSuppressed)
+        );
+        assert!(c.admit(&offered(0, 0, Lane::Prefetch), 0).is_ok());
+        assert_eq!(c.shed().total(), 2);
+    }
+
+    #[test]
+    fn unlimited_policy_admits_everything() {
+        let mut c = AdmissionController::new(AdmissionPolicy::unlimited());
+        assert!(c.policy().is_unlimited());
+        for i in 0..1_000 {
+            assert!(c
+                .admit(&offered(i % 7, 0, Lane::Prefetch), usize::MAX - 1)
+                .is_ok());
+        }
+        assert_eq!(c.admitted(), 1_000);
+        assert_eq!(c.shed().total(), 0);
+    }
+}

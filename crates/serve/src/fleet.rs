@@ -1,0 +1,396 @@
+//! The serving loop: one shared engine, thousands of sessions, a
+//! deterministic admission decision per offered query.
+//!
+//! Serving is split into two pure stages so that the admission-on and
+//! no-admission conditions of an experiment are *exactly* comparable:
+//!
+//! 1. [`measure_costs`] executes every offered query once, in global
+//!    offered order, against the (optionally chaos-wrapped) shared
+//!    backend. This fixes each query's execution cost — including fault
+//!    windows, retries, and buffer-pool state — as a pure function of
+//!    the offered stream and the fault plan.
+//! 2. [`simulate_service`] replays those fixed costs through a
+//!    [`WorkerPool`] queueing simulation under a given
+//!    [`AdmissionPolicy`]. Because both conditions replay the *same*
+//!    cost sequence, any difference in tail latency is attributable to
+//!    admission alone, and the whole pipeline is bit-deterministic.
+//!
+//! Node-loss windows from the fault plan shrink serving capacity during
+//! the window: surviving workers absorb the lost slots' share (costs
+//! inflate by `workers / available`), and a total outage defers starts
+//! to the window's end. Capacity loss therefore *degrades* throughput
+//! and tail latency but can never wedge the loop — every query still
+//! starts and finishes at a finite virtual instant.
+
+use std::collections::HashMap;
+
+use ids_chaos::{ChaosBackend, FaultKind, FaultPlan};
+use ids_engine::scheduler::WorkerPool;
+use ids_engine::{Backend, DiskBackend, RetryPolicy, RetryingBackend};
+use ids_metrics::lcv::{budget_violations, LcvReport, QuerySpan};
+use ids_metrics::qif::QifReport;
+use ids_obs::Histogram;
+use ids_simclock::{SimDuration, SimTime};
+
+use crate::admission::{AdmissionController, AdmissionPolicy, ShedCounts};
+use crate::session::{Lane, OfferedQuery};
+
+/// Queueing-stage parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeParams {
+    /// Parallel worker slots the shared engine exposes.
+    pub workers: usize,
+    /// Per-query latency budget (drives the fleet LCV).
+    pub latency_budget: SimDuration,
+}
+
+/// Aggregated result of one serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Queries offered by the fleet.
+    pub offered: usize,
+    /// Queries admitted (offered − shed).
+    pub admitted: usize,
+    /// Interactive-lane subset of the admitted queries.
+    pub interactive_admitted: usize,
+    /// Shed accounting by reason.
+    pub shed: ShedCounts,
+    /// Budget-form LCV over admitted interactive queries, folded from
+    /// per-session reports.
+    pub lcv: LcvReport,
+    /// Median admitted interactive latency.
+    pub p50: SimDuration,
+    /// 95th-percentile admitted interactive latency.
+    pub p95: SimDuration,
+    /// 99th-percentile admitted interactive latency.
+    pub p99: SimDuration,
+    /// Admitted interactive issuing rate, queries/second.
+    pub admitted_qps: f64,
+    /// Instant the last admitted query finished.
+    pub drained_at: SimTime,
+    /// Sessions that had at least one query admitted.
+    pub sessions_served: usize,
+}
+
+impl FleetOutcome {
+    /// Fraction of offered queries shed.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed.total() as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Executes every offered query once, in global offered order, against
+/// `backend` under `plan`, and returns the per-query virtual costs.
+///
+/// Transient failures are retried with the interactive policy; a query
+/// whose retries are exhausted is charged `penalty` (the frontend waits
+/// out its budget before giving up) so a lossy plan can never wedge the
+/// stream. `disk` attaches the buffer-pressure flush target so pressure
+/// windows genuinely evict the shared pool.
+pub fn measure_costs(
+    backend: &(dyn Backend + Sync),
+    disk: Option<&DiskBackend>,
+    offered: &[OfferedQuery],
+    plan: &FaultPlan,
+    penalty: SimDuration,
+) -> Vec<SimDuration> {
+    let _p = ids_obs::phase("serve.measure");
+    let mut chaos = ChaosBackend::new(backend, plan.clone());
+    if let Some(d) = disk {
+        chaos = chaos.with_pressure_target(d);
+    }
+    let retrying = RetryingBackend::new(&chaos, RetryPolicy::interactive());
+    let exhausted = ids_obs::metrics().counter("serve.retries_exhausted");
+    offered
+        .iter()
+        .map(|q| {
+            ids_obs::set_vnow(q.at);
+            match retrying.execute(&q.query) {
+                Ok(outcome) => outcome.cost,
+                Err(_) => {
+                    exhausted.inc();
+                    penalty
+                }
+            }
+        })
+        .collect()
+}
+
+/// Worker slots usable at `t`: total minus fault-plan node losses
+/// (losses naming slots outside the pool are ignored).
+fn capacity_at(plan: &FaultPlan, workers: usize, t: SimTime) -> usize {
+    let lost = plan
+        .lost_nodes_at(t)
+        .into_iter()
+        .filter(|&n| n < workers)
+        .count();
+    workers - lost
+}
+
+/// Earliest instant strictly after `t` at which some capacity-affecting
+/// loss window ends — where a fully-outaged start gets deferred to.
+fn next_recovery(plan: &FaultPlan, t: SimTime) -> SimTime {
+    plan.windows()
+        .iter()
+        .filter(|w| matches!(w.kind, FaultKind::NodeLoss { .. }) && w.contains(t))
+        .map(|w| w.end)
+        .min()
+        .unwrap_or(t)
+}
+
+/// Replays `costs` through the queueing layer under `policy`.
+///
+/// `offered` and `costs` must be index-aligned (as produced by
+/// [`measure_costs`] over the same stream). The loop walks the stream
+/// in offered order, asks the admission controller about each query
+/// given the instantaneous backlog, and assigns admitted queries to the
+/// earliest-free worker slot. Per-session LCV reports and latency
+/// histograms are folded into fleet aggregates at the end — the merge
+/// is order-independent, which is what makes the aggregation safe to
+/// shard in a real deployment.
+pub fn simulate_service(
+    offered: &[OfferedQuery],
+    costs: &[SimDuration],
+    policy: &AdmissionPolicy,
+    plan: &FaultPlan,
+    params: &ServeParams,
+) -> FleetOutcome {
+    assert_eq!(offered.len(), costs.len(), "stream/cost misalignment");
+    let _p = ids_obs::phase("serve.simulate");
+    let reg = ids_obs::metrics();
+    let admitted_ctr = reg.counter("serve.admitted");
+    let shed_ctr = reg.counter("serve.shed");
+
+    let mut pool = WorkerPool::new(params.workers);
+    let mut controller = AdmissionController::new(*policy);
+    let workers = pool.workers();
+
+    // Per-session accumulators, folded after the loop.
+    let mut session_spans: HashMap<usize, Vec<QuerySpan>> = HashMap::new();
+    let mut session_hists: HashMap<usize, Histogram> = HashMap::new();
+    let mut interactive_stamps: Vec<SimTime> = Vec::new();
+    let mut interactive_admitted = 0usize;
+    let mut drained_at = SimTime::ZERO;
+
+    for (q, &cost) in offered.iter().zip(costs) {
+        let backlog = pool.backlog_at(q.at);
+        if controller.admit(q, backlog).is_err() {
+            shed_ctr.inc();
+            continue;
+        }
+        admitted_ctr.inc();
+
+        // Capacity-aware start: a total outage defers the start to the
+        // loss window's end; a partial loss spreads the lost slots'
+        // share over the survivors by inflating the cost.
+        let mut ready = q.at;
+        while capacity_at(plan, workers, ready) == 0 {
+            let recovery = next_recovery(plan, ready);
+            debug_assert!(recovery > ready, "loss windows are half-open");
+            ready = recovery;
+        }
+        let available = capacity_at(plan, workers, ready);
+        let effective = if available == workers {
+            cost
+        } else {
+            SimDuration::from_secs_f64(cost.as_secs_f64() * workers as f64 / available as f64)
+        };
+        let (_slot, _started, finished) = pool.assign(ready, effective);
+        drained_at = drained_at.max(finished);
+
+        if q.lane == Lane::Interactive {
+            interactive_admitted += 1;
+            interactive_stamps.push(q.at);
+            let latency = finished.saturating_since(q.at);
+            session_spans.entry(q.session).or_default().push(QuerySpan {
+                issued_at: q.at,
+                finished_at: finished,
+            });
+            session_hists
+                .entry(q.session)
+                .or_default()
+                .record(latency.as_micros());
+        }
+    }
+
+    // Fold per-session measurements into fleet aggregates. Iteration
+    // order over the map is irrelevant: LCV absorption and histogram
+    // merges are commutative.
+    let mut lcv = LcvReport::default();
+    for spans in session_spans.values() {
+        lcv.absorb(&budget_violations(spans, params.latency_budget));
+    }
+    let fleet_hist = Histogram::new();
+    for h in session_hists.values() {
+        fleet_hist.merge(h);
+    }
+    reg.histogram("serve.latency_us").merge(&fleet_hist);
+
+    let admitted_qps = QifReport::from_timestamps(&interactive_stamps).queries_per_second();
+
+    FleetOutcome {
+        offered: offered.len(),
+        admitted: controller.admitted(),
+        interactive_admitted,
+        shed: controller.shed(),
+        lcv,
+        p50: SimDuration::from_micros(fleet_hist.quantile(0.50)),
+        p95: SimDuration::from_micros(fleet_hist.quantile(0.95)),
+        p99: SimDuration::from_micros(fleet_hist.quantile(0.99)),
+        admitted_qps,
+        drained_at,
+        sessions_served: session_spans.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids_engine::{Predicate, Query};
+
+    fn offered_stream(n: usize, gap_ms: u64) -> Vec<OfferedQuery> {
+        (0..n)
+            .map(|i| OfferedQuery {
+                session: i % 3,
+                tenant: i % 2,
+                seq: i,
+                at: SimTime::from_millis(i as u64 * gap_ms),
+                lane: if i % 5 == 4 {
+                    Lane::Prefetch
+                } else {
+                    Lane::Interactive
+                },
+                query: Query::count("t", Predicate::True),
+            })
+            .collect()
+    }
+
+    fn flat_costs(n: usize, ms: u64) -> Vec<SimDuration> {
+        vec![SimDuration::from_millis(ms); n]
+    }
+
+    fn params() -> ServeParams {
+        ServeParams {
+            workers: 2,
+            latency_budget: SimDuration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn conservation_offered_equals_admitted_plus_shed() {
+        let offered = offered_stream(200, 1);
+        let costs = flat_costs(200, 50);
+        let out = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::interactive(50.0, 4),
+            &FaultPlan::calm(1),
+            &params(),
+        );
+        assert_eq!(out.offered, out.admitted + out.shed.total());
+        assert!(out.shed.total() > 0, "overload must shed");
+        assert!(out.sessions_served > 0);
+    }
+
+    #[test]
+    fn unlimited_baseline_admits_everything_and_queues() {
+        let offered = offered_stream(100, 1);
+        let costs = flat_costs(100, 50);
+        let base = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &FaultPlan::calm(1),
+            &params(),
+        );
+        assert_eq!(base.admitted, 100);
+        assert_eq!(base.shed.total(), 0);
+        // 100 queries of 50 ms over 2 workers issued in ~100 ms: the
+        // last ones wait out nearly the whole backlog.
+        assert!(base.p99 > SimDuration::from_millis(1_000));
+        assert!(base.lcv.fraction() > 0.5);
+    }
+
+    #[test]
+    fn admission_flattens_the_tail() {
+        let offered = offered_stream(400, 1);
+        let costs = flat_costs(400, 50);
+        let plan = FaultPlan::calm(1);
+        let base = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &plan,
+            &params(),
+        );
+        let adm = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::interactive(20.0, 2),
+            &plan,
+            &params(),
+        );
+        assert!(adm.p99 < base.p99, "{:?} vs {:?}", adm.p99, base.p99);
+        assert!(adm.lcv.fraction() < base.lcv.fraction());
+    }
+
+    #[test]
+    fn total_outage_defers_but_terminates() {
+        let offered = offered_stream(20, 10);
+        let costs = flat_costs(20, 5);
+        // Both workers lost for [0, 500) ms: nothing can start before
+        // recovery, yet every query still finishes.
+        let plan = FaultPlan::builder(1)
+            .lose_node_during(0, SimTime::ZERO, SimDuration::from_millis(500))
+            .lose_node_during(1, SimTime::ZERO, SimDuration::from_millis(500))
+            .build();
+        let out = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &plan,
+            &params(),
+        );
+        assert_eq!(out.admitted, 20);
+        assert!(out.drained_at >= SimTime::from_millis(500));
+        assert!(out.drained_at < SimTime::MAX);
+        // Calm service of the same stream drains earlier.
+        let calm = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &FaultPlan::calm(1),
+            &params(),
+        );
+        assert!(calm.drained_at < out.drained_at);
+    }
+
+    #[test]
+    fn partial_loss_degrades_latency() {
+        let offered = offered_stream(50, 10);
+        let costs = flat_costs(50, 8);
+        let lossy = FaultPlan::builder(1)
+            .lose_node_during(1, SimTime::ZERO, SimDuration::from_secs(10))
+            .build();
+        let degraded = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &lossy,
+            &params(),
+        );
+        let calm = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &FaultPlan::calm(1),
+            &params(),
+        );
+        assert!(degraded.p99 >= calm.p99);
+        assert!(degraded.drained_at > calm.drained_at);
+    }
+}

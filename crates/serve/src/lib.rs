@@ -1,0 +1,39 @@
+//! # ids-serve — deterministic multi-tenant serving
+//!
+//! The paper evaluates interactive data systems one session at a time;
+//! a production deployment serves *fleets* — thousands of concurrent
+//! sessions sharing one engine, its buffer pool, and its worker slots.
+//! This crate scales the repository's single-session methodology to
+//! that regime without giving up its core property: every run is a
+//! bit-deterministic pure function of a seed on the virtual clock.
+//!
+//! Three layers, composed by the `fleet` experiment in `ids-core`:
+//!
+//! - [`session`]: seeded session lifecycles. An [`ArrivalProcess`]
+//!   (Poisson trickle or rush-hour bursts) places sessions on the
+//!   clock; each session replays an `ids-workload` crossfilter trace on
+//!   an `ids-devices` profile, tagging queries with a priority
+//!   [`Lane`]. Synthesis parallelizes across host threads with
+//!   byte-identical output for any thread count.
+//! - [`admission`]: per-tenant [`TokenBucket`]s, bounded queues with
+//!   shed-on-overload, and prefetch suppression — the controls that
+//!   keep admitted queries inside their latency budget when offered
+//!   load exceeds capacity.
+//! - [`fleet`]: the serving loop. [`measure_costs`] fixes per-query
+//!   costs against the (optionally chaos-wrapped) shared backend, and
+//!   [`simulate_service`] replays them through a worker-pool queueing
+//!   simulation, folding per-session LCV and latency into mergeable
+//!   fleet aggregates ([`ids_obs::Histogram`], `LcvReport::absorb`).
+//!
+//! Fault plans from `ids-chaos` compose end to end: latency spikes and
+//! transient failures land in the cost-measurement stage, and node-loss
+//! windows shrink serving capacity mid-run — degrading throughput, never
+//! wedging the loop.
+
+pub mod admission;
+pub mod fleet;
+pub mod session;
+
+pub use admission::{AdmissionController, AdmissionPolicy, ShedCounts, ShedReason, TokenBucket};
+pub use fleet::{measure_costs, simulate_service, FleetOutcome, ServeParams};
+pub use session::{synthesize_fleet, ArrivalProcess, FleetSpec, Lane, OfferedQuery, SessionSpec};

@@ -75,6 +75,18 @@ impl CrossfilterUi {
         }
     }
 
+    /// The road-network arrangement re-pointed at another table — the
+    /// same sliders and domains over a tenant-private copy of the data
+    /// (see [`crate::datasets::road_network_named`]). Behavior models
+    /// seeded identically produce identical traces regardless of the
+    /// table name, so multi-tenant fleets stay comparable across tenants.
+    pub fn for_table(table: impl Into<String>) -> CrossfilterUi {
+        CrossfilterUi {
+            table: table.into(),
+            ..CrossfilterUi::for_road()
+        }
+    }
+
     /// The full-domain ranges sliders start at.
     pub fn initial_ranges(&self) -> Vec<(f64, f64)> {
         self.dims.iter().map(|d| (d.min, d.max)).collect()

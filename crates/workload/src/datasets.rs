@@ -156,6 +156,28 @@ pub fn road_network(seed: u64) -> Table {
     road_network_sized(seed, road_domain::ROWS)
 }
 
+/// [`road_network_sized`] registered under an explicit table name — one
+/// table per tenant in the multi-tenant serving experiments, so tenants
+/// carry distinct working sets through a shared buffer pool. The content
+/// still depends only on `(seed, rows)`; the name is identity, not data.
+pub fn road_network_named(name: &str, seed: u64, rows: usize) -> Table {
+    let base = road_network_sized(seed, rows);
+    let mut b = TableBuilder::new(name);
+    for col in ["x", "y", "z"] {
+        let mut values = Vec::with_capacity(base.rows());
+        for row in 0..base.rows() {
+            values.push(
+                base.value(row, col)
+                    .expect("column exists")
+                    .as_f64()
+                    .expect("float column"),
+            );
+        }
+        b = b.column(col, ColumnBuilder::float(values));
+    }
+    b.build().expect("static schema is valid")
+}
+
 /// [`road_network`] with an explicit row count (for fast tests).
 pub fn road_network_sized(seed: u64, rows: usize) -> Table {
     use road_domain::*;

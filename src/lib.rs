@@ -23,6 +23,9 @@
 //! - [`chaos`] — deterministic fault injection: seeded fault plans
 //!   (latency spikes, stalls, transient failures, buffer pressure, node
 //!   loss) applied on the virtual clock;
+//! - [`serve`] — multi-tenant serving: seeded session fleets,
+//!   token-bucket admission with priority lanes, and mergeable
+//!   fleet-scale tail-latency aggregation;
 //! - [`experiments`] — the case studies as deterministic experiments
 //!   regenerating every table and figure.
 //!
@@ -52,6 +55,7 @@ pub use ids_engine as engine;
 pub use ids_metrics as metrics;
 pub use ids_obs as obs;
 pub use ids_opt as opt;
+pub use ids_serve as serve;
 pub use ids_simclock as simclock;
 pub use ids_study as study;
 pub use ids_workload as workload;
