@@ -59,12 +59,13 @@ impl Column {
         }
     }
 
-    /// The value at `row` as `f64`, if the column is numeric.
+    /// The value at `row` as `f64`, if the column is numeric and the
+    /// row is in bounds.
     #[inline]
     pub fn f64_at(&self, row: usize) -> Option<f64> {
         match self {
-            Column::Int(v) => Some(v[row] as f64),
-            Column::Float(v) => Some(v[row]),
+            Column::Int(v) => v.get(row).map(|&x| x as f64),
+            Column::Float(v) => v.get(row).copied(),
             Column::Str { .. } => None,
         }
     }

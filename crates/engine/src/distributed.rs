@@ -190,7 +190,9 @@ impl Cluster {
                 + self.params.merge_per_group_ns * merge_groups)
                 / 1_000,
         );
-        let merged = merged.expect("at least one surviving partition");
+        let merged = merged.ok_or_else(|| EngineError::TransientFailure {
+            reason: "all cluster nodes lost".into(),
+        })?;
         let fraction = surviving.len() as f64 / self.nodes() as f64;
         let (result, quality) = if surviving.len() == self.nodes() {
             (merged, ResultQuality::Exact)

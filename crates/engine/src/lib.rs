@@ -80,7 +80,7 @@ pub use column::{Column, ColumnBuilder};
 pub use cost::{CostModel, CostParams, QueryFootprint};
 pub use error::{EngineError, EngineResult};
 pub use page::{Page, PageId, Pager, PAGE_SIZE};
-pub use predicate::Predicate;
+pub use predicate::{CmpOp, Predicate};
 pub use query::{BinSpec, JoinSpec, Projection, Query, SelectSpec};
 pub use result::{Histogram, ResultSet, Row};
 pub use stats::{ColumnStats, TableStats};

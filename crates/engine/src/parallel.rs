@@ -27,7 +27,9 @@ pub fn execute_batch(
     let (task_tx, task_rx) = channel::unbounded::<(usize, &Query)>();
     let (result_tx, result_rx) = channel::unbounded::<(usize, EngineResult<QueryOutcome>)>();
     for (i, q) in queries.iter().enumerate() {
-        task_tx.send((i, q)).expect("unbounded send");
+        if task_tx.send((i, q)).is_err() {
+            return Err(EngineError::SchedulerClosed);
+        }
     }
     drop(task_tx);
 

@@ -121,10 +121,13 @@ impl Predicate {
                 other => flat.push(other),
             }
         }
-        match flat.len() {
-            0 => Predicate::True,
-            1 => flat.pop().expect("len checked"),
-            _ => Predicate::And(flat),
+        match (flat.pop(), flat.is_empty()) {
+            (None, _) => Predicate::True,
+            (Some(only), true) => only,
+            (Some(last), false) => {
+                flat.push(last);
+                Predicate::And(flat)
+            }
         }
     }
 

@@ -135,9 +135,11 @@ impl BinSpec {
     /// The bin index for value `x`, mirroring the paper's
     /// `ROUND((x - min) / width)` SQL — note `ROUND`, not `FLOOR`, so the
     /// result ranges over `0..=bins` and edge bins are half-width.
-    /// Returns `None` for values outside `[min, max]`.
+    /// Returns `None` for values outside `[min, max]` and for NaN —
+    /// NaN compares false against both domain bounds, so without an
+    /// explicit check it would slip past the guard and land in bin 0.
     pub fn bin_of(&self, x: f64) -> Option<usize> {
-        if x < self.min || x > self.max || self.width() <= 0.0 {
+        if x.is_nan() || x < self.min || x > self.max || self.width() <= 0.0 {
             return None;
         }
         let idx = ((x - self.min) / self.width()).round();

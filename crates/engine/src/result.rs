@@ -43,9 +43,13 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
-    /// Increments a bin (used by the aggregator).
+    /// Increments a bin (used by the aggregator). Out-of-range bins are
+    /// ignored rather than panicking — the bin spec already clamps, so a
+    /// miss here means a malformed caller, not a user error.
     pub fn bump(&mut self, bin: usize) {
-        self.counts[bin] += 1;
+        if let Some(c) = self.counts.get_mut(bin) {
+            *c += 1;
+        }
     }
 
     /// Normalizes to a probability distribution. Empty histograms

@@ -151,15 +151,20 @@ impl WorkerPool {
     /// finished_at)`. FIFO: the query starts at
     /// `max(ready_at, earliest slot free time)`.
     pub fn assign(&mut self, ready_at: SimTime, cost: SimDuration) -> (usize, SimTime, SimTime) {
-        let (slot, &slot_free) = self
+        // The constructor clamps to ≥ 1 worker, so the fallback arm is
+        // unreachable in practice; it keeps the hot path panic-free.
+        let (slot, slot_free) = self
             .free
             .iter()
             .enumerate()
             .min_by_key(|(_, &t)| t)
-            .expect("at least one worker");
+            .map(|(i, &t)| (i, t))
+            .unwrap_or((0, SimTime::ZERO));
         let started_at = ready_at.max(slot_free);
         let finished_at = started_at + cost;
-        self.free[slot] = finished_at;
+        if let Some(free) = self.free.get_mut(slot) {
+            *free = finished_at;
+        }
         if started_at > ready_at {
             self.pending_starts.push_back(started_at);
         }
@@ -172,12 +177,7 @@ impl WorkerPool {
     /// shrink a query's cost based on its queueing delay (degraded-mode
     /// policies) peek here first.
     pub fn next_start(&self, ready_at: SimTime) -> SimTime {
-        let earliest = self
-            .free
-            .iter()
-            .copied()
-            .min()
-            .expect("at least one worker");
+        let earliest = self.free.iter().copied().min().unwrap_or(SimTime::ZERO);
         ready_at.max(earliest)
     }
 

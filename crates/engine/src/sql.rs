@@ -263,10 +263,13 @@ impl Parser {
         while self.eat_keyword("OR") {
             terms.push(self.parse_and()?);
         }
-        Ok(if terms.len() == 1 {
-            terms.pop().expect("len checked")
-        } else {
-            Predicate::Or(terms)
+        Ok(match terms.pop() {
+            Some(only) if terms.is_empty() => only,
+            Some(last) => {
+                terms.push(last);
+                Predicate::Or(terms)
+            }
+            None => Predicate::True,
         })
     }
 

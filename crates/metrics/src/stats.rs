@@ -318,4 +318,104 @@ mod tests {
     fn degenerate_histogram_panics() {
         IntervalHistogram::new(1.0, 1.0, 4);
     }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let s = Summary::of(&[7.25]);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert_eq!(s.quantile(q), Some(7.25), "q={q}");
+        }
+        assert_eq!(s.median(), Some(7.25));
+        assert_eq!(s.range(), Some((7.25, 7.25)));
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_q_clamps_to_extremes() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.quantile(-0.5), Some(1.0));
+        assert_eq!(s.quantile(1.5), Some(3.0));
+    }
+
+    /// Over NaN-free inputs every derived statistic is NaN-free, and
+    /// quantiles are monotone in `q` and bracketed by `[min, max]`.
+    #[test]
+    fn quantiles_are_nan_free_monotone_and_bracketed() {
+        let sets: Vec<Vec<f64>> = vec![
+            vec![0.0],
+            vec![-5.0, 5.0],
+            vec![1e-9, 1e9, 3.0, 3.0, 3.0],
+            (0..57).map(|i| ((i * 37) % 19) as f64 - 9.0).collect(),
+            vec![f64::MIN_POSITIVE, f64::MAX / 2.0, 0.0],
+        ];
+        for samples in &sets {
+            let s = Summary::of(samples);
+            assert!(!s.mean().is_nan() && !s.std_dev().is_nan());
+            let (lo, hi) = s.range().expect("nonempty");
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=20 {
+                let q = i as f64 / 20.0;
+                let v = s.quantile(q).expect("nonempty");
+                assert!(!v.is_nan(), "quantile({q}) NaN over {samples:?}");
+                assert!(v >= prev, "quantile monotone in q over {samples:?}");
+                assert!((lo..=hi).contains(&v), "quantile within range");
+                prev = v;
+            }
+        }
+    }
+
+    /// Merging sample sets then taking the quantile is NOT the same as
+    /// averaging per-part quantiles — but it is always *bracketed* by
+    /// them: the nearest-rank quantile of a concatenation lies between
+    /// the smallest and largest per-part quantile. This is the ordering
+    /// guarantee aggregation pipelines rely on when they pool per-run
+    /// latency summaries into a fleet-wide one.
+    #[test]
+    fn merged_quantiles_are_bracketed_by_part_quantiles() {
+        let parts: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![1.0, 2.0, 3.0], vec![100.0, 200.0]),
+            (vec![0.0, 0.0, 9.0], vec![8.0]),
+            (vec![5.0, 9.0], vec![6.0]),
+            (
+                (0..31).map(|i| ((i * 7) % 13) as f64).collect(),
+                (0..17).map(|i| ((i * 11) % 23) as f64).collect(),
+            ),
+        ];
+        for (a, b) in &parts {
+            let sa = Summary::of(a);
+            let sb = Summary::of(b);
+            let merged: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+            let sm = Summary::of(&merged);
+            for i in 0..=10 {
+                let q = i as f64 / 10.0;
+                let (qa, qb) = (sa.quantile(q).unwrap(), sb.quantile(q).unwrap());
+                let qm = sm.quantile(q).unwrap();
+                assert!(
+                    (qa.min(qb)..=qa.max(qb)).contains(&qm),
+                    "q={q}: merged {qm} outside [{}, {}] for {a:?} + {b:?}",
+                    qa.min(qb),
+                    qa.max(qb)
+                );
+            }
+        }
+        // Quantiles do not commute with merging: averaging part medians
+        // is not the merged median (bracketing above is the guarantee).
+        let (sa, sb) = (Summary::of(&[1.0, 2.0, 3.0]), Summary::of(&[100.0, 200.0]));
+        let sm = Summary::of(&[1.0, 2.0, 3.0, 100.0, 200.0]);
+        let avg = (sa.median().unwrap() + sb.median().unwrap()) / 2.0;
+        assert_eq!(sm.median(), Some(3.0));
+        assert!((avg - sm.median().unwrap()).abs() > 10.0);
+    }
+
+    #[test]
+    fn single_sample_cdf() {
+        let c = Cdf::of(&[4.5]);
+        for p in [0.0, 0.3, 1.0] {
+            assert_eq!(c.value_at(p), Some(4.5));
+        }
+        assert_eq!(c.fraction_le(4.5), 1.0);
+        assert_eq!(c.fraction_le(4.4), 0.0);
+        assert_eq!(c.points(), vec![(4.5, 1.0)]);
+    }
 }

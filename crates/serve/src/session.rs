@@ -241,7 +241,7 @@ pub fn synthesize_fleet(spec: &FleetSpec, threads: usize) -> Vec<OfferedQuery> {
         });
         parts.into_iter().flatten().collect()
     };
-    offered.sort_by(|a, b| (a.at, a.session, a.seq).cmp(&(b.at, b.session, b.seq)));
+    offered.sort_by_key(|a| (a.at, a.session, a.seq));
     offered
 }
 

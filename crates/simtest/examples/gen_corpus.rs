@@ -1,0 +1,256 @@
+//! Regenerates `tests/corpus/` from the named scenarios below.
+//!
+//! Each corpus entry is a hand-picked scenario covering one edge of the
+//! simulation space. This generator verifies every entry passes all
+//! oracles and round-trips through the TOML dialect before writing it,
+//! so a checked-in corpus file is always a *passing* scenario — the
+//! corpus suite (`tests/simtest.rs`) replays them as regression guards.
+//!
+//! ```text
+//! cargo run -p ids-simtest --example gen_corpus
+//! ```
+
+use ids_devices::DeviceKind;
+use ids_simtest::scenario::{ArrivalShape, CmpToken, FilterSpec, QuerySpec};
+use ids_simtest::{check_scenario, from_toml, to_toml, Scenario, SessionShape, TableSpec};
+
+/// The baseline everything-on-the-happy-path scenario; entries below
+/// override the dimensions they stress.
+fn base(seed: u64) -> Scenario {
+    Scenario {
+        seed,
+        sessions: 2,
+        tenants: 1,
+        rows: 200,
+        max_groups: 2,
+        prefetch_rate: 0.1,
+        arrival: ArrivalShape::Poisson { gap_ms: 500 },
+        chaos_intensity: 0.0,
+        node_loss: false,
+        workers: 2,
+        threads: 2,
+        latency_budget_ms: 500,
+        tenant_rate: 4.0,
+        tenant_burst: 16.0,
+        queue_limit: 8,
+        pool_pages: 256,
+        shape: SessionShape::Crossfilter,
+        device: DeviceKind::Mouse,
+        resilience_budget_ms: 0,
+        table: TableSpec {
+            rows: 32,
+            key_mod: 4,
+            nan_every: 0,
+            dim_rows: 12,
+        },
+        queries: vec![
+            QuerySpec::Count {
+                filter: FilterSpec::True,
+            },
+            QuerySpec::Select {
+                filter: FilterSpec::VBetween { lo: 20.0, hi: 60.0 },
+                limit: 8,
+                offset: 4,
+            },
+            QuerySpec::Histogram {
+                bins: 8,
+                lo: 0.0,
+                hi: 100.0,
+                filter: FilterSpec::True,
+            },
+            QuerySpec::Join {
+                limit: 0,
+                offset: 0,
+            },
+        ],
+    }
+}
+
+fn corpus() -> Vec<(&'static str, &'static str, Scenario)> {
+    let calm_small = base(0x101);
+
+    let mut empty_table = base(0x102);
+    empty_table.shape = SessionShape::Scrolling;
+    empty_table.device = DeviceKind::Trackpad;
+    empty_table.table = TableSpec {
+        rows: 0,
+        key_mod: 1,
+        nan_every: 0,
+        dim_rows: 0,
+    };
+    empty_table.queries = vec![
+        QuerySpec::Histogram {
+            bins: 4,
+            lo: 0.0,
+            hi: 100.0,
+            filter: FilterSpec::True,
+        },
+        QuerySpec::Count {
+            filter: FilterSpec::True,
+        },
+        QuerySpec::Select {
+            filter: FilterSpec::True,
+            limit: 5,
+            offset: 0,
+        },
+        QuerySpec::Join {
+            limit: 0,
+            offset: 0,
+        },
+    ];
+
+    let mut nan_binning = base(0x103);
+    nan_binning.shape = SessionShape::Composite;
+    nan_binning.device = DeviceKind::Touch;
+    nan_binning.table = TableSpec {
+        rows: 48,
+        key_mod: 3,
+        nan_every: 1,
+        dim_rows: 8,
+    };
+    nan_binning.queries = vec![
+        QuerySpec::Histogram {
+            bins: 6,
+            lo: 0.0,
+            hi: 90.0,
+            filter: FilterSpec::True,
+        },
+        QuerySpec::Histogram {
+            bins: 3,
+            lo: 10.0,
+            hi: 40.0,
+            filter: FilterSpec::VBetween { lo: 0.0, hi: 50.0 },
+        },
+        QuerySpec::Count {
+            filter: FilterSpec::NotV { lo: 20.0, hi: 30.0 },
+        },
+    ];
+
+    let mut join_duplicates = base(0x104);
+    join_duplicates.device = DeviceKind::LeapMotion;
+    join_duplicates.table = TableSpec {
+        rows: 30,
+        key_mod: 1,
+        nan_every: 0,
+        dim_rows: 16,
+    };
+    join_duplicates.queries = vec![
+        QuerySpec::Join {
+            limit: 0,
+            offset: 0,
+        },
+        QuerySpec::Join {
+            limit: 7,
+            offset: 3,
+        },
+        QuerySpec::Join {
+            limit: 5,
+            offset: 29,
+        },
+        QuerySpec::Count {
+            filter: FilterSpec::KCmp {
+                op: CmpToken::Eq,
+                value: 0,
+            },
+        },
+    ];
+
+    let mut storm_node_loss = base(0x105);
+    storm_node_loss.sessions = 4;
+    storm_node_loss.tenants = 2;
+    storm_node_loss.chaos_intensity = 0.8;
+    storm_node_loss.node_loss = true;
+    storm_node_loss.workers = 4;
+    storm_node_loss.threads = 4;
+    storm_node_loss.latency_budget_ms = 750;
+    storm_node_loss.pool_pages = 384;
+    storm_node_loss.arrival = ArrivalShape::Poisson { gap_ms: 300 };
+    storm_node_loss.table = TableSpec {
+        rows: 16,
+        key_mod: 2,
+        nan_every: 0,
+        dim_rows: 6,
+    };
+
+    let mut bursts_admission = base(0x106);
+    bursts_admission.shape = SessionShape::Scrolling;
+    bursts_admission.device = DeviceKind::Touch;
+    bursts_admission.sessions = 6;
+    bursts_admission.tenants = 3;
+    bursts_admission.prefetch_rate = 0.3;
+    bursts_admission.arrival = ArrivalShape::Bursts {
+        count: 3,
+        spacing_ms: 2_000,
+        width_ms: 400,
+    };
+    bursts_admission.tenant_rate = 1.5;
+    bursts_admission.tenant_burst = 4.0;
+    bursts_admission.queue_limit = 2;
+
+    let mut scroll_degrade = base(0x107);
+    scroll_degrade.shape = SessionShape::Scrolling;
+    scroll_degrade.device = DeviceKind::Trackpad;
+    scroll_degrade.chaos_intensity = 0.4;
+    scroll_degrade.resilience_budget_ms = 40;
+
+    vec![
+        (
+            "calm-small",
+            "baseline: every oracle on the happy path",
+            calm_small,
+        ),
+        (
+            "empty-table",
+            "zero-row differential tables (regression: histogram type probe \
+             indexed row 0 of an empty column)",
+            empty_table,
+        ),
+        (
+            "nan-binning",
+            "all-NaN measure column: NaN must land in no bin and fail every range",
+            nan_binning,
+        ),
+        (
+            "join-duplicates",
+            "key_mod 1 joins: duplicate keys expand to cross products under pagination",
+            join_duplicates,
+        ),
+        (
+            "storm-node-loss",
+            "fault storm with mid-run node loss under a rigid resilience policy",
+            storm_node_loss,
+        ),
+        (
+            "bursts-admission",
+            "rush-hour bursts against tight per-tenant admission (shed conservation)",
+            bursts_admission,
+        ),
+        (
+            "scroll-degrade",
+            "scroll replay under faults with a degrade-after budget (partial answers)",
+            scroll_degrade,
+        ),
+    ]
+}
+
+fn main() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus");
+    std::fs::create_dir_all(dir).expect("create corpus dir");
+    for (name, note, scenario) in corpus() {
+        let toml = to_toml(&scenario);
+        let back = from_toml(&toml).expect("corpus entry round-trips");
+        assert_eq!(back, scenario, "{name}: TOML round-trip identity");
+        let verdict = check_scenario(&scenario);
+        assert!(
+            verdict.all_passed(),
+            "{name}: corpus entries must pass all oracles — {}",
+            verdict.summary()
+        );
+        let body = format!(
+            "# {name} — {note}\n# regenerated by: cargo run -p ids-simtest --example gen_corpus\n{toml}"
+        );
+        let path = format!("{dir}/{name}.toml");
+        std::fs::write(&path, body).expect("write corpus file");
+        println!("wrote {path} ({})", verdict.summary());
+    }
+}

@@ -1,0 +1,349 @@
+//! The invariant-oracle library: every property a healthy stack must
+//! satisfy on *any* scenario, however adversarial the seed.
+//!
+//! Each oracle is a named pass/fail judgement with a human-readable
+//! detail string; [`check_scenario`] runs them all and returns the full
+//! [`Verdict`]. The shrinker re-runs the same checks on mutated
+//! scenarios, keeping a mutation only if the *same named oracle* still
+//! fails — so a minimized repro reproduces the original failure, not
+//! some other one it stumbled into while shrinking.
+//!
+//! Scenario execution mutates process-global observability state (the
+//! virtual-time cursor, the metrics registry), so all pipeline-running
+//! entry points serialize on one process-wide gate. The gate is
+//! poisoning-tolerant: a panicking test must not wedge every later
+//! oracle run in the same process.
+
+use std::sync::{Mutex, MutexGuard};
+
+use ids_engine::progressive::degrade_result;
+use ids_engine::{Backend, ResultQuality, ResultSet};
+use ids_metrics::lcv::{budget_violations, QuerySpan};
+use ids_metrics::qif::qif_windows;
+use ids_simclock::{SimDuration, SimTime};
+
+use crate::pipeline::{build_replay_env, run_pipeline, RunArtifacts};
+use crate::reference::differential_check;
+use crate::scenario::Scenario;
+
+/// One oracle's judgement on one scenario.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Stable oracle name (shrinker identity and corpus bookkeeping).
+    pub name: &'static str,
+    /// Whether the invariant held.
+    pub passed: bool,
+    /// Failure description (empty when passed).
+    pub detail: String,
+}
+
+/// All oracle judgements for one scenario.
+#[derive(Debug, Clone, Default)]
+pub struct Verdict {
+    /// One report per oracle, in fixed order.
+    pub reports: Vec<OracleReport>,
+}
+
+impl Verdict {
+    fn push(&mut self, name: &'static str, passed: bool, detail: String) {
+        self.reports.push(OracleReport {
+            name,
+            passed,
+            detail: if passed { String::new() } else { detail },
+        });
+    }
+
+    /// `true` when every oracle held.
+    pub fn all_passed(&self) -> bool {
+        self.reports.iter().all(|r| r.passed)
+    }
+
+    /// The first failing oracle, if any.
+    pub fn first_failure(&self) -> Option<&OracleReport> {
+        self.reports.iter().find(|r| !r.passed)
+    }
+
+    /// One-line summary: `ok (9 oracles)` or `FAIL <name>: <detail>`.
+    pub fn summary(&self) -> String {
+        match self.first_failure() {
+            None => format!("ok ({} oracles)", self.reports.len()),
+            Some(f) => format!("FAIL {}: {}", f.name, f.detail.lines().next().unwrap_or("")),
+        }
+    }
+}
+
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Serializes scenario execution against the process-global obs state.
+pub fn gate() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs every oracle against a scenario. Acquires the global gate; use
+/// [`check_scenario_unlocked`] from contexts that already hold it.
+pub fn check_scenario(s: &Scenario) -> Verdict {
+    let _g = gate();
+    check_scenario_unlocked(s)
+}
+
+/// [`check_scenario`] without gate acquisition — for the explore loop
+/// and the shrinker, which hold the gate across many checks.
+pub fn check_scenario_unlocked(s: &Scenario) -> Verdict {
+    let mut v = Verdict::default();
+    let base = run_pipeline(s, s.threads);
+
+    // 1. Byte-identical replay of the same seed.
+    let again = run_pipeline(s, s.threads);
+    v.push(
+        "replay-determinism",
+        base.digest == again.digest,
+        diff_digests(&base.digest, &again.digest),
+    );
+
+    // 2. Output invariance across 1/2/4/8 synthesis threads.
+    let mut thread_detail = String::new();
+    for threads in [1usize, 2, 4, 8] {
+        if threads == s.threads {
+            continue;
+        }
+        let alt = run_pipeline(s, threads);
+        if alt.digest != base.digest {
+            thread_detail = format!(
+                "digest differs at {threads} threads (base {}): {}",
+                s.threads,
+                diff_digests(&base.digest, &alt.digest)
+            );
+            break;
+        }
+    }
+    v.push("thread-invariance", thread_detail.is_empty(), thread_detail);
+
+    // 3. Admission conservation: admitted + shed == offered.
+    let adm = &base.admission;
+    let conserved = adm.admitted + adm.shed.total() == base.offered
+        && base.baseline.admitted == base.offered
+        && base.baseline.shed.total() == 0;
+    v.push(
+        "admission-conservation",
+        conserved,
+        format!(
+            "admitted {} + shed {} vs offered {}; baseline admitted {} shed {}",
+            adm.admitted,
+            adm.shed.total(),
+            base.offered,
+            base.baseline.admitted,
+            base.baseline.shed.total()
+        ),
+    );
+
+    // 4. No-wedge liveness: every queue drains at a finite instant and
+    //    every replayed query finishes after it was issued.
+    let wedged_fleet =
+        base.admission.drained_at == SimTime::MAX || base.baseline.drained_at == SimTime::MAX;
+    let bad_timing = base.replay.iter().find(|r| {
+        r.timing.finished_at < r.timing.started_at || r.timing.started_at < r.timing.issued_at
+    });
+    v.push(
+        "no-wedge",
+        !wedged_fleet && bad_timing.is_none(),
+        format!(
+            "fleet wedged: {wedged_fleet}; bad replay timing: {:?}",
+            bad_timing.map(|r| r.timing)
+        ),
+    );
+
+    // 5. LCV budget monotonicity: a looser budget can never show more
+    //    violations over the same spans.
+    let spans: Vec<QuerySpan> = base
+        .replay
+        .iter()
+        .map(|r| QuerySpan {
+            issued_at: r.timing.issued_at,
+            finished_at: r.timing.finished_at,
+        })
+        .collect();
+    let mut lcv_detail = String::new();
+    let mut prev: Option<usize> = None;
+    for ms in [50u64, 100, 200, 400, 800, 1_600, 3_200] {
+        let report = budget_violations(&spans, SimDuration::from_millis(ms));
+        if report.violations > report.total {
+            lcv_detail = format!(
+                "{ms}ms: violations {} > total {}",
+                report.violations, report.total
+            );
+            break;
+        }
+        if let Some(p) = prev {
+            if report.violations > p {
+                lcv_detail = format!("{ms}ms: violations rose {} -> {}", p, report.violations);
+                break;
+            }
+        }
+        prev = Some(report.violations);
+    }
+    v.push("lcv-monotonicity", lcv_detail.is_empty(), lcv_detail);
+
+    // 6. QIF window conservation: bucketing timestamps loses nothing.
+    let mut qif_detail = String::new();
+    for ms in [100u64, 1_000, 5_000] {
+        let windows = qif_windows(&base.offered_at, SimDuration::from_millis(ms));
+        let counted: usize = windows.iter().map(|(_, n)| n).sum();
+        if counted != base.offered_at.len() {
+            qif_detail = format!(
+                "{ms}ms windows count {counted} != {} offered",
+                base.offered_at.len()
+            );
+            break;
+        }
+    }
+    v.push("qif-conservation", qif_detail.is_empty(), qif_detail);
+
+    // 7. Differential: engine::exec vs the reference interpreter.
+    let diff = differential_check(s.seed, &s.table, &s.queries);
+    v.push("differential", diff.is_ok(), diff.err().unwrap_or_default());
+
+    // 8. Replay result integrity: Exact answers match a plain
+    //    re-execution; Partial answers carry a legal fraction and stay
+    //    within the degradation round-trip's stated bounds; Failed
+    //    answers are empty placeholders.
+    let integrity = replay_integrity(s, &base);
+    v.push(
+        "partial-bounds",
+        integrity.is_ok(),
+        integrity.err().unwrap_or_default(),
+    );
+
+    // 9. Obs trace/metrics byte stability across identical runs.
+    let (trace_a, tsv_a) = obs_capture(s);
+    let (trace_b, tsv_b) = obs_capture(s);
+    v.push(
+        "obs-stability",
+        trace_a == trace_b && tsv_a == tsv_b,
+        format!(
+            "trace stable: {}; metrics stable: {}",
+            trace_a == trace_b,
+            tsv_a == tsv_b
+        ),
+    );
+
+    v
+}
+
+/// First line where two digests diverge.
+fn diff_digests(a: &str, b: &str) -> String {
+    for (la, lb) in a.lines().zip(b.lines()) {
+        if la != lb {
+            return format!("`{la}` vs `{lb}`");
+        }
+    }
+    if a.len() != b.len() {
+        return format!("lengths differ: {} vs {}", a.len(), b.len());
+    }
+    String::new()
+}
+
+fn replay_integrity(s: &Scenario, base: &RunArtifacts) -> Result<(), String> {
+    let (plain, _) = build_replay_env(s);
+    for (i, r) in base.replay.iter().enumerate() {
+        let exact = plain
+            .execute(&r.query)
+            .map_err(|e| format!("replay {i}: plain re-execution failed: {e}"))?
+            .result;
+        match r.outcome.quality {
+            ResultQuality::Exact => {
+                if r.outcome.result != exact {
+                    return Err(format!(
+                        "replay {i}: Exact result diverges from plain re-execution"
+                    ));
+                }
+            }
+            ResultQuality::Partial { fraction } => {
+                if !(fraction > 0.0 && fraction <= 1.0) {
+                    return Err(format!("replay {i}: illegal fraction {fraction}"));
+                }
+                let expected = degrade_result(exact.clone(), fraction);
+                if r.outcome.result != expected {
+                    return Err(format!(
+                        "replay {i}: Partial result is not the degradation of the exact answer"
+                    ));
+                }
+                // And the degraded estimate honors its stated bound: the
+                // round-trip loses at most one rounding step per scale.
+                let bound = 0.5 / fraction + 1.0;
+                if let (ResultSet::Count(est), ResultSet::Count(truth)) =
+                    (&r.outcome.result, &exact)
+                {
+                    let err = (*est as f64 - *truth as f64).abs();
+                    if err > bound {
+                        return Err(format!(
+                            "replay {i}: count estimate {est} off by {err} > bound {bound} at fraction {fraction}"
+                        ));
+                    }
+                }
+                if let (ResultSet::Histogram(est), ResultSet::Histogram(truth)) =
+                    (&r.outcome.result, &exact)
+                {
+                    for (bin, (&e, &t)) in est.counts().iter().zip(truth.counts()).enumerate() {
+                        let err = (e as f64 - t as f64).abs();
+                        if err > bound {
+                            return Err(format!(
+                                "replay {i}: bin {bin} estimate {e} off by {err} > bound {bound}"
+                            ));
+                        }
+                    }
+                }
+            }
+            ResultQuality::Failed => {
+                let empty = match &r.outcome.result {
+                    ResultSet::Count(c) => *c == 0,
+                    ResultSet::Histogram(h) => h.total() == 0,
+                    ResultSet::Rows(rows) => rows.is_empty(),
+                };
+                if !empty {
+                    return Err(format!("replay {i}: Failed result is not a placeholder"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the pipeline with tracing enabled and returns the exported
+/// Chrome trace JSON and metrics TSV.
+fn obs_capture(s: &Scenario) -> (String, String) {
+    ids_obs::reset_all();
+    ids_obs::enable();
+    let _ = run_pipeline(s, s.threads);
+    let rec = ids_obs::recorder();
+    let trace = ids_obs::chrome_trace_json(&rec.events(), &rec.tracks());
+    let tsv = ids_obs::metrics_tsv(&ids_obs::metrics().snapshot());
+    ids_obs::disable();
+    ids_obs::reset_all();
+    (trace, tsv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::derive_seed;
+
+    #[test]
+    fn a_healthy_scenario_passes_every_oracle() {
+        let s = Scenario::generate(derive_seed(41, 2));
+        let v = check_scenario(&s);
+        assert_eq!(v.reports.len(), 9);
+        assert!(v.all_passed(), "{}", v.summary());
+        assert!(v.summary().starts_with("ok ("));
+    }
+
+    #[test]
+    fn verdict_reports_first_failure() {
+        let mut v = Verdict::default();
+        v.push("a", true, String::new());
+        v.push("b", false, "broke\nsecond line".into());
+        v.push("c", false, "also broke".into());
+        assert!(!v.all_passed());
+        assert_eq!(v.first_failure().unwrap().name, "b");
+        assert_eq!(v.summary(), "FAIL b: broke");
+    }
+}

@@ -1,0 +1,212 @@
+//! Greedy scenario shrinking: smaller repro, same failure.
+//!
+//! On an oracle failure the shrinker walks a fixed list of
+//! simplifications — fewer differential queries, smaller tables, fewer
+//! sessions, calmer fault plans, narrower traces — and keeps a mutation
+//! only if the *same named oracle* still fails on the mutated scenario
+//! (the caller encodes that in its predicate). The walk restarts from
+//! the head of the list after every accepted mutation and stops at a
+//! fixpoint or the check budget, whichever comes first. Every mutation
+//! strictly simplifies one dimension, so termination is structural, and
+//! the fixed order makes the minimized scenario a deterministic
+//! function of the original — the same failure always checks in the
+//! same repro file.
+
+use crate::scenario::{ArrivalShape, Scenario};
+
+/// Ceiling on predicate evaluations per shrink (each one is a full
+/// scenario check, so this bounds shrink cost).
+pub const MAX_SHRINK_CHECKS: usize = 200;
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized scenario (== the original if nothing shrank).
+    pub scenario: Scenario,
+    /// Predicate evaluations spent.
+    pub checks: usize,
+}
+
+/// Candidate simplifications of `s`, in fixed priority order. Only
+/// genuinely different scenarios are yielded.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out: Vec<Scenario> = Vec::new();
+    let mut push = |cand: Scenario| {
+        if &cand != s {
+            out.push(cand);
+        }
+    };
+
+    // Fewer differential queries first: halves, then single drops.
+    if s.queries.len() > 1 {
+        let half = s.queries.len() / 2;
+        let mut first = s.clone();
+        first.queries.truncate(half.max(1));
+        push(first);
+        let mut second = s.clone();
+        second.queries.drain(..half);
+        push(second);
+        for i in 0..s.queries.len() {
+            let mut one_less = s.clone();
+            one_less.queries.remove(i);
+            push(one_less);
+        }
+    }
+
+    // Smaller differential tables.
+    for rows in [0, s.table.rows / 2] {
+        let mut t = s.clone();
+        t.table.rows = rows;
+        push(t);
+    }
+    for dim_rows in [0, s.table.dim_rows / 2] {
+        let mut t = s.clone();
+        t.table.dim_rows = dim_rows;
+        push(t);
+    }
+    let mut no_nan = s.clone();
+    no_nan.table.nan_every = 0;
+    push(no_nan);
+    let mut one_key = s.clone();
+    one_key.table.key_mod = 1;
+    push(one_key);
+
+    // Calmer fault plan.
+    let mut calm = s.clone();
+    calm.chaos_intensity = 0.0;
+    calm.node_loss = false;
+    push(calm);
+    let mut keep_storm = s.clone();
+    keep_storm.node_loss = false;
+    push(keep_storm);
+
+    // Narrower trace / smaller fleet.
+    for sessions in [1, s.sessions / 2] {
+        let mut f = s.clone();
+        f.sessions = sessions.max(1);
+        push(f);
+    }
+    let mut one_tenant = s.clone();
+    one_tenant.tenants = 1;
+    push(one_tenant);
+    for groups in [1, s.max_groups / 2] {
+        let mut g = s.clone();
+        g.max_groups = groups.max(1);
+        push(g);
+    }
+    for rows in [100, s.rows / 2] {
+        // Only strictly smaller fleets: proposing the fixed floor when
+        // already at or below it would oscillate and burn the budget.
+        let rows = rows.max(50);
+        if rows < s.rows {
+            let mut r = s.clone();
+            r.rows = rows;
+            push(r);
+        }
+    }
+    let mut steady = s.clone();
+    steady.arrival = ArrivalShape::Poisson { gap_ms: 500 };
+    push(steady);
+    let mut no_prefetch = s.clone();
+    no_prefetch.prefetch_rate = 0.0;
+    push(no_prefetch);
+
+    // Simpler machine.
+    let mut one_worker = s.clone();
+    one_worker.workers = 1;
+    push(one_worker);
+    let mut one_thread = s.clone();
+    one_thread.threads = 1;
+    push(one_thread);
+    let mut rigid = s.clone();
+    rigid.resilience_budget_ms = 0;
+    push(rigid);
+
+    out
+}
+
+/// Minimizes `original` under `still_fails` (true ⇔ the mutated
+/// scenario reproduces the original failure).
+///
+/// The predicate is *not* called on `original` — the caller has already
+/// established that it fails.
+pub fn shrink(
+    original: &Scenario,
+    still_fails: &mut dyn FnMut(&Scenario) -> bool,
+) -> ShrinkOutcome {
+    let mut best = original.clone();
+    let mut checks = 0usize;
+    'outer: loop {
+        for cand in candidates(&best) {
+            if checks >= MAX_SHRINK_CHECKS {
+                break 'outer;
+            }
+            checks += 1;
+            if still_fails(&cand) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkOutcome {
+        scenario: best,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::derive_seed;
+
+    /// A synthetic failure that only depends on chaos being on: the
+    /// shrinker must strip everything else to its floor.
+    #[test]
+    fn shrinks_everything_irrelevant_to_the_failure() {
+        let mut original = Scenario::generate(derive_seed(51, 4));
+        original.chaos_intensity = 0.7;
+        let out = shrink(&original, &mut |s: &Scenario| s.chaos_intensity > 0.0);
+        let min = &out.scenario;
+        assert!(min.chaos_intensity > 0.0, "failure condition preserved");
+        assert_eq!(min.queries.len(), 1);
+        assert_eq!(min.table.rows, 0);
+        assert_eq!(min.table.dim_rows, 0);
+        assert_eq!(min.sessions, 1);
+        assert_eq!(min.tenants, 1);
+        assert_eq!(min.workers, 1);
+        assert_eq!(min.threads, 1);
+        assert!(out.checks <= MAX_SHRINK_CHECKS);
+    }
+
+    /// Shrinking a failure that depends on a specific query keeps that
+    /// query alive.
+    #[test]
+    fn preserves_the_failing_query() {
+        let original = Scenario::generate(derive_seed(51, 7));
+        let needle = *original.queries.last().expect("generated queries");
+        let out = shrink(&original, &mut |s: &Scenario| s.queries.contains(&needle));
+        assert!(out.scenario.queries.contains(&needle));
+        assert_eq!(out.scenario.queries.len(), 1, "only the needle survives");
+    }
+
+    /// Same original + same predicate ⇒ same minimized scenario.
+    #[test]
+    fn shrinking_is_deterministic() {
+        let original = Scenario::generate(derive_seed(51, 9));
+        let mut p1 = |s: &Scenario| !s.queries.is_empty();
+        let mut p2 = |s: &Scenario| !s.queries.is_empty();
+        assert_eq!(
+            shrink(&original, &mut p1).scenario,
+            shrink(&original, &mut p2).scenario
+        );
+    }
+
+    /// A predicate that rejects every mutation leaves the original.
+    #[test]
+    fn unshrinkable_failures_return_the_original() {
+        let original = Scenario::generate(derive_seed(51, 11));
+        let out = shrink(&original, &mut |_: &Scenario| false);
+        assert_eq!(out.scenario, original);
+    }
+}

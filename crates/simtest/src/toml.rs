@@ -1,0 +1,396 @@
+//! Hand-rolled TOML dialect for [`Scenario`] repro files.
+//!
+//! The workspace vendors no TOML crate, so scenarios serialize through
+//! a small writer/reader pair covering exactly the subset the grammar
+//! needs: `[section]` tables, `[[query]]` arrays, and `key = value`
+//! lines holding integers, floats (written with `{:?}` so they
+//! round-trip bit-exactly), booleans, and quoted strings. `#` comments
+//! and blank lines are ignored, which lets corpus files carry their
+//! provenance inline.
+
+use ids_devices::DeviceKind;
+
+use crate::scenario::{
+    ArrivalShape, CmpToken, FilterSpec, QuerySpec, Scenario, SessionShape, TableSpec, VOCAB,
+};
+
+/// Serializes a scenario to the repro dialect.
+pub fn to_toml(s: &Scenario) -> String {
+    let mut out = String::from("# ids-simtest scenario v1\n[scenario]\n");
+    let mut kv = |k: &str, v: String| {
+        out.push_str(k);
+        out.push_str(" = ");
+        out.push_str(&v);
+        out.push('\n');
+    };
+    kv("seed", s.seed.to_string());
+    kv("sessions", s.sessions.to_string());
+    kv("tenants", s.tenants.to_string());
+    kv("rows", s.rows.to_string());
+    kv("max_groups", s.max_groups.to_string());
+    kv("prefetch_rate", format!("{:?}", s.prefetch_rate));
+    kv("chaos_intensity", format!("{:?}", s.chaos_intensity));
+    kv("node_loss", s.node_loss.to_string());
+    kv("workers", s.workers.to_string());
+    kv("threads", s.threads.to_string());
+    kv("latency_budget_ms", s.latency_budget_ms.to_string());
+    kv("tenant_rate", format!("{:?}", s.tenant_rate));
+    kv("tenant_burst", format!("{:?}", s.tenant_burst));
+    kv("queue_limit", s.queue_limit.to_string());
+    kv("pool_pages", s.pool_pages.to_string());
+    kv("shape", format!("{:?}", s.shape.token()));
+    kv("device", format!("{:?}", s.device.label()));
+    kv("resilience_budget_ms", s.resilience_budget_ms.to_string());
+
+    out.push_str("\n[arrival]\n");
+    match s.arrival {
+        ArrivalShape::Poisson { gap_ms } => {
+            out.push_str("kind = \"poisson\"\n");
+            out.push_str(&format!("gap_ms = {gap_ms}\n"));
+        }
+        ArrivalShape::Bursts {
+            count,
+            spacing_ms,
+            width_ms,
+        } => {
+            out.push_str("kind = \"bursts\"\n");
+            out.push_str(&format!("count = {count}\n"));
+            out.push_str(&format!("spacing_ms = {spacing_ms}\n"));
+            out.push_str(&format!("width_ms = {width_ms}\n"));
+        }
+    }
+
+    out.push_str(&format!(
+        "\n[table]\nrows = {}\nkey_mod = {}\nnan_every = {}\ndim_rows = {}\n",
+        s.table.rows, s.table.key_mod, s.table.nan_every, s.table.dim_rows
+    ));
+
+    for q in &s.queries {
+        out.push_str("\n[[query]]\n");
+        match *q {
+            QuerySpec::Count { filter } => {
+                out.push_str("kind = \"count\"\n");
+                push_filter(&mut out, &filter);
+            }
+            QuerySpec::Select {
+                filter,
+                limit,
+                offset,
+            } => {
+                out.push_str("kind = \"select\"\n");
+                out.push_str(&format!("limit = {limit}\noffset = {offset}\n"));
+                push_filter(&mut out, &filter);
+            }
+            QuerySpec::Histogram {
+                bins,
+                lo,
+                hi,
+                filter,
+            } => {
+                out.push_str("kind = \"histogram\"\n");
+                out.push_str(&format!(
+                    "bins = {bins}\nhist_lo = {lo:?}\nhist_hi = {hi:?}\n"
+                ));
+                push_filter(&mut out, &filter);
+            }
+            QuerySpec::Join { limit, offset } => {
+                out.push_str("kind = \"join\"\n");
+                out.push_str(&format!("limit = {limit}\noffset = {offset}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn push_filter(out: &mut String, f: &FilterSpec) {
+    match *f {
+        FilterSpec::True => out.push_str("filter = \"true\"\n"),
+        FilterSpec::VBetween { lo, hi } => {
+            out.push_str(&format!(
+                "filter = \"v_between\"\nlo = {lo:?}\nhi = {hi:?}\n"
+            ));
+        }
+        FilterSpec::KCmp { op, value } => {
+            out.push_str(&format!(
+                "filter = \"k_cmp\"\nop = {:?}\nvalue = {value}\n",
+                op.token()
+            ));
+        }
+        FilterSpec::SEq { word } => {
+            out.push_str(&format!("filter = \"s_eq\"\nword = {word}\n"));
+        }
+        FilterSpec::VkAnd { vlo, vhi, klo, khi } => {
+            out.push_str(&format!(
+                "filter = \"vk_and\"\nvlo = {vlo:?}\nvhi = {vhi:?}\nklo = {klo:?}\nkhi = {khi:?}\n"
+            ));
+        }
+        FilterSpec::NotV { lo, hi } => {
+            out.push_str(&format!("filter = \"not_v\"\nlo = {lo:?}\nhi = {hi:?}\n"));
+        }
+    }
+}
+
+/// One parsed `key = value` map (a `[section]` or one `[[query]]`).
+#[derive(Debug, Default, Clone)]
+struct Section {
+    pairs: Vec<(String, String)>,
+}
+
+impl Section {
+    fn raw(&self, key: &str) -> Result<&str, String> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("missing key `{key}`"))
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        self.raw(key)?
+            .parse()
+            .map_err(|e| format!("key `{key}`: {e}"))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        self.raw(key)?
+            .parse()
+            .map_err(|e| format!("key `{key}`: {e}"))
+    }
+
+    fn i64(&self, key: &str) -> Result<i64, String> {
+        self.raw(key)?
+            .parse()
+            .map_err(|e| format!("key `{key}`: {e}"))
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        self.raw(key)?
+            .parse()
+            .map_err(|e| format!("key `{key}`: {e}"))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        self.raw(key)?
+            .parse()
+            .map_err(|e| format!("key `{key}`: {e}"))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        let raw = self.raw(key)?;
+        raw.strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .ok_or_else(|| format!("key `{key}`: expected quoted string, got `{raw}`"))
+    }
+}
+
+/// Named `[section]`s in file order plus the `[[query]]` array.
+type Sections = (Vec<(String, Section)>, Vec<Section>);
+
+fn parse_sections(text: &str) -> Result<Sections, String> {
+    let mut named: Vec<(String, Section)> = Vec::new();
+    let mut queries: Vec<Section> = Vec::new();
+    // Index into `named` or `queries` the current lines belong to.
+    let mut current: Option<(bool, usize)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[query]]" {
+            queries.push(Section::default());
+            current = Some((true, queries.len() - 1));
+        } else if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            named.push((name.to_string(), Section::default()));
+            current = Some((false, named.len() - 1));
+        } else if let Some((key, value)) = line.split_once('=') {
+            let (is_query, idx) =
+                current.ok_or_else(|| format!("line {}: key before any section", lineno + 1))?;
+            let pair = (key.trim().to_string(), value.trim().to_string());
+            if is_query {
+                queries[idx].pairs.push(pair);
+            } else {
+                named[idx].1.pairs.push(pair);
+            }
+        } else {
+            return Err(format!("line {}: unparseable `{line}`", lineno + 1));
+        }
+    }
+    Ok((named, queries))
+}
+
+fn parse_filter(sec: &Section) -> Result<FilterSpec, String> {
+    Ok(match sec.str("filter")? {
+        "true" => FilterSpec::True,
+        "v_between" => FilterSpec::VBetween {
+            lo: sec.f64("lo")?,
+            hi: sec.f64("hi")?,
+        },
+        "k_cmp" => {
+            let tok = sec.str("op")?;
+            let op = [
+                CmpToken::Eq,
+                CmpToken::Ne,
+                CmpToken::Lt,
+                CmpToken::Le,
+                CmpToken::Gt,
+                CmpToken::Ge,
+            ]
+            .into_iter()
+            .find(|c| c.token() == tok)
+            .ok_or_else(|| format!("unknown cmp op `{tok}`"))?;
+            FilterSpec::KCmp {
+                op,
+                value: sec.i64("value")?,
+            }
+        }
+        "s_eq" => FilterSpec::SEq {
+            word: sec.usize("word")? % VOCAB.len(),
+        },
+        "vk_and" => FilterSpec::VkAnd {
+            vlo: sec.f64("vlo")?,
+            vhi: sec.f64("vhi")?,
+            klo: sec.f64("klo")?,
+            khi: sec.f64("khi")?,
+        },
+        "not_v" => FilterSpec::NotV {
+            lo: sec.f64("lo")?,
+            hi: sec.f64("hi")?,
+        },
+        other => return Err(format!("unknown filter kind `{other}`")),
+    })
+}
+
+/// Parses the repro dialect back into a scenario.
+pub fn from_toml(text: &str) -> Result<Scenario, String> {
+    let (named, query_secs) = parse_sections(text)?;
+    let find = |name: &str| -> Result<&Section, String> {
+        named
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+            .ok_or_else(|| format!("missing [{name}] section"))
+    };
+    let sc = find("scenario")?;
+    let arrival_sec = find("arrival")?;
+    let table_sec = find("table")?;
+
+    let arrival = match arrival_sec.str("kind")? {
+        "poisson" => ArrivalShape::Poisson {
+            gap_ms: arrival_sec.u64("gap_ms")?,
+        },
+        "bursts" => ArrivalShape::Bursts {
+            count: arrival_sec.usize("count")?,
+            spacing_ms: arrival_sec.u64("spacing_ms")?,
+            width_ms: arrival_sec.u64("width_ms")?,
+        },
+        other => return Err(format!("unknown arrival kind `{other}`")),
+    };
+
+    let shape_tok = sc.str("shape")?;
+    let shape = [
+        SessionShape::Crossfilter,
+        SessionShape::Scrolling,
+        SessionShape::Composite,
+    ]
+    .into_iter()
+    .find(|s| s.token() == shape_tok)
+    .ok_or_else(|| format!("unknown session shape `{shape_tok}`"))?;
+
+    let device_tok = sc.str("device")?;
+    let device = DeviceKind::ALL
+        .into_iter()
+        .find(|d| d.label() == device_tok)
+        .ok_or_else(|| format!("unknown device `{device_tok}`"))?;
+
+    let mut queries = Vec::with_capacity(query_secs.len());
+    for sec in &query_secs {
+        queries.push(match sec.str("kind")? {
+            "count" => QuerySpec::Count {
+                filter: parse_filter(sec)?,
+            },
+            "select" => QuerySpec::Select {
+                filter: parse_filter(sec)?,
+                limit: sec.usize("limit")?,
+                offset: sec.usize("offset")?,
+            },
+            "histogram" => QuerySpec::Histogram {
+                bins: sec.usize("bins")?.max(1),
+                lo: sec.f64("hist_lo")?,
+                hi: sec.f64("hist_hi")?,
+                filter: parse_filter(sec)?,
+            },
+            "join" => QuerySpec::Join {
+                limit: sec.usize("limit")?,
+                offset: sec.usize("offset")?,
+            },
+            other => return Err(format!("unknown query kind `{other}`")),
+        });
+    }
+    if queries.is_empty() {
+        return Err("scenario has no [[query]] entries".into());
+    }
+
+    Ok(Scenario {
+        seed: sc.u64("seed")?,
+        sessions: sc.usize("sessions")?,
+        tenants: sc.usize("tenants")?.max(1),
+        rows: sc.usize("rows")?,
+        max_groups: sc.usize("max_groups")?,
+        prefetch_rate: sc.f64("prefetch_rate")?,
+        arrival,
+        chaos_intensity: sc.f64("chaos_intensity")?,
+        node_loss: sc.bool("node_loss")?,
+        workers: sc.usize("workers")?.max(1),
+        threads: sc.usize("threads")?.max(1),
+        latency_budget_ms: sc.u64("latency_budget_ms")?,
+        tenant_rate: sc.f64("tenant_rate")?,
+        tenant_burst: sc.f64("tenant_burst")?,
+        queue_limit: sc.usize("queue_limit")?,
+        pool_pages: sc.usize("pool_pages")?.max(1),
+        shape,
+        device,
+        resilience_budget_ms: sc.u64("resilience_budget_ms")?,
+        table: TableSpec {
+            rows: table_sec.usize("rows")?,
+            key_mod: table_sec.usize("key_mod")?.max(1),
+            nan_every: table_sec.usize("nan_every")?,
+            dim_rows: table_sec.usize("dim_rows")?,
+        },
+        queries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::derive_seed;
+
+    #[test]
+    fn round_trip_is_identity() {
+        for i in 0..50u64 {
+            let s = Scenario::generate(derive_seed(11, i));
+            let text = to_toml(&s);
+            let back = from_toml(&text).expect("round trip parses");
+            assert_eq!(s, back, "round trip for scenario {i}\n{text}");
+            // Serialization itself is stable too.
+            assert_eq!(text, to_toml(&back));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let s = Scenario::generate(3);
+        let mut text = String::from("# repro found 2026-01-01\n\n");
+        text.push_str(&to_toml(&s));
+        text.push_str("\n# trailing note\n");
+        assert_eq!(from_toml(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(from_toml("garbage").unwrap_err().contains("line 1"));
+        assert!(from_toml("[scenario]\nseed = 1\n")
+            .unwrap_err()
+            .contains("missing"));
+    }
+}

@@ -26,6 +26,9 @@
 //! - [`serve`] — multi-tenant serving: seeded session fleets,
 //!   token-bucket admission with priority lanes, and mergeable
 //!   fleet-scale tail-latency aggregation;
+//! - [`simtest`] — deterministic simulation testing: seeded end-to-end
+//!   scenarios, invariant and differential oracles, and automatic
+//!   scenario shrinking into checked-in repro files;
 //! - [`experiments`] — the case studies as deterministic experiments
 //!   regenerating every table and figure.
 //!
@@ -57,5 +60,6 @@ pub use ids_obs as obs;
 pub use ids_opt as opt;
 pub use ids_serve as serve;
 pub use ids_simclock as simclock;
+pub use ids_simtest as simtest;
 pub use ids_study as study;
 pub use ids_workload as workload;

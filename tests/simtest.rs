@@ -1,0 +1,185 @@
+//! Simulation-testing integration suite.
+//!
+//! Two halves:
+//!
+//! 1. **Corpus replay** — every checked-in scenario under `tests/corpus/`
+//!    (minimized repros of past failures plus hand-picked edge cases)
+//!    must parse, round-trip, and pass every oracle. This is the
+//!    regression guard: a fixed bug stays fixed.
+//! 2. **Differential properties** — the naive reference interpreter and
+//!    `engine::exec` must agree on random small tables, including the
+//!    edges that found real bugs (empty tables, all-NaN columns,
+//!    duplicate join keys).
+
+use std::path::PathBuf;
+
+use ids::simtest::scenario::{FilterSpec, QuerySpec};
+use ids::simtest::{
+    check_scenario, derive_seed, differential_check, explore, from_toml, to_toml, Scenario,
+    TableSpec,
+};
+use proptest::prelude::*;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// The checked-in corpus, sorted by file name for a stable replay order.
+fn corpus_files() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| {
+            let path = e.expect("read_dir entry").path();
+            if path.extension().is_some_and(|x| x == "toml") {
+                let name = path
+                    .file_name()
+                    .expect("file name")
+                    .to_string_lossy()
+                    .into_owned();
+                let body = std::fs::read_to_string(&path).expect("read corpus file");
+                Some((name, body))
+            } else {
+                None
+            }
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Every corpus scenario passes every oracle. The whole corpus is meant
+/// to replay in well under 30 seconds.
+#[test]
+fn corpus_replays_clean() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 5,
+        "corpus holds at least five scenarios, found {}",
+        files.len()
+    );
+    for (name, body) in &files {
+        let scenario = from_toml(body).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+        let verdict = check_scenario(&scenario);
+        assert!(
+            verdict.all_passed(),
+            "{name}: corpus replay failed — {}",
+            verdict.summary()
+        );
+    }
+}
+
+/// Corpus files survive a parse → serialize → parse loop unchanged, so
+/// repro files pasted from simtest output stay canonical.
+#[test]
+fn corpus_files_round_trip() {
+    for (name, body) in &corpus_files() {
+        let parsed = from_toml(body).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+        let reparsed =
+            from_toml(&to_toml(&parsed)).unwrap_or_else(|e| panic!("{name}: reparse error: {e}"));
+        assert_eq!(parsed, reparsed, "{name}: round-trip identity");
+    }
+}
+
+/// Exploration is a pure function of `(master seed, count)`: two runs
+/// produce byte-identical reports, and the default stream is clean.
+#[test]
+fn exploration_is_deterministic_and_clean() {
+    let a = explore(0xBEEF, 2, None);
+    let b = explore(0xBEEF, 2, None);
+    assert_eq!(a.render(), b.render(), "byte-identical reports");
+    assert!(a.all_passed(), "default stream is clean:\n{}", a.render());
+}
+
+/// A generous deadline never changes the outcome — time-boxed runs are
+/// prefixes of unlimited runs, so CI time budgets cannot mask failures.
+#[test]
+fn time_boxed_runs_are_prefixes() {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(600);
+    let boxed = explore(0x5EED, 2, Some(deadline));
+    let unboxed = explore(0x5EED, 2, None);
+    assert_eq!(boxed.completed, unboxed.completed);
+    assert_eq!(boxed.render(), unboxed.render());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine agrees with the row-at-a-time reference interpreter on
+    /// random table shapes crossed with random query programs.
+    #[test]
+    fn engine_matches_reference_on_random_tables(
+        seed in 0u64..1_000_000,
+        rows in 0usize..80,
+        key_mod in 1usize..8,
+        nan_every in 0usize..4,
+        dim_rows in 0usize..30,
+    ) {
+        let table = TableSpec { rows, key_mod, nan_every, dim_rows };
+        let queries = Scenario::generate(derive_seed(seed, 0xD1FF)).queries;
+        if let Err(divergence) = differential_check(seed, &table, &queries) {
+            return Err(TestCaseError::fail(divergence));
+        }
+    }
+
+    /// Empty fact and dim tables: every query family returns its empty
+    /// shape instead of panicking (regression: the histogram type probe
+    /// used to index row 0 of an empty column).
+    #[test]
+    fn empty_tables_agree(seed in 0u64..10_000) {
+        let table = TableSpec { rows: 0, key_mod: 1, nan_every: 0, dim_rows: 0 };
+        let queries = [
+            QuerySpec::Count { filter: FilterSpec::True },
+            QuerySpec::Select { filter: FilterSpec::True, limit: 4, offset: 0 },
+            QuerySpec::Histogram { bins: 5, lo: 0.0, hi: 50.0, filter: FilterSpec::True },
+            QuerySpec::Join { limit: 0, offset: 0 },
+        ];
+        if let Err(divergence) = differential_check(seed, &table, &queries) {
+            return Err(TestCaseError::fail(divergence));
+        }
+    }
+
+    /// All-NaN measure column (the engine's stand-in for all-null): NaN
+    /// lands in no histogram bin and fails every range predicate.
+    #[test]
+    fn all_nan_columns_agree(
+        seed in 0u64..10_000,
+        rows in 1usize..60,
+        bins in 1usize..12,
+    ) {
+        let table = TableSpec { rows, key_mod: 3, nan_every: 1, dim_rows: 5 };
+        let queries = [
+            QuerySpec::Histogram {
+                bins,
+                lo: 0.0,
+                hi: 80.0,
+                filter: FilterSpec::True,
+            },
+            QuerySpec::Count { filter: FilterSpec::VBetween { lo: 0.0, hi: 100.0 } },
+            QuerySpec::Count { filter: FilterSpec::NotV { lo: 0.0, hi: 100.0 } },
+        ];
+        if let Err(divergence) = differential_check(seed, &table, &queries) {
+            return Err(TestCaseError::fail(divergence));
+        }
+    }
+
+    /// Duplicate join keys (`key_mod = 1` collapses every fact key to 0)
+    /// expand to cross products, and pagination over left rows stays
+    /// consistent with the reference.
+    #[test]
+    fn duplicate_join_keys_agree(
+        seed in 0u64..10_000,
+        rows in 1usize..40,
+        dim_rows in 1usize..25,
+        limit in 0usize..12,
+        offset in 0usize..45,
+    ) {
+        let table = TableSpec { rows, key_mod: 1, nan_every: 0, dim_rows };
+        let queries = [
+            QuerySpec::Join { limit, offset },
+            QuerySpec::Join { limit: 0, offset: 0 },
+        ];
+        if let Err(divergence) = differential_check(seed, &table, &queries) {
+            return Err(TestCaseError::fail(divergence));
+        }
+    }
+}
