@@ -10,6 +10,84 @@ use std::sync::Arc;
 
 use crate::value::{DataType, Value};
 
+/// Rows per zone-map block. 1024 rows = 16 selection-mask words, small
+/// enough that min/max bounds are tight on clustered data, large enough
+/// that the per-block branch amortizes to nothing.
+pub const ZONE_BLOCK_ROWS: usize = 1024;
+
+/// Summary of one [`ZONE_BLOCK_ROWS`]-row block of a numeric column, in
+/// the `f64` domain the predicate kernels compare in (`i64` values are
+/// summarized *after* the `as f64` conversion, so bounds are exact for
+/// the comparisons that consult them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zone {
+    /// Minimum non-NaN value; `+inf` when the block is all-NaN.
+    pub min: f64,
+    /// Maximum non-NaN value; `-inf` when the block is all-NaN.
+    pub max: f64,
+    /// NaN rows in the block (the engine's null stand-in).
+    pub nan_count: u32,
+    /// Rows in the block (the final block may be short).
+    pub len: u32,
+}
+
+/// Per-block min/max/NaN-count summaries of a numeric column — the
+/// classic "zone map" / small materialized aggregate. Range predicates
+/// and histogram binning consult it to decide whole blocks (all match /
+/// none match / out of bin domain) without touching the data.
+///
+/// Built lazily, once per column, by [`crate::Table::zone_map_at`];
+/// string columns have no zone map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMap {
+    blocks: Vec<Zone>,
+}
+
+impl ZoneMap {
+    /// Builds the zone map for a column; `None` for string columns.
+    pub fn build(col: &Column) -> Option<ZoneMap> {
+        let summarize = |values: &mut dyn Iterator<Item = f64>, len: usize| -> Zone {
+            let mut z = Zone {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                nan_count: 0,
+                len: len as u32,
+            };
+            for x in values {
+                if x.is_nan() {
+                    z.nan_count += 1;
+                } else {
+                    z.min = z.min.min(x);
+                    z.max = z.max.max(x);
+                }
+            }
+            z
+        };
+        let blocks = match col {
+            Column::Str { .. } => return None,
+            Column::Float(v) => v
+                .chunks(ZONE_BLOCK_ROWS)
+                .map(|c| summarize(&mut c.iter().copied(), c.len()))
+                .collect(),
+            Column::Int(v) => v
+                .chunks(ZONE_BLOCK_ROWS)
+                .map(|c| summarize(&mut c.iter().map(|&x| x as f64), c.len()))
+                .collect(),
+        };
+        Some(ZoneMap { blocks })
+    }
+
+    /// The summary of block `b` (rows `b*ZONE_BLOCK_ROWS..`), if any.
+    pub fn block(&self, b: usize) -> Option<&Zone> {
+        self.blocks.get(b)
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
 /// An immutable, typed column of values.
 #[derive(Debug, Clone)]
 pub enum Column {
@@ -286,5 +364,50 @@ mod tests {
     fn type_mismatch_panics() {
         let mut b = ColumnBuilder::float([]);
         b.push_int(1);
+    }
+
+    #[test]
+    fn zone_map_summarizes_blocks() {
+        // 1025 rows: two blocks, the second one row long.
+        let c = ColumnBuilder::float((0..1025).map(|i| i as f64)).build();
+        let z = ZoneMap::build(&c).unwrap();
+        assert_eq!(z.block_count(), 2);
+        let b0 = z.block(0).unwrap();
+        assert_eq!(
+            (b0.min, b0.max, b0.nan_count, b0.len),
+            (0.0, 1023.0, 0, 1024)
+        );
+        let b1 = z.block(1).unwrap();
+        assert_eq!((b1.min, b1.max, b1.len), (1024.0, 1024.0, 1));
+        assert!(z.block(2).is_none());
+    }
+
+    #[test]
+    fn zone_map_counts_nans_and_handles_all_nan() {
+        let c = ColumnBuilder::float([f64::NAN, 1.0, f64::NAN]).build();
+        let z = ZoneMap::build(&c).unwrap();
+        let b = z.block(0).unwrap();
+        assert_eq!((b.min, b.max, b.nan_count), (1.0, 1.0, 2));
+
+        let all_nan = ColumnBuilder::float([f64::NAN; 4]).build();
+        let z = ZoneMap::build(&all_nan).unwrap();
+        let b = z.block(0).unwrap();
+        assert!(b.min.is_infinite() && b.max.is_infinite());
+        assert_eq!(b.nan_count, 4);
+    }
+
+    #[test]
+    fn zone_map_int_uses_converted_domain() {
+        let c = ColumnBuilder::int([-3, 7, 7]).build();
+        let z = ZoneMap::build(&c).unwrap();
+        let b = z.block(0).unwrap();
+        assert_eq!((b.min, b.max, b.nan_count), (-3.0, 7.0, 0));
+    }
+
+    #[test]
+    fn zone_map_absent_for_strings_and_empty() {
+        assert!(ZoneMap::build(&ColumnBuilder::str(["a"]).build()).is_none());
+        let empty = ColumnBuilder::float([]).build();
+        assert_eq!(ZoneMap::build(&empty).unwrap().block_count(), 0);
     }
 }

@@ -35,6 +35,13 @@ pub struct QueryFootprint {
     pub pages_cold: u64,
     /// Pages served from the buffer pool (hot).
     pub pages_hot: u64,
+    /// Zone-map blocks decided without touching data (all-false /
+    /// all-true / outside the bin domain). Not priced: pruning is a
+    /// real-hardware optimization, and virtual costs must stay
+    /// byte-identical to the row-at-a-time engine.
+    pub blocks_pruned: u64,
+    /// Blocks whose column data the vectorized kernels actually read.
+    pub blocks_scanned: u64,
 }
 
 impl QueryFootprint {
@@ -51,6 +58,8 @@ impl QueryFootprint {
         self.predicate_evals += other.predicate_evals;
         self.pages_cold += other.pages_cold;
         self.pages_hot += other.pages_hot;
+        self.blocks_pruned += other.blocks_pruned;
+        self.blocks_scanned += other.blocks_scanned;
         self
     }
 }

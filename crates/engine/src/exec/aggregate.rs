@@ -1,10 +1,18 @@
 //! Histogram and count aggregation.
+//!
+//! Both operators run on the vectorized kernel layer: the filter is
+//! evaluated column-at-a-time into a [`kernels::SelectionVector`], and
+//! the histogram bins selected rows with the fused filter+bin+count
+//! kernel — no `Vec<usize>` of row ids is ever materialized. Virtual
+//! costs (the [`QueryFootprint`] row counters) are byte-identical to
+//! the row-at-a-time engine; only wall-clock time changes.
 
 use crate::cost::QueryFootprint;
 use crate::error::{EngineError, EngineResult};
+use crate::kernels::{self, KernelOptions, KernelStats};
 use crate::predicate::Predicate;
 use crate::query::BinSpec;
-use crate::result::{Histogram, ResultSet};
+use crate::result::ResultSet;
 use crate::table::Table;
 
 /// Executes the crossfiltering histogram:
@@ -24,49 +32,62 @@ pub fn run_histogram(
         )));
     }
     filter.validate(table)?;
-    let col = table.column(&bins.column)?;
-    if col.f64_at(0).is_none() && !col.is_empty() {
+    let bin_idx = table.column_index(&bins.column)?;
+    let col = table.column_at(bin_idx);
+    // Probe via column type metadata, not a sample value: `f64_at(0)`
+    // can't see past the first row and says nothing on empty columns.
+    if !col.data_type().is_numeric() {
         return Err(EngineError::TypeMismatch {
             column: bins.column.to_string(),
             expected: "numeric column for binning",
         });
     }
 
-    let selected = filter.select(table)?;
-    let predicate_evals = table.rows() as u64 * filter.condition_count() as u64;
-    let mut hist = Histogram::zeros(bins.bucket_count());
-    for &row in &selected {
-        if let Some(b) = col.f64_at(row).and_then(|x| bins.bin_of(x)) {
-            hist.bump(b);
-        }
-    }
+    let opts = KernelOptions::default();
+    let mut stats = KernelStats::default();
+    let selected = kernels::select_vector_with(table, filter, &opts, &mut stats)?;
+    let hist = kernels::fused_filter_bin(
+        col,
+        table.zone_map_at(bin_idx),
+        &selected,
+        bins,
+        &opts,
+        &mut stats,
+    );
 
     let footprint = QueryFootprint {
         rows_scanned: table.rows() as u64,
-        rows_matched: selected.len() as u64,
-        rows_aggregated: selected.len() as u64,
+        rows_matched: selected.count() as u64,
+        rows_aggregated: selected.count() as u64,
         groups: hist.bins() as u64,
         rows_output: hist.bins() as u64,
-        predicate_evals,
+        predicate_evals: table.rows() as u64 * filter.condition_count() as u64,
+        blocks_pruned: stats.blocks_pruned,
+        blocks_scanned: stats.blocks_scanned,
         ..QueryFootprint::default()
     };
     Ok((ResultSet::Histogram(hist), footprint))
 }
 
-/// Executes `SELECT COUNT(*) FROM t WHERE f`.
+/// Executes `SELECT COUNT(*) FROM t WHERE f` — fused filter+count: the
+/// answer is the selection mask's popcount.
 pub fn run_count(table: &Table, filter: &Predicate) -> EngineResult<(ResultSet, QueryFootprint)> {
     filter.validate(table)?;
-    let selected = filter.select(table)?;
+    let opts = KernelOptions::default();
+    let mut stats = KernelStats::default();
+    let selected = kernels::select_vector_with(table, filter, &opts, &mut stats)?;
     let footprint = QueryFootprint {
         rows_scanned: table.rows() as u64,
-        rows_matched: selected.len() as u64,
-        rows_aggregated: selected.len() as u64,
+        rows_matched: selected.count() as u64,
+        rows_aggregated: selected.count() as u64,
         groups: 1,
         rows_output: 1,
         predicate_evals: table.rows() as u64 * filter.condition_count() as u64,
+        blocks_pruned: stats.blocks_pruned,
+        blocks_scanned: stats.blocks_scanned,
         ..QueryFootprint::default()
     };
-    Ok((ResultSet::Count(selected.len() as u64), footprint))
+    Ok((ResultSet::Count(selected.count() as u64), footprint))
 }
 
 #[cfg(test)]
@@ -142,6 +163,22 @@ mod tests {
     fn binning_string_column_errors() {
         let t = TableBuilder::new("s")
             .column("s", ColumnBuilder::str(["a", "b"]))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            run_histogram(&t, &BinSpec::new("s", 0.0, 1.0, 2), &Predicate::True),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn binning_empty_string_column_errors() {
+        // Regression: the old probe inspected `f64_at(0)`, which says
+        // nothing about an empty column — an empty string column slid
+        // through and produced an empty histogram instead of a type
+        // error. The check must come from column metadata, not data.
+        let t = TableBuilder::new("s")
+            .column("s", ColumnBuilder::str(Vec::<&str>::new()))
             .build()
             .unwrap();
         assert!(matches!(

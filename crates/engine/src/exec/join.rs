@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use crate::column::Column;
+use crate::column::{Column, ZONE_BLOCK_ROWS};
 use crate::cost::QueryFootprint;
 use crate::error::{EngineError, EngineResult};
 use crate::query::{JoinSpec, Projection};
@@ -44,25 +44,52 @@ pub fn run_join(
         build.entry(*key).or_default().push(row);
     }
 
-    // Probe phase over the full right table, preserving left (pagination)
-    // order in the output by collecting matches per left row.
-    let mut matches_per_left: HashMap<usize, Vec<usize>> = HashMap::new();
-    for (r_row, key) in right_key.iter().enumerate() {
-        if let Some(l_rows) = build.get(key) {
-            for &l_row in l_rows {
-                matches_per_left.entry(l_row).or_default().push(r_row);
+    // Fused filter+probe over the full right table: the probe walks the
+    // right key column block-wise, skipping zone-map blocks whose
+    // [min, max] cannot intersect the build keys' range, and emits
+    // (left, right) match pairs directly instead of a per-left-row map.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut blocks_pruned = 0u64;
+    let mut blocks_scanned = 0u64;
+    if !build.is_empty() {
+        // Build-side key range in the zone maps' f64 domain. Equal keys
+        // convert to equal floats, so rounding can never prune a block
+        // that contains a genuine match.
+        let bmin = *build.keys().min().expect("non-empty build") as f64;
+        let bmax = *build.keys().max().expect("non-empty build") as f64;
+        let key_idx = right.column_index(&spec.right_key)?;
+        let zone_map = right.zone_map_at(key_idx);
+        let mut blk_start = 0usize;
+        let mut blk = 0usize;
+        while blk_start < right_key.len() {
+            let blk_end = (blk_start + ZONE_BLOCK_ROWS).min(right_key.len());
+            let prunable = zone_map
+                .and_then(|zm| zm.block(blk))
+                .is_some_and(|z| z.max < bmin || z.min > bmax);
+            if prunable {
+                blocks_pruned += 1;
+            } else {
+                blocks_scanned += 1;
+                for (r_row, key) in right_key.iter().enumerate().take(blk_end).skip(blk_start) {
+                    if let Some(l_rows) = build.get(key) {
+                        for &l_row in l_rows {
+                            pairs.push((l_row, r_row));
+                        }
+                    }
+                }
             }
+            blk_start = blk_end;
+            blk += 1;
         }
     }
 
-    let mut rows: Vec<Row> = Vec::new();
-    for l_row in start..end {
-        let Some(r_rows) = matches_per_left.get(&l_row) else {
-            continue;
-        };
-        for &r_row in r_rows {
-            rows.push(project_joined(left, right, l_row, r_row, &spec.projection)?);
-        }
+    // Preserve left (pagination) order: a stable sort by left row keeps
+    // each left row's right matches in probe (ascending) order, exactly
+    // reproducing the row-at-a-time output.
+    pairs.sort_by_key(|&(l_row, _)| l_row);
+    let mut rows: Vec<Row> = Vec::with_capacity(pairs.len());
+    for (l_row, r_row) in pairs {
+        rows.push(project_joined(left, right, l_row, r_row, &spec.projection)?);
     }
 
     let footprint = QueryFootprint {
@@ -71,6 +98,8 @@ pub fn run_join(
         build_rows: (end - start) as u64,
         probe_rows: right.rows() as u64,
         rows_output: rows.len() as u64,
+        blocks_pruned,
+        blocks_scanned,
         ..QueryFootprint::default()
     };
     Ok((ResultSet::Rows(rows), footprint))
@@ -259,6 +288,36 @@ mod tests {
             run_join(&l, &r, &spec),
             Err(EngineError::TypeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn zone_pruning_skips_out_of_range_probe_blocks() {
+        // Right side spans three 1024-row zone blocks; the build keys
+        // land only in the middle one, so the probe must skip the first
+        // and last without changing the join result.
+        let l = TableBuilder::new("l")
+            .column("id", ColumnBuilder::int(1500..1510))
+            .build()
+            .unwrap();
+        let r = TableBuilder::new("r")
+            .column("id", ColumnBuilder::int(0..3000))
+            .build()
+            .unwrap();
+        let spec = JoinSpec {
+            left: "l".into(),
+            right: "r".into(),
+            left_key: "id".into(),
+            right_key: "id".into(),
+            projection: vec![],
+            limit: None,
+            offset: 0,
+        };
+        let (rs, fp) = run_join(&l, &r, &spec).unwrap();
+        assert_eq!(rs.rows().unwrap().len(), 10);
+        assert_eq!(fp.blocks_pruned, 2);
+        assert_eq!(fp.blocks_scanned, 1);
+        // Pruning must not discount the virtual probe cost.
+        assert_eq!(fp.probe_rows, 3000);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::cost::QueryFootprint;
 use crate::error::EngineResult;
+use crate::kernels::{self, KernelOptions, KernelStats};
 use crate::predicate::Predicate;
 use crate::query::{ConcatPart, Projection, SelectSpec};
 use crate::result::{ResultSet, Row};
@@ -31,15 +32,22 @@ pub fn run_select(table: &Table, spec: &SelectSpec) -> EngineResult<(ResultSet, 
             (spec.offset.min(end)..end).collect()
         }
         filter => {
-            let all = filter.select(table)?;
+            // Vectorized path: evaluate the filter into a selection
+            // bitmask, then materialize row ids only for the requested
+            // page instead of for every match.
+            let opts = KernelOptions::default();
+            let mut stats = KernelStats::default();
+            let sel = kernels::select_vector_with(table, filter, &opts, &mut stats)?;
             footprint.rows_scanned = table.rows() as u64;
-            footprint.rows_matched = all.len() as u64;
+            footprint.rows_matched = sel.count() as u64;
             footprint.predicate_evals = footprint.rows_scanned * filter.condition_count() as u64;
-            let end = match spec.limit {
-                Some(l) => (spec.offset + l).min(all.len()),
-                None => all.len(),
+            footprint.blocks_pruned = stats.blocks_pruned;
+            footprint.blocks_scanned = stats.blocks_scanned;
+            let take = match spec.limit {
+                Some(l) => l.min(sel.count().saturating_sub(spec.offset)),
+                None => sel.count().saturating_sub(spec.offset),
             };
-            all[spec.offset.min(end)..end].to_vec()
+            sel.iter().skip(spec.offset).take(take).collect()
         }
     };
 

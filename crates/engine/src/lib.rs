@@ -59,6 +59,7 @@ mod cost;
 pub mod distributed;
 mod error;
 pub mod exec;
+pub mod kernels;
 mod page;
 pub mod parallel;
 mod predicate;
@@ -76,9 +77,10 @@ pub use backend::{
     RetryingBackend,
 };
 pub use buffer::{BufferPool, BufferPoolStats, EvictionPolicy};
-pub use column::{Column, ColumnBuilder};
-pub use cost::{CostModel, CostParams, QueryFootprint};
+pub use column::{Column, ColumnBuilder, Zone, ZoneMap, ZONE_BLOCK_ROWS};
+pub use cost::{CostModel, CostParams, LinearCostModel, QueryFootprint};
 pub use error::{EngineError, EngineResult};
+pub use kernels::{KernelOptions, KernelStats, SelectionVector};
 pub use page::{Page, PageId, Pager, PAGE_SIZE};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{BinSpec, JoinSpec, Projection, Query, SelectSpec};

@@ -179,10 +179,23 @@ impl Predicate {
         })
     }
 
+    /// Evaluates the predicate over all rows, returning the selection as
+    /// a bitmask. This is the vectorized path the executor uses: each
+    /// condition is evaluated column-at-a-time with zone-map block
+    /// skipping (see [`crate::kernels`]), and boolean combinators become
+    /// word-wise AND/OR/NOT. Selects exactly the rows
+    /// [`select`](Predicate::select) does.
+    pub fn select_vector(&self, table: &Table) -> EngineResult<crate::kernels::SelectionVector> {
+        crate::kernels::select_vector(table, self)
+    }
+
     /// Evaluates the predicate over all rows, returning selected row indices.
     ///
-    /// The common fast path — a conjunction of numeric `Between`s — is
-    /// evaluated column-at-a-time over the raw slices.
+    /// This is the row-id-materializing baseline the vectorized
+    /// [`select_vector`](Predicate::select_vector) path is
+    /// differential-tested against (the common fast path — a conjunction
+    /// of numeric `Between`s — is evaluated column-at-a-time over the raw
+    /// slices, but still materializes a `Vec<usize>`).
     pub fn select(&self, table: &Table) -> EngineResult<Vec<usize>> {
         if let Some(ranges) = self.as_range_conjunction() {
             return select_ranges(table, &ranges);

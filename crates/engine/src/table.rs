@@ -1,9 +1,9 @@
 //! Tables: named collections of equal-length columns.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::column::{Column, ColumnBuilder};
+use crate::column::{Column, ColumnBuilder, ZoneMap};
 use crate::error::{EngineError, EngineResult};
 use crate::stats::TableStats;
 use crate::value::{DataType, Value};
@@ -17,6 +17,10 @@ pub struct Table {
     index: Arc<HashMap<Arc<str>, usize>>,
     rows: usize,
     stats: Arc<TableStats>,
+    // Lazily built per-column zone maps (`None` once built for a string
+    // column). Shared across clones, so the first query to touch a
+    // column pays the build and every later query reuses it.
+    zones: Arc<[OnceLock<Option<ZoneMap>>]>,
 }
 
 impl Table {
@@ -75,6 +79,20 @@ impl Table {
     /// Per-column min/max/distinct statistics, computed once at build time.
     pub fn stats(&self) -> &TableStats {
         &self.stats
+    }
+
+    /// The zone map of the column at position `i`, built lazily on first
+    /// use and cached for the table's lifetime (clones share the cache).
+    /// `None` for string columns, which have no numeric block bounds.
+    pub fn zone_map_at(&self, i: usize) -> Option<&ZoneMap> {
+        self.zones[i]
+            .get_or_init(|| ZoneMap::build(&self.columns[i]))
+            .as_ref()
+    }
+
+    /// The zone map of a column by name (see [`Table::zone_map_at`]).
+    pub fn zone_map(&self, name: &str) -> EngineResult<Option<&ZoneMap>> {
+        Ok(self.zone_map_at(self.column_index(name)?))
     }
 
     /// Estimated width of one row on disk, in bytes (used by the pager).
@@ -157,6 +175,8 @@ impl TableBuilder {
             cols.push(builder.build());
         }
         let stats = TableStats::compute(&names, &cols);
+        let zones: Vec<OnceLock<Option<ZoneMap>>> =
+            (0..cols.len()).map(|_| OnceLock::new()).collect();
         Ok(Table {
             name: Arc::from(self.name.as_str()),
             column_names: names.into(),
@@ -164,6 +184,7 @@ impl TableBuilder {
             index: Arc::new(index),
             rows,
             stats: Arc::new(stats),
+            zones: zones.into(),
         })
     }
 }
@@ -232,6 +253,20 @@ mod tests {
         let t = sample();
         // 8 header + 8 (int) + 8 (float) + 24 (str)
         assert_eq!(t.row_disk_width(), 48);
+    }
+
+    #[test]
+    fn zone_maps_built_lazily_and_shared_across_clones() {
+        let t = sample();
+        let z = t.zone_map("a").unwrap().expect("int column has a zone map");
+        let b = z.block(0).unwrap();
+        assert_eq!((b.min, b.max), (1.0, 3.0));
+        assert!(t.zone_map("c").unwrap().is_none(), "strings have none");
+        // A clone sees the same cached map (same allocation).
+        let clone = t.clone();
+        let z2 = clone.zone_map("a").unwrap().unwrap();
+        assert!(std::ptr::eq(z, z2));
+        assert!(t.zone_map("zzz").is_err());
     }
 
     #[test]

@@ -25,6 +25,15 @@ impl DataType {
             DataType::Str => 24,
         }
     }
+
+    /// `true` for types whose values convert to `f64` — the types that
+    /// can be binned, range-filtered, and zone-mapped. This is the
+    /// correct way to probe a column for numeric operations: inspecting
+    /// a sample value (the old `f64_at(0)` probe) tells you nothing on
+    /// an empty column.
+    pub const fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
 }
 
 impl fmt::Display for DataType {

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use ids_engine::{Backend, EngineResult, Query, QueryOutcome, ResultSet};
+use ids_engine::{Backend, EngineResult, Query, QueryFootprint, QueryOutcome, ResultSet};
 use ids_simclock::SimDuration;
 use parking_lot::Mutex;
 
@@ -35,6 +35,10 @@ pub struct ReuseStats {
     /// Virtual time the raw backend would have spent (every query
     /// executed).
     pub raw_cost: SimDuration,
+    /// Physical work (scans, predicate evaluations, page reads) that
+    /// cache hits avoided — the engine-side counterpart of the virtual
+    /// `raw_cost - actual_cost` saving.
+    pub avoided: QueryFootprint,
 }
 
 impl ReuseStats {
@@ -82,6 +86,7 @@ impl<'b> SessionCache<'b> {
             // use the real execution cost for fidelity.
             let raw = self.backend.execute(query)?;
             stats.raw_cost += raw.cost;
+            stats.avoided = stats.avoided.merge(raw.footprint);
             return Ok(QueryOutcome {
                 result,
                 footprint: Default::default(),
@@ -138,6 +143,8 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(stats.hit_rate(), 0.5);
+        // The hit avoided a full scan of the 100k-row table.
+        assert_eq!(stats.avoided.rows_scanned, 100_000);
     }
 
     #[test]

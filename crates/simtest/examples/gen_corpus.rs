@@ -187,6 +187,49 @@ fn corpus() -> Vec<(&'static str, &'static str, Scenario)> {
     bursts_admission.tenant_burst = 4.0;
     bursts_admission.queue_limit = 2;
 
+    let mut block_boundary = base(0x108);
+    block_boundary.table = TableSpec {
+        rows: 1025,
+        key_mod: 5,
+        nan_every: 9,
+        dim_rows: 10,
+    };
+    block_boundary.queries = vec![
+        QuerySpec::Histogram {
+            bins: 12,
+            lo: 0.0,
+            hi: 100.0,
+            filter: FilterSpec::True,
+        },
+        QuerySpec::Histogram {
+            bins: 5,
+            lo: 20.0,
+            hi: 80.0,
+            filter: FilterSpec::VkAnd {
+                vlo: 10.0,
+                vhi: 90.0,
+                klo: 1.0,
+                khi: 3.0,
+            },
+        },
+        // Inverted bounds: the all-rows-filtered edge.
+        QuerySpec::Count {
+            filter: FilterSpec::VBetween { lo: 70.0, hi: 30.0 },
+        },
+        QuerySpec::Select {
+            filter: FilterSpec::KCmp {
+                op: CmpToken::Ge,
+                value: 3,
+            },
+            limit: 9,
+            offset: 1020,
+        },
+        QuerySpec::Join {
+            limit: 6,
+            offset: 1019,
+        },
+    ];
+
     let mut scroll_degrade = base(0x107);
     scroll_degrade.shape = SessionShape::Scrolling;
     scroll_degrade.device = DeviceKind::Trackpad;
@@ -229,6 +272,12 @@ fn corpus() -> Vec<(&'static str, &'static str, Scenario)> {
             "scroll-degrade",
             "scroll replay under faults with a degrade-after budget (partial answers)",
             scroll_degrade,
+        ),
+        (
+            "block-boundary-kernels",
+            "1025-row table straddling the 1024-row zone-map block: vectorized \
+             kernels, pruning, and pagination at the boundary",
+            block_boundary,
         ),
     ]
 }

@@ -1,0 +1,329 @@
+//! Kernel-equivalence test tier.
+//!
+//! The vectorized kernels (`ids::engine::kernels`: selection-vector
+//! predicate evaluation, zone-map pruning, fused filter+bin) must agree
+//! **bucket-for-bucket** with row-at-a-time evaluation on adversarial
+//! tables: empty, single-row, all-NaN measures, all-filtered ranges,
+//! duplicate dictionary codes, and sizes straddling the 1024-row
+//! zone-map block boundary.
+//!
+//! Two layers of checking:
+//! - `differential_check` pits the full engine (now kernel-backed)
+//!   against `ids::simtest::reference`'s independent row-at-a-time
+//!   interpreter over a query battery covering every filter shape.
+//! - Direct tests compare `kernels::select_vector` with a per-row
+//!   `Predicate::matches` loop on hand-built tables with infinities,
+//!   NaNs, and block-boundary values.
+
+use ids::engine::kernels::{self, KernelOptions, KernelStats};
+use ids::engine::{exec, BinSpec, CmpOp, ColumnBuilder, Predicate, Table, TableBuilder, Value};
+use ids::simtest::reference::differential_check;
+use ids::simtest::scenario::{CmpToken, FilterSpec, QuerySpec, TableSpec};
+
+/// Every filter shape the differential grammar knows, including an
+/// empty range (all rows filtered) and duplicate-heavy comparisons,
+/// crossed with counts, histograms, paginated selects, and joins.
+fn query_battery() -> Vec<QuerySpec> {
+    let filters = [
+        FilterSpec::True,
+        FilterSpec::VBetween { lo: 20.0, hi: 80.0 },
+        // Inverted bounds: an empty range — every row filtered out.
+        FilterSpec::VBetween { lo: 60.0, hi: 40.0 },
+        FilterSpec::KCmp {
+            op: CmpToken::Eq,
+            value: 3,
+        },
+        FilterSpec::KCmp {
+            op: CmpToken::Ne,
+            value: 0,
+        },
+        FilterSpec::KCmp {
+            op: CmpToken::Lt,
+            value: 5,
+        },
+        FilterSpec::KCmp {
+            op: CmpToken::Le,
+            value: 2,
+        },
+        FilterSpec::KCmp {
+            op: CmpToken::Gt,
+            value: 6,
+        },
+        FilterSpec::KCmp {
+            op: CmpToken::Ge,
+            value: 7,
+        },
+        FilterSpec::SEq { word: 2 },
+        FilterSpec::VkAnd {
+            vlo: 10.0,
+            vhi: 90.0,
+            klo: 1.0,
+            khi: 6.0,
+        },
+        FilterSpec::NotV { lo: 25.0, hi: 75.0 },
+    ];
+    let mut qs = Vec::new();
+    for f in filters {
+        qs.push(QuerySpec::Count { filter: f });
+        qs.push(QuerySpec::Histogram {
+            bins: 16,
+            lo: 0.0,
+            hi: 100.0,
+            filter: f,
+        });
+        qs.push(QuerySpec::Select {
+            filter: f,
+            limit: 7,
+            offset: 3,
+        });
+    }
+    qs.push(QuerySpec::Join {
+        limit: 0,
+        offset: 0,
+    });
+    qs.push(QuerySpec::Join {
+        limit: 5,
+        offset: 2,
+    });
+    qs
+}
+
+fn check(seed: u64, spec: TableSpec) {
+    differential_check(seed, &spec, &query_battery()).unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+}
+
+#[test]
+fn kernels_match_reference_on_block_boundary_sizes() {
+    // Sizes straddling the selection-word (64) and zone-block (1024)
+    // boundaries, plus empty and single-row tables.
+    for rows in [0, 1, 2, 63, 64, 65, 1023, 1024, 1025, 2500] {
+        check(
+            11,
+            TableSpec {
+                rows,
+                key_mod: 8,
+                nan_every: 7,
+                dim_rows: 16,
+            },
+        );
+    }
+}
+
+#[test]
+fn kernels_match_reference_on_all_nan_measure() {
+    // nan_every = 1 makes the whole `v` column NaN — the all-null
+    // stand-in. Every ordered comparison must fail, `!=` must pass.
+    for rows in [1, 64, 1024, 1500] {
+        check(
+            13,
+            TableSpec {
+                rows,
+                key_mod: 4,
+                nan_every: 1,
+                dim_rows: 8,
+            },
+        );
+    }
+}
+
+#[test]
+fn kernels_match_reference_on_duplicate_dictionary_codes() {
+    // key_mod = 1 collapses the key column to a single value, and 2500
+    // rows cycle the small string vocabulary many times over — heavy
+    // duplication in both the int keys and the dictionary codes.
+    for key_mod in [1, 2] {
+        check(
+            17,
+            TableSpec {
+                rows: 2500,
+                key_mod,
+                nan_every: 0,
+                dim_rows: 32,
+            },
+        );
+    }
+}
+
+#[test]
+fn kernels_match_reference_across_seeds() {
+    for seed in 0..8u64 {
+        check(
+            seed,
+            TableSpec {
+                rows: 1025,
+                key_mod: 5,
+                nan_every: 11,
+                dim_rows: 12,
+            },
+        );
+    }
+}
+
+// ---- direct selection-vector vs `Predicate::matches` comparisons ----
+
+/// A table whose float column exercises infinities, NaN, and values
+/// sitting exactly on bin and block boundaries.
+fn adversarial_table(rows: usize) -> Table {
+    let xs = (0..rows).map(|i| match i % 7 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => (i % 1024) as f64,
+        5 => -((i % 100) as f64) / 3.0,
+        _ => (i as f64) / 10.0,
+    });
+    let strs = (0..rows).map(|i| ["alpha", "beta", "gamma"][i % 3]);
+    TableBuilder::new("adv")
+        .column("x", ColumnBuilder::float(xs))
+        .column("n", ColumnBuilder::int((0..rows).map(|i| (i % 5) as i64)))
+        .column("s", ColumnBuilder::str(strs))
+        .build()
+        .expect("static schema")
+}
+
+fn predicate_battery() -> Vec<Predicate> {
+    let mut preds = vec![
+        Predicate::True,
+        Predicate::between("x", 0.0, 50.0),
+        Predicate::between("x", 50.0, 0.0), // empty range
+        Predicate::between("x", f64::NEG_INFINITY, f64::INFINITY),
+        Predicate::eq("s", "beta"),
+        Predicate::eq("s", "missing-from-dictionary"),
+        Predicate::eq("n", 3i64),
+        Predicate::eq("x", 2.5),
+        // Cross-type: string literal against a numeric column.
+        Predicate::eq("x", "not-a-number"),
+        Predicate::ge("x", 10.0),
+        Predicate::le("n", 2.0),
+        Predicate::and([
+            Predicate::between("x", -20.0, 100.0),
+            Predicate::eq("n", 1i64),
+        ]),
+        Predicate::Or(vec![Predicate::eq("s", "alpha"), Predicate::ge("x", 90.0)]),
+        Predicate::Not(Box::new(Predicate::between("x", 0.0, 10.0))),
+        // NaN literal: false for every row under every op but `!=`.
+        Predicate::Cmp {
+            column: "x".into(),
+            op: CmpOp::Lt,
+            value: Value::Float(f64::NAN),
+        },
+        Predicate::Cmp {
+            column: "x".into(),
+            op: CmpOp::Ne,
+            value: Value::Float(f64::NAN),
+        },
+    ];
+    for op in [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ] {
+        preds.push(Predicate::Cmp {
+            column: "x".into(),
+            op,
+            value: Value::Float(0.0),
+        });
+        preds.push(Predicate::Cmp {
+            column: "n".into(),
+            op,
+            value: Value::Int(2),
+        });
+    }
+    preds
+}
+
+#[test]
+fn selection_vector_matches_rowwise_on_adversarial_tables() {
+    for rows in [0, 1, 63, 64, 65, 1023, 1024, 1025, 3000] {
+        let t = adversarial_table(rows);
+        for pred in predicate_battery() {
+            let sel = kernels::select_vector(&t, &pred)
+                .unwrap_or_else(|e| panic!("{rows} rows, {pred:?}: {e}"));
+            let expect: Vec<usize> = (0..rows)
+                .filter(|&r| pred.matches(&t, r).expect("valid predicate"))
+                .collect();
+            assert_eq!(
+                sel.to_row_ids(),
+                expect,
+                "{rows} rows, {pred:?}: selection diverged"
+            );
+            assert_eq!(sel.count(), expect.len());
+        }
+    }
+}
+
+#[test]
+fn histograms_match_rowwise_bucket_for_bucket_on_adversarial_tables() {
+    for rows in [0, 1, 1023, 1024, 1025, 3000] {
+        let t = adversarial_table(rows);
+        let bins = BinSpec::new("x", -30.0, 120.0, 25);
+        for pred in predicate_battery() {
+            let (rs, _) = exec::run_histogram(&t, &bins, &pred)
+                .unwrap_or_else(|e| panic!("{rows} rows, {pred:?}: {e}"));
+            let hist = rs.histogram().expect("histogram result");
+            let col = t.column("x").expect("x exists");
+            let mut manual = vec![0u64; bins.bucket_count()];
+            for r in 0..rows {
+                if pred.matches(&t, r).expect("valid predicate") {
+                    if let Some(b) = col.f64_at(r).and_then(|x| bins.bin_of(x)) {
+                        manual[b] += 1;
+                    }
+                }
+            }
+            assert_eq!(
+                hist.counts(),
+                &manual[..],
+                "{rows} rows, {pred:?}: buckets diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn zone_pruning_is_invisible_on_adversarial_tables() {
+    // Kernel results must be identical with pruning disabled — pruning
+    // may only skip work, never change an answer.
+    let on = KernelOptions { zone_prune: true };
+    let off = KernelOptions { zone_prune: false };
+    for rows in [1, 1024, 1025, 3000] {
+        let t = adversarial_table(rows);
+        for pred in predicate_battery() {
+            let mut s1 = KernelStats::default();
+            let mut s2 = KernelStats::default();
+            let a = kernels::select_vector_with(&t, &pred, &on, &mut s1).expect("valid");
+            let b = kernels::select_vector_with(&t, &pred, &off, &mut s2).expect("valid");
+            assert_eq!(
+                a.to_row_ids(),
+                b.to_row_ids(),
+                "{rows} rows, {pred:?}: pruning changed the selection"
+            );
+            assert_eq!(s2.blocks_pruned, 0, "pruning disabled but blocks pruned");
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_row_tables_bin_correctly() {
+    let empty = TableBuilder::new("e")
+        .column("x", ColumnBuilder::float(std::iter::empty::<f64>()))
+        .build()
+        .expect("empty table");
+    let bins = BinSpec::new("x", 0.0, 10.0, 5);
+    let (rs, fp) = exec::run_histogram(&empty, &bins, &Predicate::True).expect("empty ok");
+    assert_eq!(rs.histogram().expect("histogram").total(), 0);
+    assert_eq!(fp.rows_matched, 0);
+
+    let single = TableBuilder::new("s1")
+        .column("x", ColumnBuilder::float([7.0]))
+        .build()
+        .expect("single row");
+    let (rs, _) = exec::run_histogram(&single, &bins, &Predicate::True).expect("single ok");
+    let h = rs.histogram().expect("histogram");
+    assert_eq!(h.total(), 1);
+    // 7.0 over [0, 10] with 5 bins of width 2 rounds to bucket 4.
+    assert_eq!(h.counts()[4], 1);
+}

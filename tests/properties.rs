@@ -1,6 +1,7 @@
 //! Property-based tests over the workspace's core invariants.
 
 use ids::chaos::FaultPlan;
+use ids::engine::kernels::{self, KernelOptions, KernelStats};
 use ids::engine::{Backend, MemBackend};
 use ids::engine::{BinSpec, ColumnBuilder, Histogram, Predicate, Query, Table, TableBuilder};
 use ids::metrics::lcv::{budget_violations, cascade_violations, supply_violations, QuerySpan};
@@ -357,5 +358,76 @@ proptest! {
         }
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert_eq!(cdf.fraction_le(max), 1.0);
+    }
+
+    /// Zone-map pruning is invisible: the kernels return byte-identical
+    /// selections with pruning enabled and disabled, on tables with and
+    /// without NaN holes, across zone-block boundaries.
+    #[test]
+    fn zone_pruning_is_invisible(
+        xs in prop::collection::vec(-100.0f64..100.0, 0..2200),
+        nan_every in 0usize..5,
+        lo in -120.0f64..120.0,
+        width in 0.0f64..150.0,
+        negate in 0usize..2,
+    ) {
+        let xs: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| if nan_every > 0 && i % nan_every == 0 { f64::NAN } else { x })
+            .collect();
+        let table = float_table(xs);
+        let base = Predicate::between("x", lo, lo + width);
+        let pred = if negate == 1 { Predicate::Not(Box::new(base)) } else { base };
+        let on = KernelOptions { zone_prune: true };
+        let off = KernelOptions { zone_prune: false };
+        let mut s_on = KernelStats::default();
+        let mut s_off = KernelStats::default();
+        let a = kernels::select_vector_with(&table, &pred, &on, &mut s_on).expect("valid");
+        let b = kernels::select_vector_with(&table, &pred, &off, &mut s_off).expect("valid");
+        prop_assert_eq!(a.to_row_ids(), b.to_row_ids());
+        prop_assert_eq!(s_off.blocks_pruned, 0);
+    }
+
+    /// The selection vector's popcount (and decoded row ids) equal the
+    /// naive row-id-materializing `Predicate::select`.
+    #[test]
+    fn selection_count_matches_naive_select(
+        xs in prop::collection::vec(-50.0f64..50.0, 0..1500),
+        lo in -60.0f64..60.0,
+        width in 0.0f64..80.0,
+    ) {
+        let table = float_table(xs);
+        let pred = Predicate::and([
+            Predicate::between("x", lo, lo + width),
+            Predicate::le("y", 40.0),
+        ]);
+        let sel = pred.select_vector(&table).expect("valid");
+        let naive = pred.select(&table).expect("valid");
+        prop_assert_eq!(sel.count(), naive.len());
+        prop_assert_eq!(sel.to_row_ids(), naive);
+    }
+
+    /// The fused filter+bin kernel equals filtering and binning as two
+    /// separate passes, bucket for bucket.
+    #[test]
+    fn fused_filter_bin_matches_unfused(
+        xs in prop::collection::vec(0.0f64..100.0, 0..2100),
+        bins in 1usize..25,
+        lo in 0.0f64..100.0,
+        width in 0.0f64..100.0,
+    ) {
+        let table = float_table(xs);
+        let pred = Predicate::between("x", lo, lo + width);
+        let spec = BinSpec::new("x", 0.0, 100.0, bins);
+        let col = table.column("x").expect("x exists");
+        let mut unfused = vec![0u64; spec.bucket_count()];
+        for row in pred.select(&table).expect("valid") {
+            if let Some(b) = col.f64_at(row).and_then(|x| spec.bin_of(x)) {
+                unfused[b] += 1;
+            }
+        }
+        let (rs, _) = ids::engine::exec::run_histogram(&table, &spec, &pred).expect("valid");
+        prop_assert_eq!(rs.histogram().expect("histogram").counts(), &unfused[..]);
     }
 }
