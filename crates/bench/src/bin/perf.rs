@@ -1,10 +1,8 @@
 //! `perf`: deterministic micro-bench harness for the vectorized kernels.
 //!
-//! Measures the vectorized engine (selection-vector kernels, zone-map
-//! pruning, fused filter+bin) against the row-at-a-time baseline
-//! (per-row `Predicate::matches` + `bin_of`) on seeded tables, reporting
-//! both *virtual* cost (simclock-priced footprints — deterministic) and
-//! *wall-clock* medians (hardware-dependent).
+//! Thin CLI wrapper over [`ids_bench::perf`] (the machinery lives in the
+//! library so `trend` can fold a fresh quick run into the committed
+//! `BENCH_*.json` history).
 //!
 //! ```text
 //! perf                   # full run → BENCH_perf.json (wall times + speedups)
@@ -19,17 +17,7 @@
 //! can diff two runs for byte-identity: same seed, same rows, same
 //! checksums, same virtual costs, same pruning counters — always.
 
-use std::time::Instant;
-
-use ids_engine::{
-    exec, BinSpec, ColumnBuilder, CostModel, CostParams, LinearCostModel, Predicate, Table,
-    TableBuilder,
-};
-use ids_simclock::rng::SimRng;
-
-/// Deterministic seed for the perf tables (fixed: the report must be
-/// reproducible, so this is not configurable).
-const SEED: u64 = 7;
+use ids_bench::perf::{default_reps, default_rows, env_usize, render_json, run_all};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,50 +39,7 @@ fn main() {
     let rows = env_usize("IDS_PERF_ROWS", default_rows(quick));
     let reps = env_usize("IDS_PERF_REPS", default_reps(quick)).max(1);
 
-    let table = perf_table(rows);
-    let n = rows as f64;
-    // The interactive crossfilter shapes: a clustered brush (time axis),
-    // an unclustered range, a full-table histogram, and a brushed count.
-    let benches: Vec<(&str, BinSpec, Predicate)> = vec![
-        (
-            "hist_brush_t_bin_v",
-            BinSpec::new("v", 0.0, 100.0, 20),
-            Predicate::between("t", 0.45 * n, 0.55 * n),
-        ),
-        (
-            "hist_full_bin_v",
-            BinSpec::new("v", 0.0, 100.0, 20),
-            Predicate::True,
-        ),
-        (
-            "hist_range_v_bin_v",
-            BinSpec::new("v", 0.0, 100.0, 20),
-            Predicate::between("v", 5.0, 95.0),
-        ),
-        (
-            "hist_crossfilter_2d",
-            BinSpec::new("v", 0.0, 100.0, 20),
-            Predicate::and([
-                Predicate::between("t", 0.25 * n, 0.75 * n),
-                Predicate::between("v", 10.0, 90.0),
-            ]),
-        ),
-    ];
-
-    let model = LinearCostModel::new(CostParams::mem_default());
-    let mut reports = Vec::new();
-    for (name, bins, filter) in &benches {
-        reports.push(run_bench(name, &table, bins, filter, &model, reps, quick));
-    }
-    reports.push(run_count_bench(
-        "count_brush_t",
-        &table,
-        &Predicate::between("t", 0.45 * n, 0.55 * n),
-        &model,
-        reps,
-        quick,
-    ));
-
+    let reports = run_all(quick, rows, reps);
     let json = render_json(quick, rows, reps, &reports);
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("error: writing {out}: {e}");
@@ -102,235 +47,6 @@ fn main() {
     }
     eprint!("{json}");
     eprintln!("report written to {out}");
-}
-
-/// One benchmark's measurements. Wall fields are `None` in quick mode.
-struct BenchReport {
-    name: String,
-    rows_matched: u64,
-    checksum: u64,
-    virtual_cost_us: u64,
-    blocks_pruned: u64,
-    blocks_scanned: u64,
-    baseline_wall_ns: Option<u64>,
-    vectorized_wall_ns: Option<u64>,
-}
-
-/// The seeded perf table: a clustered time axis `t` (row index — zone
-/// maps prune brushes on it), a uniform measure `v` (the binned axis),
-/// and a low-cardinality key `k`.
-fn perf_table(rows: usize) -> Table {
-    let mut rng = SimRng::seed(SEED).split("perf/table");
-    let mut t = ColumnBuilder::float([]);
-    let mut v = ColumnBuilder::float([]);
-    let mut k = ColumnBuilder::int([]);
-    for i in 0..rows {
-        t.push_float(i as f64);
-        v.push_float(rng.uniform(0.0, 100.0));
-        k.push_int((i % 1000) as i64);
-    }
-    TableBuilder::new("perf")
-        .column("t", t)
-        .column("v", v)
-        .column("k", k)
-        .build()
-        .expect("static schema")
-}
-
-/// The row-at-a-time baseline: evaluate the predicate per row with
-/// [`Predicate::matches`] — the engine's ground-truth tuple-at-a-time
-/// path, same execution model as `ids_simtest::reference` — then bin
-/// matching rows through `f64_at` + `bin_of`. This is what the
-/// vectorized kernels replaced.
-fn rowwise_histogram(table: &Table, bins: &BinSpec, filter: &Predicate) -> Vec<u64> {
-    let col = table.column(&bins.column).expect("bench column exists");
-    let mut counts = vec![0u64; bins.bucket_count()];
-    for row in 0..table.rows() {
-        if filter.matches(table, row).expect("bench filter is valid") {
-            if let Some(b) = col.f64_at(row).and_then(|x| bins.bin_of(x)) {
-                counts[b] += 1;
-            }
-        }
-    }
-    counts
-}
-
-/// Row-at-a-time count baseline (see [`rowwise_histogram`]).
-fn rowwise_count(table: &Table, filter: &Predicate) -> u64 {
-    (0..table.rows())
-        .filter(|&row| filter.matches(table, row).expect("bench filter is valid"))
-        .count() as u64
-}
-
-fn run_bench(
-    name: &str,
-    table: &Table,
-    bins: &BinSpec,
-    filter: &Predicate,
-    model: &LinearCostModel,
-    reps: usize,
-    quick: bool,
-) -> BenchReport {
-    let (rs, fp) = exec::run_histogram(table, bins, filter).expect("bench query is valid");
-    let hist = rs.histogram().expect("histogram result");
-    let rowwise = rowwise_histogram(table, bins, filter);
-    assert_eq!(
-        hist.counts(),
-        &rowwise[..],
-        "{name}: vectorized and row-at-a-time histograms diverged"
-    );
-    let mut report = BenchReport {
-        name: name.to_string(),
-        rows_matched: fp.rows_matched,
-        checksum: fnv1a(hist.counts()),
-        virtual_cost_us: model.price(&fp).as_micros(),
-        blocks_pruned: fp.blocks_pruned,
-        blocks_scanned: fp.blocks_scanned,
-        baseline_wall_ns: None,
-        vectorized_wall_ns: None,
-    };
-    if !quick {
-        report.baseline_wall_ns = Some(median_wall_ns(reps, || {
-            std::hint::black_box(rowwise_histogram(table, bins, filter));
-        }));
-        report.vectorized_wall_ns = Some(median_wall_ns(reps, || {
-            std::hint::black_box(exec::run_histogram(table, bins, filter).unwrap());
-        }));
-    }
-    report
-}
-
-fn run_count_bench(
-    name: &str,
-    table: &Table,
-    filter: &Predicate,
-    model: &LinearCostModel,
-    reps: usize,
-    quick: bool,
-) -> BenchReport {
-    let (rs, fp) = exec::run_count(table, filter).expect("bench query is valid");
-    let count = rs.scalar_count().expect("count result");
-    let rowwise = rowwise_count(table, filter);
-    assert_eq!(
-        count, rowwise,
-        "{name}: vectorized and row-at-a-time counts diverged"
-    );
-    let mut report = BenchReport {
-        name: name.to_string(),
-        rows_matched: fp.rows_matched,
-        checksum: fnv1a(&[count]),
-        virtual_cost_us: model.price(&fp).as_micros(),
-        blocks_pruned: fp.blocks_pruned,
-        blocks_scanned: fp.blocks_scanned,
-        baseline_wall_ns: None,
-        vectorized_wall_ns: None,
-    };
-    if !quick {
-        report.baseline_wall_ns = Some(median_wall_ns(reps, || {
-            std::hint::black_box(rowwise_count(table, filter));
-        }));
-        report.vectorized_wall_ns = Some(median_wall_ns(reps, || {
-            std::hint::black_box(exec::run_count(table, filter).unwrap());
-        }));
-    }
-    report
-}
-
-/// One warmup run, then the median of `reps` timed runs.
-fn median_wall_ns(reps: usize, mut f: impl FnMut()) -> u64 {
-    f(); // warmup
-    let mut samples: Vec<u64> = (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_nanos() as u64
-        })
-        .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2]
-}
-
-/// FNV-1a over the little-endian bytes of the counts — a stable,
-/// dependency-free digest for the byte-identity gate.
-fn fnv1a(counts: &[u64]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for c in counts {
-        for b in c.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
-
-fn render_json(quick: bool, rows: usize, reps: usize, reports: &[BenchReport]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"harness\": \"perf\",\n");
-    s.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if quick { "quick" } else { "full" }
-    ));
-    s.push_str(&format!("  \"seed\": {SEED},\n"));
-    s.push_str(&format!("  \"rows\": {rows},\n"));
-    s.push_str(&format!("  \"reps\": {reps},\n"));
-    s.push_str("  \"benches\": [\n");
-    for (i, r) in reports.iter().enumerate() {
-        s.push_str("    {\n");
-        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
-        s.push_str(&format!("      \"rows_matched\": {},\n", r.rows_matched));
-        s.push_str(&format!("      \"checksum\": \"{:016x}\",\n", r.checksum));
-        s.push_str(&format!(
-            "      \"virtual_cost_us\": {},\n",
-            r.virtual_cost_us
-        ));
-        s.push_str(&format!("      \"blocks_pruned\": {},\n", r.blocks_pruned));
-        if let (Some(base), Some(vec)) = (r.baseline_wall_ns, r.vectorized_wall_ns) {
-            s.push_str(&format!(
-                "      \"blocks_scanned\": {},\n",
-                r.blocks_scanned
-            ));
-            s.push_str(&format!("      \"baseline_wall_ns\": {base},\n"));
-            s.push_str(&format!("      \"vectorized_wall_ns\": {vec},\n"));
-            s.push_str(&format!(
-                "      \"speedup\": {:.2}\n",
-                base as f64 / vec.max(1) as f64
-            ));
-        } else {
-            s.push_str(&format!("      \"blocks_scanned\": {}\n", r.blocks_scanned));
-        }
-        s.push_str(if i + 1 == reports.len() {
-            "    }\n"
-        } else {
-            "    },\n"
-        });
-    }
-    s.push_str("  ]\n");
-    s.push_str("}\n");
-    s
-}
-
-fn default_rows(quick: bool) -> usize {
-    if quick {
-        200_000
-    } else {
-        10_000_000
-    }
-}
-
-fn default_reps(quick: bool) -> usize {
-    if quick {
-        1
-    } else {
-        5
-    }
-}
-
-fn env_usize(var: &str, default: usize) -> usize {
-    std::env::var(var)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
 }
 
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {

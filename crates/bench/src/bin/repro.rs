@@ -56,7 +56,17 @@ fn main() {
             println!("{}", robustness::run(&scale.robustness()).render());
         }
         Command::Fleet => {
-            println!("{}", fleet::run(&scale.fleet()).render());
+            // Fleet telemetry is captured through the obs recorder and
+            // served back out of the lakehouse tables, so the recorder
+            // must be live for the run (restore its prior state after).
+            let was_enabled = ids_obs::enabled();
+            ids_obs::enable();
+            let report = fleet::run(&scale.fleet());
+            if !was_enabled && trace_out.is_none() {
+                ids_obs::disable();
+            }
+            println!("{}", report.render());
+            println!("{}", report.render_telemetry());
         }
         Command::Help(err) => {
             if let Some(e) = err {
@@ -105,8 +115,23 @@ fn finish_telemetry(trace_out: Option<&str>, metrics_out: Option<&str>) {
     }
     if let Some(path) = trace_out {
         println!("{}", report::metrics_summary(&snap));
-        let json = ids_obs::chrome_trace_json(&rec.events(), &rec.tracks());
-        if let Err(e) = std::fs::write(path, json) {
+        // Stream the trace to disk in chunks (possibly rendered in
+        // parallel — set IDS_EXPORT_THREADS) instead of materializing
+        // one monolithic string; the bytes are identical either way.
+        let write_chunked = |path: &str| -> Result<(), ids_obs::ExportError> {
+            let file = std::fs::File::create(path)?;
+            let mut sink = ids_obs::IoSink::new(std::io::BufWriter::new(file));
+            ids_obs::chrome_trace_chunked(
+                &rec.events(),
+                &rec.tracks(),
+                ids_obs::export_threads(),
+                &mut sink,
+            )?;
+            use std::io::Write as _;
+            sink.into_inner().flush()?;
+            Ok(())
+        };
+        if let Err(e) = write_chunked(path) {
             eprintln!("error: writing trace to {path}: {e}");
             std::process::exit(1);
         }

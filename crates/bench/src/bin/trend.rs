@@ -1,0 +1,120 @@
+//! `trend`: CI-gated perf-trend harness.
+//!
+//! Folds the committed `BENCH_*.json` history plus a fresh
+//! `perf --quick` run into a regression table (see [`ids_bench::trend`])
+//! and exits non-zero when a gate fails.
+//!
+//! ```text
+//! trend                        # history = ./BENCH_*.json, plus a fresh quick run
+//! trend FILE...                # explicit history files, in commit order
+//! trend --max-regression 0.3  # tolerate up to 30% slowdown (default 0.20)
+//! trend --no-fresh             # evaluate the committed history only
+//! IDS_PERF_ROWS=N              # table size for the fresh quick run
+//! ```
+
+use ids_bench::perf;
+use ids_bench::trend::{evaluate, parse_report, PerfReport};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let no_fresh = take_flag(&mut args, "--no-fresh");
+    let max_regression: f64 = take_value_flag(&mut args, "--max-regression")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --max-regression wants a fraction like 0.20");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.20);
+    if args.iter().any(|a| a.starts_with("--")) {
+        eprintln!("usage: trend [--max-regression FRACTION] [--no-fresh] [BENCH_FILE...]");
+        std::process::exit(2);
+    }
+
+    let files = if args.is_empty() {
+        default_history_files()
+    } else {
+        args
+    };
+    if files.is_empty() {
+        eprintln!("error: no BENCH_*.json history found (run `perf --quick` first)");
+        std::process::exit(2);
+    }
+
+    let mut history: Vec<PerfReport> = Vec::new();
+    for f in &files {
+        let json = std::fs::read_to_string(f).unwrap_or_else(|e| {
+            eprintln!("error: reading {f}: {e}");
+            std::process::exit(2);
+        });
+        match parse_report(f, &json) {
+            Ok(r) => history.push(r),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let fresh = if no_fresh {
+        // Re-evaluate the newest committed report against the rest.
+        history.pop().unwrap_or_else(|| {
+            eprintln!("error: --no-fresh needs at least one history file");
+            std::process::exit(2);
+        })
+    } else {
+        let rows = perf::env_usize("IDS_PERF_ROWS", perf::default_rows(true));
+        eprintln!("running fresh perf --quick at {rows} rows…");
+        let runs = perf::run_all(true, rows, 1);
+        PerfReport::from_run("fresh-quick", true, rows, &runs)
+    };
+
+    match evaluate(&history, &fresh, max_regression) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if !report.passed() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// All `BENCH_*.json` files in the current directory, sorted by name so
+/// the history order is stable.
+fn default_history_files() -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(".")
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Removes `flag VALUE` from `args` if present, returning the value.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("error: {flag} requires a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}

@@ -9,6 +9,9 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+pub mod trend;
+
 use ids_core::experiments::{case1, case2, case3, fleet, robustness, scalability};
 use ids_simclock::SimDuration;
 

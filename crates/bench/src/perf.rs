@@ -1,0 +1,348 @@
+//! The deterministic kernel micro-bench harness behind the `perf`
+//! binary, exposed as a library so `trend` can fold a fresh quick run
+//! into the committed `BENCH_*.json` history.
+//!
+//! Measures the vectorized engine (selection-vector kernels, zone-map
+//! pruning, fused filter+bin) against the row-at-a-time baseline
+//! (per-row `Predicate::matches` + `bin_of`) on seeded tables, reporting
+//! both *virtual* cost (simclock-priced footprints — deterministic) and
+//! *wall-clock* medians (hardware-dependent). Quick mode omits every
+//! wall-clock field so two runs are byte-identical.
+
+use std::time::Instant;
+
+use ids_engine::{
+    exec, BinSpec, ColumnBuilder, CostModel, CostParams, LinearCostModel, Predicate, Table,
+    TableBuilder,
+};
+use ids_simclock::rng::SimRng;
+
+/// Deterministic seed for the perf tables (fixed: the report must be
+/// reproducible, so this is not configurable).
+pub const SEED: u64 = 7;
+
+/// One benchmark's measurements. Wall fields are `None` in quick mode.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Rows the filter matched.
+    pub rows_matched: u64,
+    /// FNV-1a digest of the result counts (the byte-identity gate).
+    pub checksum: u64,
+    /// Simclock-priced cost of the vectorized run, microseconds.
+    pub virtual_cost_us: u64,
+    /// Blocks skipped via zone maps.
+    pub blocks_pruned: u64,
+    /// Blocks actually scanned.
+    pub blocks_scanned: u64,
+    /// Median row-at-a-time wall time (full mode only).
+    pub baseline_wall_ns: Option<u64>,
+    /// Median vectorized wall time (full mode only).
+    pub vectorized_wall_ns: Option<u64>,
+}
+
+impl BenchReport {
+    /// Baseline-over-vectorized speedup, when wall times were measured.
+    pub fn speedup(&self) -> Option<f64> {
+        match (self.baseline_wall_ns, self.vectorized_wall_ns) {
+            (Some(base), Some(vec)) => Some(base as f64 / vec.max(1) as f64),
+            _ => None,
+        }
+    }
+}
+
+/// The seeded perf table: a clustered time axis `t` (row index — zone
+/// maps prune brushes on it), a uniform measure `v` (the binned axis),
+/// and a low-cardinality key `k`.
+pub fn perf_table(rows: usize) -> Table {
+    let mut rng = SimRng::seed(SEED).split("perf/table");
+    let mut t = ColumnBuilder::float([]);
+    let mut v = ColumnBuilder::float([]);
+    let mut k = ColumnBuilder::int([]);
+    for i in 0..rows {
+        t.push_float(i as f64);
+        v.push_float(rng.uniform(0.0, 100.0));
+        k.push_int((i % 1000) as i64);
+    }
+    TableBuilder::new("perf")
+        .column("t", t)
+        .column("v", v)
+        .column("k", k)
+        .build()
+        .expect("static schema")
+}
+
+/// Runs the full bench suite over a fresh seeded table: the interactive
+/// crossfilter shapes (a clustered brush, an unclustered range, a
+/// full-table histogram, a 2-D crossfilter) plus a brushed count.
+pub fn run_all(quick: bool, rows: usize, reps: usize) -> Vec<BenchReport> {
+    let table = perf_table(rows);
+    let n = rows as f64;
+    let benches: Vec<(&str, BinSpec, Predicate)> = vec![
+        (
+            "hist_brush_t_bin_v",
+            BinSpec::new("v", 0.0, 100.0, 20),
+            Predicate::between("t", 0.45 * n, 0.55 * n),
+        ),
+        (
+            "hist_full_bin_v",
+            BinSpec::new("v", 0.0, 100.0, 20),
+            Predicate::True,
+        ),
+        (
+            "hist_range_v_bin_v",
+            BinSpec::new("v", 0.0, 100.0, 20),
+            Predicate::between("v", 5.0, 95.0),
+        ),
+        (
+            "hist_crossfilter_2d",
+            BinSpec::new("v", 0.0, 100.0, 20),
+            Predicate::and([
+                Predicate::between("t", 0.25 * n, 0.75 * n),
+                Predicate::between("v", 10.0, 90.0),
+            ]),
+        ),
+    ];
+
+    let model = LinearCostModel::new(CostParams::mem_default());
+    let mut reports = Vec::new();
+    for (name, bins, filter) in &benches {
+        reports.push(run_bench(name, &table, bins, filter, &model, reps, quick));
+    }
+    reports.push(run_count_bench(
+        "count_brush_t",
+        &table,
+        &Predicate::between("t", 0.45 * n, 0.55 * n),
+        &model,
+        reps,
+        quick,
+    ));
+    reports
+}
+
+/// The row-at-a-time baseline: evaluate the predicate per row with
+/// [`Predicate::matches`] — the engine's ground-truth tuple-at-a-time
+/// path, same execution model as `ids_simtest::reference` — then bin
+/// matching rows through `f64_at` + `bin_of`. This is what the
+/// vectorized kernels replaced.
+fn rowwise_histogram(table: &Table, bins: &BinSpec, filter: &Predicate) -> Vec<u64> {
+    let col = table.column(&bins.column).expect("bench column exists");
+    let mut counts = vec![0u64; bins.bucket_count()];
+    for row in 0..table.rows() {
+        if filter.matches(table, row).expect("bench filter is valid") {
+            if let Some(b) = col.f64_at(row).and_then(|x| bins.bin_of(x)) {
+                counts[b] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Row-at-a-time count baseline (see [`rowwise_histogram`]).
+fn rowwise_count(table: &Table, filter: &Predicate) -> u64 {
+    (0..table.rows())
+        .filter(|&row| filter.matches(table, row).expect("bench filter is valid"))
+        .count() as u64
+}
+
+fn run_bench(
+    name: &str,
+    table: &Table,
+    bins: &BinSpec,
+    filter: &Predicate,
+    model: &LinearCostModel,
+    reps: usize,
+    quick: bool,
+) -> BenchReport {
+    let (rs, fp) = exec::run_histogram(table, bins, filter).expect("bench query is valid");
+    let hist = rs.histogram().expect("histogram result");
+    let rowwise = rowwise_histogram(table, bins, filter);
+    assert_eq!(
+        hist.counts(),
+        &rowwise[..],
+        "{name}: vectorized and row-at-a-time histograms diverged"
+    );
+    let mut report = BenchReport {
+        name: name.to_string(),
+        rows_matched: fp.rows_matched,
+        checksum: fnv1a(hist.counts()),
+        virtual_cost_us: model.price(&fp).as_micros(),
+        blocks_pruned: fp.blocks_pruned,
+        blocks_scanned: fp.blocks_scanned,
+        baseline_wall_ns: None,
+        vectorized_wall_ns: None,
+    };
+    if !quick {
+        report.baseline_wall_ns = Some(median_wall_ns(reps, || {
+            std::hint::black_box(rowwise_histogram(table, bins, filter));
+        }));
+        report.vectorized_wall_ns = Some(median_wall_ns(reps, || {
+            std::hint::black_box(exec::run_histogram(table, bins, filter).unwrap());
+        }));
+    }
+    report
+}
+
+fn run_count_bench(
+    name: &str,
+    table: &Table,
+    filter: &Predicate,
+    model: &LinearCostModel,
+    reps: usize,
+    quick: bool,
+) -> BenchReport {
+    let (rs, fp) = exec::run_count(table, filter).expect("bench query is valid");
+    let count = rs.scalar_count().expect("count result");
+    let rowwise = rowwise_count(table, filter);
+    assert_eq!(
+        count, rowwise,
+        "{name}: vectorized and row-at-a-time counts diverged"
+    );
+    let mut report = BenchReport {
+        name: name.to_string(),
+        rows_matched: fp.rows_matched,
+        checksum: fnv1a(&[count]),
+        virtual_cost_us: model.price(&fp).as_micros(),
+        blocks_pruned: fp.blocks_pruned,
+        blocks_scanned: fp.blocks_scanned,
+        baseline_wall_ns: None,
+        vectorized_wall_ns: None,
+    };
+    if !quick {
+        report.baseline_wall_ns = Some(median_wall_ns(reps, || {
+            std::hint::black_box(rowwise_count(table, filter));
+        }));
+        report.vectorized_wall_ns = Some(median_wall_ns(reps, || {
+            std::hint::black_box(exec::run_count(table, filter).unwrap());
+        }));
+    }
+    report
+}
+
+/// One warmup run, then the median of `reps` timed runs.
+fn median_wall_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    f(); // warmup
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// FNV-1a over the little-endian bytes of the counts — a stable,
+/// dependency-free digest for the byte-identity gate.
+pub fn fnv1a(counts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for c in counts {
+        for b in c.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Serializes a run in the committed `BENCH_*.json` shape (hand-rolled:
+/// the workspace has no JSON dependency, and `trend` parses exactly this
+/// format back).
+pub fn render_json(quick: bool, rows: usize, reps: usize, reports: &[BenchReport]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"harness\": \"perf\",\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    s.push_str(&format!("  \"rows\": {rows},\n"));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
+    s.push_str("  \"benches\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"rows_matched\": {},\n", r.rows_matched));
+        s.push_str(&format!("      \"checksum\": \"{:016x}\",\n", r.checksum));
+        s.push_str(&format!(
+            "      \"virtual_cost_us\": {},\n",
+            r.virtual_cost_us
+        ));
+        s.push_str(&format!("      \"blocks_pruned\": {},\n", r.blocks_pruned));
+        if let (Some(base), Some(vec)) = (r.baseline_wall_ns, r.vectorized_wall_ns) {
+            s.push_str(&format!(
+                "      \"blocks_scanned\": {},\n",
+                r.blocks_scanned
+            ));
+            s.push_str(&format!("      \"baseline_wall_ns\": {base},\n"));
+            s.push_str(&format!("      \"vectorized_wall_ns\": {vec},\n"));
+            s.push_str(&format!(
+                "      \"speedup\": {:.2}\n",
+                base as f64 / vec.max(1) as f64
+            ));
+        } else {
+            s.push_str(&format!("      \"blocks_scanned\": {}\n", r.blocks_scanned));
+        }
+        s.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Default table size for a mode.
+pub fn default_rows(quick: bool) -> usize {
+    if quick {
+        200_000
+    } else {
+        10_000_000
+    }
+}
+
+/// Default median-of-k repetitions for a mode.
+pub fn default_reps(quick: bool) -> usize {
+    if quick {
+        1
+    } else {
+        5
+    }
+}
+
+/// Reads a usize from the environment, falling back to `default`.
+pub fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_runs_are_deterministic() {
+        let a = run_all(true, 4_000, 1);
+        let b = run_all(true, 4_000, 1);
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.checksum, y.checksum);
+            assert_eq!(x.virtual_cost_us, y.virtual_cost_us);
+            assert_eq!(x.blocks_pruned, y.blocks_pruned);
+            assert!(x.baseline_wall_ns.is_none(), "quick mode omits wall times");
+            assert!(x.speedup().is_none());
+        }
+        assert_eq!(
+            render_json(true, 4_000, 1, &a),
+            render_json(true, 4_000, 1, &b)
+        );
+    }
+}

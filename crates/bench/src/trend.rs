@@ -1,0 +1,581 @@
+//! Perf-trend analysis: folds the committed `BENCH_*.json` history plus
+//! a fresh `perf --quick` run into a regression table, gated in CI.
+//!
+//! The history is ingested into an [`ids_lakehouse::Lakehouse`] counters
+//! table (one virtual-time tick per report, oldest first) and the trend
+//! deltas are computed by querying that table with the engine's own
+//! vectorized kernels — the perf trajectory of the system is itself an
+//! ids query, per the dogfooding discipline.
+//!
+//! Two gates fail the run:
+//!
+//! 1. **Checksum drift** — a fresh bench result whose FNV-1a digest
+//!    differs from the last committed report at the same table size.
+//!    The kernels changed *answers*, not just speed.
+//! 2. **Regression > `max_regression`** — the fresh deterministic
+//!    virtual cost exceeds the committed baseline by more than the
+//!    threshold (default 20%), or a committed full run's wall-clock
+//!    speedup dropped by more than the threshold vs the previous one.
+
+use std::collections::BTreeMap;
+
+use ids_engine::{kernels, KernelOptions, KernelStats, Predicate};
+use ids_lakehouse::{Lakehouse, LakehouseError};
+use ids_obs::MetricsSnapshot;
+use ids_simclock::SimTime;
+
+use crate::perf::BenchReport;
+
+/// Speedups are stored in the lakehouse counters table (u64 snapshot
+/// counters) in centi-units: `4.20×` → `420`.
+const SPEEDUP_SCALE: f64 = 100.0;
+
+/// Errors from parsing or evaluating the trend history.
+#[derive(Debug)]
+pub enum TrendError {
+    /// A `BENCH_*.json` file did not match the perf harness's shape.
+    Parse {
+        /// Which file (or label) failed to parse.
+        source: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The lakehouse rejected a table or query.
+    Lakehouse(LakehouseError),
+}
+
+impl std::fmt::Display for TrendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrendError::Parse { source, detail } => {
+                write!(f, "{source}: not a perf report: {detail}")
+            }
+            TrendError::Lakehouse(e) => write!(f, "trend query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrendError {}
+
+impl From<LakehouseError> for TrendError {
+    fn from(e: LakehouseError) -> TrendError {
+        TrendError::Lakehouse(e)
+    }
+}
+
+/// One bench's measurements as recorded in a `BENCH_*.json` report.
+#[derive(Debug, Clone)]
+pub struct BenchSample {
+    /// Bench name.
+    pub name: String,
+    /// FNV-1a digest of the result counts, as the report's hex string.
+    pub checksum: String,
+    /// Simclock-priced cost, microseconds (deterministic per table size).
+    pub virtual_cost_us: u64,
+    /// Wall-clock speedup, present only in full-mode reports.
+    pub speedup: Option<f64>,
+}
+
+/// One parsed `BENCH_*.json` report.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Where it came from (file name, or `fresh-quick`).
+    pub source: String,
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// Table size the benches ran at.
+    pub rows: u64,
+    /// Per-bench samples.
+    pub benches: Vec<BenchSample>,
+}
+
+impl PerfReport {
+    /// Wraps an in-process [`crate::perf::run_all`] result as a report.
+    pub fn from_run(source: &str, quick: bool, rows: usize, reports: &[BenchReport]) -> PerfReport {
+        PerfReport {
+            source: source.to_string(),
+            mode: if quick { "quick" } else { "full" }.to_string(),
+            rows: rows as u64,
+            benches: reports
+                .iter()
+                .map(|r| BenchSample {
+                    name: r.name.clone(),
+                    checksum: format!("{:016x}", r.checksum),
+                    virtual_cost_us: r.virtual_cost_us,
+                    speedup: r.speedup(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Extracts the value of `"key": value[,]` from a (trimmed) report
+/// line, if the line defines exactly that key.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix('"')?.strip_prefix(key)?;
+    let rest = rest.strip_prefix("\":")?.trim_start();
+    Some(rest.trim_end_matches(',').trim_matches('"'))
+}
+
+/// Parses one `BENCH_*.json` file. This is deliberately a line-oriented
+/// parser for the exact shape [`crate::perf::render_json`] emits (the
+/// workspace has no JSON dependency); anything else is a parse error.
+pub fn parse_report(source: &str, json: &str) -> Result<PerfReport, TrendError> {
+    let err = |detail: &str| TrendError::Parse {
+        source: source.to_string(),
+        detail: detail.to_string(),
+    };
+    let mut mode: Option<String> = None;
+    let mut rows: Option<u64> = None;
+    let mut benches: Vec<BenchSample> = Vec::new();
+    let mut cur: Option<BenchSample> = None;
+    for line in json.lines() {
+        let t = line.trim();
+        if mode.is_none() {
+            if let Some(v) = field(t, "mode") {
+                mode = Some(v.to_string());
+                continue;
+            }
+        }
+        if rows.is_none() {
+            if let Some(v) = field(t, "rows") {
+                rows = Some(v.parse().map_err(|_| err("bad rows"))?);
+                continue;
+            }
+        }
+        if let Some(v) = field(t, "name") {
+            if let Some(done) = cur.take() {
+                benches.push(done);
+            }
+            cur = Some(BenchSample {
+                name: v.to_string(),
+                checksum: String::new(),
+                virtual_cost_us: 0,
+                speedup: None,
+            });
+        } else if let Some(b) = cur.as_mut() {
+            if let Some(v) = field(t, "checksum") {
+                b.checksum = v.to_string();
+            } else if let Some(v) = field(t, "virtual_cost_us") {
+                b.virtual_cost_us = v.parse().map_err(|_| err("bad virtual_cost_us"))?;
+            } else if let Some(v) = field(t, "speedup") {
+                b.speedup = Some(v.parse().map_err(|_| err("bad speedup"))?);
+            }
+        }
+    }
+    if let Some(done) = cur.take() {
+        benches.push(done);
+    }
+    if benches.is_empty() {
+        return Err(err("no benches"));
+    }
+    if benches.iter().any(|b| b.checksum.is_empty()) {
+        return Err(err("bench without checksum"));
+    }
+    Ok(PerfReport {
+        source: source.to_string(),
+        mode: mode.ok_or_else(|| err("missing mode"))?,
+        rows: rows.ok_or_else(|| err("missing rows"))?,
+        benches,
+    })
+}
+
+/// One line of the trend table: the fresh run vs its committed baseline
+/// at the same table size.
+#[derive(Debug, Clone)]
+pub struct TrendRow {
+    /// Bench name.
+    pub bench: String,
+    /// Table size both runs used.
+    pub rows: u64,
+    /// Fresh deterministic virtual cost.
+    pub fresh_cost_us: u64,
+    /// Last committed virtual cost at this size, if any report has one.
+    pub baseline_cost_us: Option<u64>,
+    /// Fresh-over-baseline cost change, percent (positive = slower).
+    pub cost_delta_pct: Option<f64>,
+    /// `Some(false)` when the fresh checksum drifted from the committed
+    /// one; `None` when no committed baseline covers this (bench, rows).
+    pub checksum_ok: Option<bool>,
+}
+
+/// One speedup-history line (committed full-mode reports only).
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Bench name.
+    pub bench: String,
+    /// Table size.
+    pub rows: u64,
+    /// Speedups in commit order, scaled back from centi-units.
+    pub history: Vec<f64>,
+}
+
+/// The evaluated trend: table rows, speedup trajectories, and the gate
+/// failures (empty ⇒ pass).
+#[derive(Debug, Clone)]
+pub struct TrendReport {
+    /// Committed report labels, oldest first, then the fresh label.
+    pub sources: Vec<String>,
+    /// Fresh-vs-baseline comparison per bench.
+    pub rows: Vec<TrendRow>,
+    /// Speedup trajectories across committed full runs.
+    pub speedups: Vec<SpeedupRow>,
+    /// Human-readable gate failures.
+    pub failures: Vec<String>,
+}
+
+impl TrendReport {
+    /// Whether every gate passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the regression table (deterministic — suitable for CI
+    /// logs and golden tests).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# perf trend: {} committed report(s) + fresh run",
+            self.sources.len().saturating_sub(1)
+        );
+        let _ = writeln!(out, "# history: {}", self.sources.join(" -> "));
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10} {:>12} {:>12} {:>8}  checksum",
+            "bench", "rows", "baseline_us", "fresh_us", "delta"
+        );
+        for r in &self.rows {
+            let baseline = r
+                .baseline_cost_us
+                .map_or_else(|| "-".to_string(), |v| v.to_string());
+            let delta = r
+                .cost_delta_pct
+                .map_or_else(|| "-".to_string(), |d| format!("{d:+.1}%"));
+            let checksum = match r.checksum_ok {
+                Some(true) => "ok",
+                Some(false) => "DRIFT",
+                None => "no-baseline",
+            };
+            let _ = writeln!(
+                out,
+                "{:<22} {:>10} {:>12} {:>12} {:>8}  {}",
+                r.bench, r.rows, baseline, r.fresh_cost_us, delta, checksum
+            );
+        }
+        if !self.speedups.is_empty() {
+            let _ = writeln!(out, "speedup history (committed full runs):");
+            for s in &self.speedups {
+                let path = s
+                    .history
+                    .iter()
+                    .map(|v| format!("{v:.2}x"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                let _ = writeln!(out, "  {:<22} @{} rows: {}", s.bench, s.rows, path);
+            }
+        }
+        if self.failures.is_empty() {
+            let _ = writeln!(out, "PASS");
+        } else {
+            for f in &self.failures {
+                let _ = writeln!(out, "FAIL: {f}");
+            }
+        }
+        out
+    }
+}
+
+/// Lakehouse counter key for a bench's virtual cost at a table size.
+fn cost_key(bench: &str, rows: u64) -> String {
+    format!("perf.cost_us/{bench}@{rows}")
+}
+
+/// Lakehouse counter key for a bench's centi-speedup at a table size.
+fn speedup_key(bench: &str, rows: u64) -> String {
+    format!("perf.speedup_c/{bench}@{rows}")
+}
+
+/// Folds one report into the lakehouse as a metrics snapshot at virtual
+/// time `seq` (commit order becomes the virtual-time axis).
+fn ingest_report(lake: &mut Lakehouse, seq: u64, report: &PerfReport) {
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for b in &report.benches {
+        counters.push((cost_key(&b.name, report.rows), b.virtual_cost_us));
+        if let Some(s) = b.speedup {
+            counters.push((
+                speedup_key(&b.name, report.rows),
+                (s * SPEEDUP_SCALE).round() as u64,
+            ));
+        }
+    }
+    lake.ingest_snapshot(
+        SimTime::from_micros(seq),
+        &MetricsSnapshot {
+            counters,
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        },
+    );
+}
+
+/// Gathers the `(ts, value)` samples for one counter key, in
+/// virtual-time order, by querying the lakehouse counters table with
+/// the vectorized selection kernel.
+fn samples_for(
+    table: &ids_engine::Table,
+    key: &str,
+    opts: &KernelOptions,
+    stats: &mut KernelStats,
+) -> Result<Vec<(i64, f64)>, TrendError> {
+    let sel = kernels::select_vector_with(table, &Predicate::eq("name", key), opts, stats)
+        .map_err(|e| TrendError::Lakehouse(LakehouseError::Engine(e)))?;
+    let ts = table
+        .column("ts_us")
+        .ok()
+        .and_then(|c| c.as_int())
+        .ok_or_else(|| TrendError::Parse {
+            source: "telemetry_counters".to_string(),
+            detail: "ts_us column missing".to_string(),
+        })?;
+    let vals = table
+        .column("value")
+        .ok()
+        .and_then(|c| c.as_float())
+        .ok_or_else(|| TrendError::Parse {
+            source: "telemetry_counters".to_string(),
+            detail: "value column missing".to_string(),
+        })?;
+    let mut out: Vec<(i64, f64)> = sel.iter().map(|row| (ts[row], vals[row])).collect();
+    out.sort_by_key(|&(t, _)| t);
+    Ok(out)
+}
+
+/// Evaluates the trend gates: `history` is the committed reports in
+/// commit order, `fresh` the just-run quick report, `max_regression`
+/// the tolerated fractional slowdown (0.20 = 20%).
+pub fn evaluate(
+    history: &[PerfReport],
+    fresh: &PerfReport,
+    max_regression: f64,
+) -> Result<TrendReport, TrendError> {
+    let mut lake = Lakehouse::new();
+    for (i, report) in history.iter().enumerate() {
+        ingest_report(&mut lake, i as u64, report);
+    }
+    let fresh_seq = history.len() as i64;
+    ingest_report(&mut lake, fresh_seq as u64, fresh);
+    let counters = lake.counters_table()?;
+    let opts = KernelOptions::default();
+    let mut stats = KernelStats::default();
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+
+    // Gate 1+2a: fresh vs last committed baseline at the same table size.
+    for b in &fresh.benches {
+        let samples = samples_for(&counters, &cost_key(&b.name, fresh.rows), &opts, &mut stats)?;
+        let baseline = samples
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t < fresh_seq)
+            .map(|&(_, v)| v as u64);
+        let cost_delta_pct = baseline
+            .map(|base| (b.virtual_cost_us as f64 - base as f64) / (base.max(1) as f64) * 100.0);
+        let committed_checksum = history
+            .iter()
+            .rev()
+            .filter(|r| r.rows == fresh.rows)
+            .find_map(|r| {
+                r.benches
+                    .iter()
+                    .find(|h| h.name == b.name)
+                    .map(|h| h.checksum.clone())
+            });
+        let checksum_ok = committed_checksum.as_deref().map(|c| c == b.checksum);
+        if checksum_ok == Some(false) {
+            failures.push(format!(
+                "{} @{} rows: checksum drift ({} committed, {} fresh) — kernel answers changed",
+                b.name,
+                fresh.rows,
+                committed_checksum.as_deref().unwrap_or("-"),
+                b.checksum
+            ));
+        }
+        if let (Some(base), Some(delta)) = (baseline, cost_delta_pct) {
+            if delta > max_regression * 100.0 {
+                failures.push(format!(
+                    "{} @{} rows: virtual cost regressed {:+.1}% ({} -> {} us, limit {:.0}%)",
+                    b.name,
+                    fresh.rows,
+                    delta,
+                    base,
+                    b.virtual_cost_us,
+                    max_regression * 100.0
+                ));
+            }
+        }
+        rows.push(TrendRow {
+            bench: b.name.clone(),
+            rows: fresh.rows,
+            fresh_cost_us: b.virtual_cost_us,
+            baseline_cost_us: baseline,
+            cost_delta_pct,
+            checksum_ok,
+        });
+    }
+
+    // Gate 2b: wall-clock speedup trajectory across committed full runs.
+    let mut speedup_keys: BTreeMap<(String, u64), ()> = BTreeMap::new();
+    for r in history {
+        for b in &r.benches {
+            if b.speedup.is_some() {
+                speedup_keys.insert((b.name.clone(), r.rows), ());
+            }
+        }
+    }
+    let mut speedups = Vec::new();
+    for (bench, nrows) in speedup_keys.into_keys() {
+        let samples = samples_for(&counters, &speedup_key(&bench, nrows), &opts, &mut stats)?;
+        let hist: Vec<f64> = samples
+            .iter()
+            .filter(|&&(t, _)| t < fresh_seq)
+            .map(|&(_, v)| v / SPEEDUP_SCALE)
+            .collect();
+        if let [.., prev, last] = hist[..] {
+            if last < prev * (1.0 - max_regression) {
+                failures.push(format!(
+                    "{bench} @{nrows} rows: speedup regressed {prev:.2}x -> {last:.2}x \
+                     (limit {:.0}%)",
+                    max_regression * 100.0
+                ));
+            }
+        }
+        speedups.push(SpeedupRow {
+            bench,
+            rows: nrows,
+            history: hist,
+        });
+    }
+
+    let mut sources: Vec<String> = history.iter().map(|r| r.source.clone()).collect();
+    sources.push(fresh.source.clone());
+    Ok(TrendReport {
+        sources,
+        rows,
+        speedups,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf;
+
+    fn report(
+        source: &str,
+        rows: u64,
+        cost: u64,
+        checksum: &str,
+        speedup: Option<f64>,
+    ) -> PerfReport {
+        PerfReport {
+            source: source.to_string(),
+            mode: if speedup.is_some() { "full" } else { "quick" }.to_string(),
+            rows,
+            benches: vec![BenchSample {
+                name: "hist_full_bin_v".to_string(),
+                checksum: checksum.to_string(),
+                virtual_cost_us: cost,
+                speedup,
+            }],
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_the_perf_harness_output() {
+        let runs = perf::run_all(true, 2_000, 1);
+        let json = perf::render_json(true, 2_000, 1, &runs);
+        let parsed = parse_report("BENCH_test.json", &json).expect("parse own output");
+        assert_eq!(parsed.mode, "quick");
+        assert_eq!(parsed.rows, 2_000);
+        assert_eq!(parsed.benches.len(), runs.len());
+        for (p, r) in parsed.benches.iter().zip(&runs) {
+            assert_eq!(p.name, r.name);
+            assert_eq!(p.checksum, format!("{:016x}", r.checksum));
+            assert_eq!(p.virtual_cost_us, r.virtual_cost_us);
+            assert!(p.speedup.is_none());
+        }
+    }
+
+    #[test]
+    fn parser_reads_speedups_from_full_reports() {
+        let json = "{\n  \"mode\": \"full\",\n  \"rows\": 100,\n  \"benches\": [\n    {\n      \
+                    \"name\": \"b\",\n      \"checksum\": \"00ff\",\n      \
+                    \"virtual_cost_us\": 9,\n      \"speedup\": 4.25\n    }\n  ]\n}\n";
+        let parsed = parse_report("x", json).expect("parse");
+        assert_eq!(parsed.benches[0].speedup, Some(4.25));
+    }
+
+    #[test]
+    fn rejects_non_reports() {
+        assert!(parse_report("x", "hello").is_err());
+        assert!(parse_report("x", "{\n  \"mode\": \"quick\"\n}").is_err());
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let history = vec![report("a.json", 100, 50, "abcd", None)];
+        let fresh = report("fresh", 100, 52, "abcd", None);
+        let t = evaluate(&history, &fresh, 0.20).expect("evaluate");
+        assert!(t.passed(), "unexpected failures: {:?}", t.failures);
+        assert_eq!(t.rows[0].baseline_cost_us, Some(50));
+        assert_eq!(t.rows[0].checksum_ok, Some(true));
+        assert!(t.render().contains("PASS"));
+    }
+
+    #[test]
+    fn checksum_drift_fails_the_gate() {
+        let history = vec![report("a.json", 100, 50, "abcd", None)];
+        let fresh = report("fresh", 100, 50, "ffff", None);
+        let t = evaluate(&history, &fresh, 0.20).expect("evaluate");
+        assert!(!t.passed());
+        assert!(t.failures[0].contains("checksum drift"));
+        assert!(t.render().contains("DRIFT"));
+    }
+
+    #[test]
+    fn seeded_cost_regression_fails_the_gate() {
+        let history = vec![report("a.json", 100, 50, "abcd", None)];
+        let fresh = report("fresh", 100, 100, "abcd", None);
+        let t = evaluate(&history, &fresh, 0.20).expect("evaluate");
+        assert!(!t.passed());
+        assert!(t.failures[0].contains("virtual cost regressed"));
+    }
+
+    #[test]
+    fn speedup_collapse_across_full_runs_fails_the_gate() {
+        let history = vec![
+            report("a.json", 1_000, 50, "abcd", Some(5.0)),
+            report("b.json", 1_000, 50, "abcd", Some(2.0)),
+        ];
+        let fresh = report("fresh", 100, 10, "eeee", None);
+        let t = evaluate(&history, &fresh, 0.20).expect("evaluate");
+        assert!(!t.passed());
+        assert!(t.failures.iter().any(|f| f.contains("speedup regressed")));
+        // The fresh run at a different table size has no baseline — that
+        // is informational, not a failure.
+        assert_eq!(t.rows[0].checksum_ok, None);
+    }
+
+    #[test]
+    fn mismatched_table_sizes_are_not_compared() {
+        let history = vec![report("full.json", 10_000, 999, "abcd", Some(4.0))];
+        let fresh = report("fresh", 100, 10, "eeee", None);
+        let t = evaluate(&history, &fresh, 0.20).expect("evaluate");
+        assert!(t.passed(), "unexpected failures: {:?}", t.failures);
+        assert_eq!(t.rows[0].baseline_cost_us, None);
+    }
+}

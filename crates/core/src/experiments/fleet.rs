@@ -22,6 +22,8 @@
 
 use ids_chaos::FaultPlan;
 use ids_engine::{Backend, CostParams, DiskBackend, EvictionPolicy};
+use ids_lakehouse::{Lakehouse, LcvPoint, SlowSpan, TenantLatency, TimeWindow};
+use ids_obs::TraceEvent;
 use ids_serve::{
     measure_costs, simulate_service, synthesize_fleet, AdmissionPolicy, ArrivalProcess,
     FleetOutcome, FleetSpec, ServeParams,
@@ -143,6 +145,83 @@ pub struct FleetPoint {
     pub baseline: FleetOutcome,
 }
 
+/// Telemetry for the top concurrency level's admission condition,
+/// computed *from the lakehouse*: the serve spans recorded during that
+/// `simulate_service` pass are ingested into a [`Lakehouse`] and the
+/// three canned [`ids_lakehouse::TelemetryQueries`] run over the
+/// resulting columnar table with the engine's own vectorized kernels.
+///
+/// Empty (zero `span_rows`) when the obs recorder was disabled during
+/// the run — capture is observation-only and never forces recording on.
+#[derive(Debug, Clone, Default)]
+pub struct FleetTelemetry {
+    /// Concurrency level (sessions) the telemetry covers.
+    pub sessions: usize,
+    /// Serve spans ingested into the lakehouse.
+    pub span_rows: usize,
+    /// Blocks the canned queries skipped via zone maps.
+    pub blocks_pruned: u64,
+    /// Blocks the canned queries actually scanned.
+    pub blocks_scanned: u64,
+    /// `p99_by_tenant` over the whole level.
+    pub p99: Vec<TenantLatency>,
+    /// `lcv_over_window` trajectory.
+    pub lcv: Vec<LcvPoint>,
+    /// `slowest_spans` leaderboard.
+    pub slowest: Vec<SlowSpan>,
+    /// Bucket width used for the LCV trajectory, virtual microseconds.
+    pub lcv_window_us: u64,
+}
+
+impl FleetTelemetry {
+    /// Ingests the captured serve spans and runs the canned queries.
+    /// Returns an empty telemetry block if nothing was captured (the
+    /// recorder was off) or a query failed — telemetry must never take
+    /// the experiment down.
+    fn from_events(
+        events: &[TraceEvent],
+        tracks: &[String],
+        sessions: usize,
+        lcv_window: SimDuration,
+    ) -> FleetTelemetry {
+        // Keep only serve spans: the recorder is process-global, so the
+        // capture window may also contain engine spans (or, under a
+        // parallel test harness, spans from unrelated runs).
+        let serve_spans: Vec<TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Span { cat, .. } if *cat == "serve"))
+            .cloned()
+            .collect();
+        if serve_spans.is_empty() {
+            return FleetTelemetry::default();
+        }
+        let mut lake = Lakehouse::new();
+        let stats = lake.ingest_events(&serve_spans, tracks);
+        let Ok(mut queries) = lake.queries() else {
+            return FleetTelemetry::default();
+        };
+        let lcv_window_us = lcv_window.as_micros().max(1);
+        let (Ok(p99), Ok(lcv), Ok(slowest)) = (
+            queries.p99_by_tenant(TimeWindow::all()),
+            queries.lcv_over_window(lcv_window_us),
+            queries.slowest_spans(5),
+        ) else {
+            return FleetTelemetry::default();
+        };
+        let kernel = queries.kernel_stats();
+        FleetTelemetry {
+            sessions,
+            span_rows: stats.spans,
+            blocks_pruned: kernel.blocks_pruned,
+            blocks_scanned: kernel.blocks_scanned,
+            p99,
+            lcv,
+            slowest,
+            lcv_window_us,
+        }
+    }
+}
+
 /// The full concurrency-scaling report.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
@@ -150,6 +229,8 @@ pub struct FleetReport {
     pub config: FleetConfig,
     /// One point per concurrency level, ascending.
     pub points: Vec<FleetPoint>,
+    /// Lakehouse telemetry for the top level's admission condition.
+    pub telemetry: FleetTelemetry,
 }
 
 /// Runs the sweep.
@@ -166,7 +247,9 @@ pub fn run(config: &FleetConfig) -> FleetReport {
         prefetch_queue_limit: 0,
     };
     let mut points = Vec::new();
-    for &sessions in &config.session_counts {
+    let mut telemetry = FleetTelemetry::default();
+    let top_level = config.session_counts.len().saturating_sub(1);
+    for (level, &sessions) in config.session_counts.iter().enumerate() {
         let spec = FleetSpec {
             seed: config.seed,
             sessions,
@@ -212,7 +295,22 @@ pub fn run(config: &FleetConfig) -> FleetReport {
         };
 
         let costs = measure_costs(&disk, Some(&disk), &offered, &plan, config.latency_budget);
+        // Delta-capture the admission condition's serve spans at the top
+        // concurrency level: everything the recorder picks up between
+        // these two marks is this `simulate_service` call (plus any
+        // non-serve noise, filtered out during ingestion).
+        let mark = ids_obs::recorder().event_count();
         let admission = simulate_service(&offered, &costs, &admission_policy, &plan, &params);
+        if level == top_level {
+            let events = ids_obs::recorder().events_since(mark);
+            let tracks = ids_obs::recorder().tracks();
+            // LCV trajectory bucket: four budgets wide, so a bucket is
+            // coarse enough to hold several spans but fine enough to
+            // show the overload ramp.
+            let lcv_window =
+                SimDuration::from_micros(config.latency_budget.as_micros().saturating_mul(4));
+            telemetry = FleetTelemetry::from_events(&events, &tracks, sessions, lcv_window);
+        }
         let baseline = simulate_service(
             &offered,
             &costs,
@@ -230,6 +328,7 @@ pub fn run(config: &FleetConfig) -> FleetReport {
     FleetReport {
         config: config.clone(),
         points,
+        telemetry,
     }
 }
 
@@ -259,6 +358,58 @@ impl FleetReport {
             self.config.latency_budget.as_millis(),
             self.config.chaos_intensity,
             t.section("fleet: concurrency scaling")
+        )
+    }
+
+    /// Renders the lakehouse telemetry for the top level's admission
+    /// condition: the three canned queries, executed over the spans
+    /// table with the engine's vectorized kernels. Separate from
+    /// [`render`](FleetReport::render) so the concurrency-scaling table
+    /// stays byte-stable whether or not the recorder was on.
+    pub fn render_telemetry(&self) -> String {
+        let tel = &self.telemetry;
+        if tel.span_rows == 0 {
+            return "Fleet telemetry: no serve spans captured \
+                    (obs recorder disabled during the run).\n"
+                .to_string();
+        }
+        let mut p99 = Table::new(["tenant", "spans", "violated", "p99"]);
+        for t in &tel.p99 {
+            p99.row([
+                t.tenant.clone(),
+                t.spans.to_string(),
+                t.violated.to_string(),
+                format!("{}ms", t.p99_us / 1_000),
+            ]);
+        }
+        let mut lcv = Table::new(["t", "total", "violations", "LCV"]);
+        for p in &tel.lcv {
+            lcv.row([
+                format!("{}s", p.t_us / 1_000_000),
+                p.total.to_string(),
+                p.violations.to_string(),
+                pct(p.lcv()),
+            ]);
+        }
+        let mut slow = Table::new(["span", "tenant", "start", "dur"]);
+        for s in &tel.slowest {
+            slow.row([
+                s.name.clone(),
+                s.tenant.clone(),
+                format!("{}ms", s.start_us / 1_000),
+                format!("{}ms", s.dur_us / 1_000),
+            ]);
+        }
+        format!(
+            "Fleet telemetry via lakehouse ({} sessions, {} spans, \
+             blocks scanned {} / pruned {}):\n{}{}{}",
+            tel.sessions,
+            tel.span_rows,
+            tel.blocks_scanned,
+            tel.blocks_pruned,
+            p99.section("fleet telemetry: p99 by tenant (lakehouse query)"),
+            lcv.section("fleet telemetry: LCV over time (fused filter+bin)"),
+            slow.section("fleet telemetry: slowest spans"),
         )
     }
 }
@@ -319,5 +470,24 @@ mod tests {
         for p in &report().points {
             assert!(text.contains(&p.sessions.to_string()));
         }
+    }
+
+    #[test]
+    fn telemetry_is_empty_and_says_so_when_recorder_is_dark() {
+        // The shared `report()` runs with the recorder in whatever state
+        // the harness leaves it; run a dedicated dark sweep instead.
+        let mut config = FleetConfig::smoke_test();
+        config.session_counts = vec![4];
+        config.max_groups = 4;
+        if ids_obs::enabled() {
+            // Another test enabled the global recorder; nothing to
+            // assert about the dark path here.
+            return;
+        }
+        let report = run(&config);
+        assert_eq!(report.telemetry.span_rows, 0);
+        assert!(report
+            .render_telemetry()
+            .contains("no serve spans captured"));
     }
 }

@@ -235,6 +235,20 @@ impl Histogram {
         self.max()
     }
 
+    /// The non-empty buckets as `(lower_bound, count)` pairs in value
+    /// order — the raw shape a telemetry lakehouse ingests, as opposed
+    /// to the point-quantile [`HistogramSummary`].
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_lower(idx), n))
+            })
+            .collect()
+    }
+
     /// Adds all of `other`'s samples into `self`, bucket-wise.
     pub fn merge(&self, other: &Histogram) {
         for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
@@ -454,6 +468,33 @@ impl Registry {
         }
     }
 
+    /// The non-empty buckets of every registered histogram, name-sorted:
+    /// `(name, [(bucket_lower, count), …])`. Attached instances are
+    /// merged the same way [`snapshot`](Registry::snapshot) merges them.
+    /// This is the raw-bucket feed for the telemetry lakehouse, which
+    /// wants rows rather than pre-digested quantiles.
+    pub fn histogram_buckets(&self) -> Vec<(String, Vec<(u64, u64)>)> {
+        let inner = self.inner.lock();
+        inner
+            .histograms
+            .iter()
+            .map(|(name, slot)| {
+                let live: Vec<_> = slot.attached.iter().filter_map(|w| w.upgrade()).collect();
+                let buckets = if live.is_empty() {
+                    slot.owned.nonzero_buckets()
+                } else {
+                    let merged = Histogram::new();
+                    merged.merge(&slot.owned);
+                    for h in &live {
+                        merged.merge(h);
+                    }
+                    merged.nonzero_buckets()
+                };
+                (name.clone(), buckets)
+            })
+            .collect()
+    }
+
     /// Removes every metric and attachment. Components re-create their
     /// metrics on next use, so this is safe between runs.
     pub fn clear(&self) {
@@ -626,6 +667,44 @@ mod tests {
         assert_eq!(snap.counters[0].0, "a.first");
         assert_eq!(snap.counters[1].0, "z.last");
         assert_eq!(snap.gauges, vec![("m.mid".to_string(), 7, 7)]);
+    }
+
+    #[test]
+    fn nonzero_buckets_round_trip_through_bucket_lower() {
+        let h = Histogram::new();
+        for v in [0u64, 3, 3, 100, 100, 100, 50_000] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|&(_, n)| n).sum::<u64>(), h.count());
+        // Lower bounds are sorted, unique, and map back to their bucket.
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for &(lo, _) in &buckets {
+            assert_eq!(bucket_lower(bucket_index(lo)), lo);
+        }
+        // Exact small values keep exact buckets.
+        assert!(buckets.contains(&(0, 1)));
+        assert!(buckets.contains(&(3, 2)));
+        assert!(Histogram::new().nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn registry_histogram_buckets_merge_attached() {
+        let reg = Registry {
+            inner: Mutex::new(RegistryInner::default()),
+        };
+        let owned = reg.histogram("lat");
+        owned.record(5);
+        let ext = Arc::new(Histogram::new());
+        ext.record(5);
+        ext.record(9);
+        reg.attach_histogram("lat", &ext);
+        let buckets = reg.histogram_buckets();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].0, "lat");
+        assert_eq!(buckets[0].1, vec![(5, 2), (9, 1)]);
     }
 
     #[test]

@@ -269,6 +269,19 @@ impl Recorder {
         self.inner.lock().events.len()
     }
 
+    /// The events captured after the first `mark` (a prior
+    /// [`event_count`](Recorder::event_count) value), used for delta
+    /// capture: mark, run a section, then collect just that section's
+    /// events. Returns an empty vec if the mark is past the end.
+    pub fn events_since(&self, mark: usize) -> Vec<TraceEvent> {
+        let inner = self.inner.lock();
+        inner
+            .events
+            .get(mark.min(inner.events.len())..)
+            .map(<[TraceEvent]>::to_vec)
+            .unwrap_or_default()
+    }
+
     /// Track names in id order.
     pub fn tracks(&self) -> Vec<String> {
         self.inner.lock().tracks.clone()

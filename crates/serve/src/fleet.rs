@@ -169,6 +169,14 @@ pub fn simulate_service(
     let mut controller = AdmissionController::new(*policy);
     let workers = pool.workers();
 
+    // Per-query serve spans for the telemetry lakehouse: one span per
+    // admitted interactive query on a per-tenant track, carrying the
+    // tenant, session, violation flag, and effective cost as args. The
+    // enabled check keeps the dark path free of track interning; span
+    // recording never feeds back into timing (virtual time only).
+    let rec_enabled = ids_obs::enabled();
+    let mut tenant_tracks: HashMap<usize, ids_obs::TrackId> = HashMap::new();
+
     // Per-session accumulators, folded after the loop.
     let mut session_spans: HashMap<usize, Vec<QuerySpan>> = HashMap::new();
     let mut session_hists: HashMap<usize, Histogram> = HashMap::new();
@@ -206,6 +214,31 @@ pub fn simulate_service(
             interactive_admitted += 1;
             interactive_stamps.push(q.at);
             let latency = finished.saturating_since(q.at);
+            if rec_enabled {
+                let rec = ids_obs::recorder();
+                let track = *tenant_tracks
+                    .entry(q.tenant)
+                    .or_insert_with(|| rec.track(&format!("tenant/{}", q.tenant)));
+                rec.record_span(
+                    "serve",
+                    q.query.kind(),
+                    track,
+                    q.at,
+                    latency,
+                    vec![
+                        (
+                            "tenant",
+                            ids_obs::ArgValue::Str(format!("tenant/{}", q.tenant)),
+                        ),
+                        ("session", ids_obs::ArgValue::U64(q.session as u64)),
+                        (
+                            "violated",
+                            ids_obs::ArgValue::U64((latency > params.latency_budget) as u64),
+                        ),
+                        ("cost_us", ids_obs::ArgValue::U64(effective.as_micros())),
+                    ],
+                );
+            }
             session_spans.entry(q.session).or_default().push(QuerySpan {
                 issued_at: q.at,
                 finished_at: finished,
@@ -367,6 +400,74 @@ mod tests {
             &params(),
         );
         assert!(calm.drained_at < out.drained_at);
+    }
+
+    #[test]
+    fn interactive_spans_carry_tenant_and_violation_args() {
+        // The recorder is process-global and other tests may be running
+        // concurrently, so mark distinctive sessions and filter for them
+        // instead of asserting on the whole event stream.
+        const SESSION_BASE: u64 = 424_200;
+        let offered: Vec<OfferedQuery> = (0..40)
+            .map(|i| OfferedQuery {
+                session: SESSION_BASE as usize + i,
+                tenant: i % 2,
+                seq: i,
+                at: SimTime::from_millis(i as u64),
+                lane: if i % 5 == 4 {
+                    Lane::Prefetch
+                } else {
+                    Lane::Interactive
+                },
+                query: Query::count("t", Predicate::True),
+            })
+            .collect();
+        let costs = flat_costs(40, 30);
+        let was_enabled = ids_obs::enabled();
+        ids_obs::enable();
+        let mark = ids_obs::recorder().event_count();
+        let out = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &FaultPlan::calm(1),
+            &params(),
+        );
+        let events = ids_obs::recorder().events_since(mark);
+        if !was_enabled {
+            ids_obs::disable();
+        }
+        let mine: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                ids_obs::TraceEvent::Span { cat, args, .. } if *cat == "serve" => args
+                    .iter()
+                    .any(|(k, v)| {
+                        *k == "session"
+                            && matches!(v, ids_obs::ArgValue::U64(s) if *s >= SESSION_BASE)
+                    })
+                    .then_some(args),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(mine.len(), out.interactive_admitted);
+        // Every span carries the lakehouse-schema args, and long waits
+        // under the 100 ms budget are flagged as violations.
+        let mut violated = 0u64;
+        for args in &mine {
+            let get = |key: &str| args.iter().find(|(k, _)| *k == key).map(|(_, v)| v);
+            assert!(
+                matches!(get("tenant"), Some(ids_obs::ArgValue::Str(s)) if s.starts_with("tenant/"))
+            );
+            assert!(get("cost_us").is_some());
+            if let Some(ids_obs::ArgValue::U64(v)) = get("violated") {
+                violated += *v;
+            }
+        }
+        assert_eq!(
+            violated as usize, out.lcv.violations,
+            "span violation flags agree with the LCV report"
+        );
     }
 
     #[test]

@@ -214,19 +214,87 @@ pub fn check_scenario_unlocked(s: &Scenario) -> Verdict {
     );
 
     // 9. Obs trace/metrics byte stability across identical runs.
-    let (trace_a, tsv_a) = obs_capture(s);
-    let (trace_b, tsv_b) = obs_capture(s);
+    let cap_a = obs_capture(s);
+    let cap_b = obs_capture(s);
     v.push(
         "obs-stability",
-        trace_a == trace_b && tsv_a == tsv_b,
+        cap_a.trace == cap_b.trace && cap_a.tsv == cap_b.tsv,
         format!(
             "trace stable: {}; metrics stable: {}",
-            trace_a == trace_b,
-            tsv_a == tsv_b
+            cap_a.trace == cap_b.trace,
+            cap_a.tsv == cap_b.tsv
         ),
     );
 
+    // 10. Lakehouse ingestion determinism: replaying the same scenario
+    //     twice folds into byte-identical telemetry tables, and the
+    //     vectorized p99-by-tenant query agrees exactly with the
+    //     row-at-a-time reference interpreter over those tables.
+    let lake_detail = lakehouse_determinism(&cap_a, &cap_b);
+    v.push("lakehouse-determinism", lake_detail.is_empty(), lake_detail);
+
     v
+}
+
+/// Oracle 10 body: byte-compares the telemetry tables built from two
+/// identical captures, then runs the kernel-vs-reference differential.
+fn lakehouse_determinism(cap_a: &ObsCapture, cap_b: &ObsCapture) -> String {
+    use ids_lakehouse::{reference_p99_by_tenant, render_table, Lakehouse, TimeWindow};
+    let ingest = |cap: &ObsCapture| {
+        let mut lake = Lakehouse::new();
+        lake.ingest_events(&cap.events, &cap.tracks);
+        lake
+    };
+    let lake_a = ingest(cap_a);
+    let lake_b = ingest(cap_b);
+    let tables = |lake: &Lakehouse| -> Result<(String, String), String> {
+        let spans = lake.spans_table().map_err(|e| e.to_string())?;
+        let counters = lake.counters_table().map_err(|e| e.to_string())?;
+        Ok((
+            render_table(&spans, usize::MAX),
+            render_table(&counters, usize::MAX),
+        ))
+    };
+    let (spans_a, counters_a) = match tables(&lake_a) {
+        Ok(t) => t,
+        Err(e) => return format!("building telemetry tables failed: {e}"),
+    };
+    let (spans_b, counters_b) = match tables(&lake_b) {
+        Ok(t) => t,
+        Err(e) => return format!("building telemetry tables failed: {e}"),
+    };
+    if spans_a != spans_b {
+        return format!(
+            "telemetry_spans diverged across replays: {}",
+            diff_digests(&spans_a, &spans_b)
+        );
+    }
+    if counters_a != counters_b {
+        return format!(
+            "telemetry_counters diverged across replays: {}",
+            diff_digests(&counters_a, &counters_b)
+        );
+    }
+    let mut queries = match lake_a.queries() {
+        Ok(q) => q,
+        Err(e) => return format!("building telemetry queries failed: {e}"),
+    };
+    let window = TimeWindow::all();
+    let kernel = match queries.p99_by_tenant(window) {
+        Ok(k) => k,
+        Err(e) => return format!("kernel p99_by_tenant failed: {e}"),
+    };
+    let reference = match reference_p99_by_tenant(queries.spans(), window) {
+        Ok(r) => r,
+        Err(e) => return format!("reference p99_by_tenant failed: {e}"),
+    };
+    if kernel != reference {
+        return format!(
+            "kernel p99_by_tenant disagrees with row-at-a-time reference: \
+             {kernel:?} vs {reference:?}"
+        );
+    }
+    String::new()
 }
 
 /// First line where two digests diverge.
@@ -308,18 +376,34 @@ fn replay_integrity(s: &Scenario, base: &RunArtifacts) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs the pipeline with tracing enabled and returns the exported
-/// Chrome trace JSON and metrics TSV.
-fn obs_capture(s: &Scenario) -> (String, String) {
+/// One traced pipeline run: the exported Chrome trace JSON and metrics
+/// TSV (oracle 9), plus the raw events and track names so oracle 10 can
+/// fold the same capture into lakehouse tables.
+struct ObsCapture {
+    trace: String,
+    tsv: String,
+    events: Vec<ids_obs::TraceEvent>,
+    tracks: Vec<String>,
+}
+
+/// Runs the pipeline with tracing enabled and captures its telemetry.
+fn obs_capture(s: &Scenario) -> ObsCapture {
     ids_obs::reset_all();
     ids_obs::enable();
     let _ = run_pipeline(s, s.threads);
     let rec = ids_obs::recorder();
-    let trace = ids_obs::chrome_trace_json(&rec.events(), &rec.tracks());
+    let events = rec.events();
+    let tracks = rec.tracks();
+    let trace = ids_obs::chrome_trace_json(&events, &tracks);
     let tsv = ids_obs::metrics_tsv(&ids_obs::metrics().snapshot());
     ids_obs::disable();
     ids_obs::reset_all();
-    (trace, tsv)
+    ObsCapture {
+        trace,
+        tsv,
+        events,
+        tracks,
+    }
 }
 
 #[cfg(test)]
@@ -331,7 +415,7 @@ mod tests {
     fn a_healthy_scenario_passes_every_oracle() {
         let s = Scenario::generate(derive_seed(41, 2));
         let v = check_scenario(&s);
-        assert_eq!(v.reports.len(), 9);
+        assert_eq!(v.reports.len(), 10);
         assert!(v.all_passed(), "{}", v.summary());
         assert!(v.summary().starts_with("ok ("));
     }

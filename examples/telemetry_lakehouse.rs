@@ -1,0 +1,84 @@
+//! Telemetry lakehouse: the engine dogfoods its own observability.
+//!
+//! Runs a small multi-tenant fleet with the obs recorder live, folds the
+//! captured serve spans (plus a metrics snapshot and raw histogram
+//! buckets) into the columnar telemetry lakehouse, and answers the three
+//! canned fleet-health questions with the engine's own vectorized
+//! kernels: p99 latency by tenant, latency-constraint violations over
+//! time, and the slowest-spans leaderboard.
+//!
+//! ```sh
+//! cargo run --release --example telemetry_lakehouse [sessions]
+//! ```
+
+use ids::experiments::fleet::{self, FleetConfig};
+use ids::lakehouse::{render_table, Lakehouse, TimeWindow};
+use ids::obs;
+use ids::simclock::SimTime;
+
+fn main() {
+    let sessions: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+
+    let config = FleetConfig {
+        seed: 11,
+        session_counts: vec![sessions / 2, sessions],
+        ..FleetConfig::smoke_test()
+    };
+
+    // Telemetry only flows while the recorder is live; `fleet::run`
+    // captures the top concurrency level's serve spans into a lakehouse
+    // and keeps the three canned query results on the report.
+    obs::reset_all();
+    obs::enable();
+    let report = fleet::run(&config);
+    let rec = obs::recorder();
+    let events = rec.events();
+    let tracks = rec.tracks();
+    let snapshot = obs::metrics().snapshot();
+    let buckets = obs::metrics().histogram_buckets();
+    obs::disable();
+
+    println!("{}", report.render());
+    println!("{}", report.render_telemetry());
+
+    // The same capture, ingested by hand: spans + counters from the
+    // recorder, counter/gauge samples from the metrics snapshot, raw
+    // histogram buckets from the registry — all queryable tables.
+    let mut lake = Lakehouse::new();
+    let stats = lake.ingest_events(&events, &tracks);
+    let snap_rows = lake.ingest_snapshot(SimTime::from_micros(0), &snapshot);
+    let bucket_rows = lake.ingest_histogram_buckets(&buckets);
+    let (spans, counters, bucket_count) = lake.row_counts();
+    println!(
+        "manual ingest: {} spans + {} counter samples ({} skipped instants), \
+         {snap_rows} snapshot rows, {bucket_rows} bucket rows \
+         -> tables: spans {spans}, counters {counters}, buckets {bucket_count}\n",
+        stats.spans, stats.counters, stats.skipped
+    );
+
+    let spans_table = lake.spans_table().expect("spans table");
+    println!("{}", render_table(&spans_table, 8));
+    let counters_table = lake.counters_table().expect("counters table");
+    println!("{}", render_table(&counters_table, 8));
+    let buckets_table = lake.buckets_table().expect("buckets table");
+    println!("{}", render_table(&buckets_table, 8));
+
+    // Canned queries straight off the lakehouse, kernel-executed.
+    let mut queries = lake.queries().expect("telemetry queries");
+    let p99 = queries.p99_by_tenant(TimeWindow::all()).expect("p99 query");
+    println!("p99 by tenant (whole timeline):");
+    for t in &p99 {
+        println!(
+            "  {:<10} {} spans, {} violated, p99 {}us",
+            t.tenant, t.spans, t.violated, t.p99_us
+        );
+    }
+    let stats = queries.kernel_stats();
+    println!(
+        "\nkernel work: {} blocks scanned, {} pruned by zone maps",
+        stats.blocks_scanned, stats.blocks_pruned
+    );
+}

@@ -15,7 +15,10 @@
 //! - [`metrics`] — the metric taxonomy, including the paper's novel
 //!   Latency Constraint Violation and Query Issuing Frequency metrics;
 //! - [`obs`] — observability: a virtual-time span recorder, hot-path
-//!   metric counters, and Chrome/Perfetto trace export;
+//!   metric counters, and streaming chunked Chrome/Perfetto trace export;
+//! - [`lakehouse`] — the telemetry lakehouse: obs events folded into the
+//!   engine's own columnar tables and queried with its vectorized
+//!   kernels (p99 by tenant, LCV over time, slowest spans);
 //! - [`study`] — user-study design: settings, counterbalancing, biases,
 //!   validity, and the survey tables;
 //! - [`opt`] — behavior-driven optimizations (loading strategies, skip,
@@ -55,6 +58,7 @@ pub use ids_core::registry;
 pub use ids_core::report;
 pub use ids_devices as devices;
 pub use ids_engine as engine;
+pub use ids_lakehouse as lakehouse;
 pub use ids_metrics as metrics;
 pub use ids_obs as obs;
 pub use ids_opt as opt;

@@ -242,6 +242,102 @@ fn histograms_bucket_merge_and_quantile_through_facade() {
     );
 }
 
+/// Chunked parity on a real capture: the streaming exporter must emit
+/// exactly the monolithic bytes at every worker count, through both a
+/// `String` sink and an I/O sink.
+#[test]
+fn chunked_trace_export_is_byte_identical_at_any_thread_count() {
+    let _guard = lock();
+    obs::reset_all();
+    obs::enable();
+    run_replay();
+    let rec = obs::recorder();
+    let events = rec.events();
+    let tracks = rec.tracks();
+    obs::disable();
+    obs::reset_all();
+
+    let monolithic = obs::chrome_trace_json(&events, &tracks);
+    assert!(!monolithic.is_empty());
+    for threads in [1usize, 2, 4, 8] {
+        let mut chunked = String::new();
+        obs::chrome_trace_chunked(&events, &tracks, threads, &mut chunked)
+            .expect("string sink cannot fail");
+        assert_eq!(
+            monolithic, chunked,
+            "chunked export at {threads} threads must reproduce the monolithic bytes"
+        );
+        let mut sink = obs::IoSink::new(Vec::new());
+        obs::chrome_trace_chunked(&events, &tracks, threads, &mut sink)
+            .expect("vec sink cannot fail");
+        assert_eq!(
+            monolithic.as_bytes(),
+            &sink.into_inner()[..],
+            "io-sink export at {threads} threads must reproduce the monolithic bytes"
+        );
+    }
+}
+
+/// Golden edges: the chunked exporter reproduces the exact framing for
+/// an empty capture and a single event (no stray separators).
+#[test]
+fn chunked_trace_golden_edges() {
+    let empty_golden = "{\"traceEvents\":[\n\
+        {\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+        \"args\":{\"name\":\"ids-sim\"}},\n\
+        {\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\
+        \"args\":{\"name\":\"counters\"}}\n\
+        ],\"displayTimeUnit\":\"ms\"}\n";
+    let mut out = String::new();
+    obs::chrome_trace_chunked(&[], &[], 4, &mut out).expect("string sink");
+    assert_eq!(out, empty_golden, "empty trace framing drifted");
+    assert_eq!(out, obs::chrome_trace_json(&[], &[]));
+
+    let one = vec![ids::obs::TraceEvent::Counter {
+        name: "c",
+        ts: SimTime::from_micros(7),
+        value: 1.5,
+    }];
+    let mut chunked = String::new();
+    obs::chrome_trace_chunked(&one, &[], 4, &mut chunked).expect("string sink");
+    assert_eq!(chunked, obs::chrome_trace_json(&one, &[]));
+    assert!(chunked.contains("\"ts\":7"));
+}
+
+/// Fleet telemetry is served out of the lakehouse and must be
+/// byte-identical across runs of the same config.
+#[test]
+fn fleet_telemetry_tables_are_deterministic_across_runs() {
+    let _guard = lock();
+    let config = ids::experiments::fleet::FleetConfig {
+        seed: 9,
+        session_counts: vec![4, 8],
+        ..ids::experiments::fleet::FleetConfig::smoke_test()
+    };
+    let capture = || {
+        obs::reset_all();
+        obs::enable();
+        let report = ids::experiments::fleet::run(&config);
+        obs::disable();
+        obs::reset_all();
+        report
+    };
+    let a = capture();
+    let b = capture();
+    assert!(
+        a.telemetry.span_rows > 0,
+        "fleet run with recorder enabled must capture serve spans"
+    );
+    assert_eq!(
+        a.render_telemetry(),
+        b.render_telemetry(),
+        "lakehouse telemetry must be byte-identical across runs"
+    );
+    assert_eq!(a.telemetry.p99, b.telemetry.p99);
+    assert_eq!(a.telemetry.lcv, b.telemetry.lcv);
+    assert_eq!(a.telemetry.slowest, b.telemetry.slowest);
+}
+
 #[test]
 fn metrics_summary_and_phase_table_render_from_a_run() {
     let _guard = lock();
