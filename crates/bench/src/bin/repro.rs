@@ -7,6 +7,7 @@
 //! repro --table 8                # one table
 //! repro --figure 13              # one figure
 //! repro --robustness             # fault-injection robustness table
+//! repro --progressive            # deadline-mode LCV/error tradeoff table
 //! repro --fleet                  # multi-tenant fleet-serving table
 //! repro --trace-out trace.json --figure 13
 //!                                # also export a Chrome/Perfetto trace
@@ -55,6 +56,12 @@ fn main() {
         Command::Robustness => {
             println!("{}", robustness::run(&scale.robustness()).render());
         }
+        Command::Progressive => {
+            println!(
+                "{}",
+                robustness::run_progressive(&scale.progressive()).render()
+            );
+        }
         Command::Fleet => {
             // Fleet telemetry is captured through the obs recorder and
             // served back out of the lakehouse tables, so the recorder
@@ -74,7 +81,7 @@ fn main() {
             }
             eprintln!(
                 "usage: repro [--all | --index | --table N | --figure N\n\
-                 \x20            | --scalability | --robustness | --fleet]\n\
+                 \x20            | --scalability | --robustness | --progressive | --fleet]\n\
                  \x20      [--trace-out FILE] [--metrics-out FILE]\n\
                  scale: set IDS_SCALE=paper for full study sizes"
             );
@@ -149,6 +156,7 @@ enum Command {
     Figure(String),
     Scalability,
     Robustness,
+    Progressive,
     Fleet,
     Help(Option<String>),
 }
@@ -165,6 +173,7 @@ fn parse(args: &[String]) -> Command {
         [a] if a == "--index" => Command::Index,
         [a] if a == "--scalability" => Command::Scalability,
         [a] if a == "--robustness" => Command::Robustness,
+        [a] if a == "--progressive" => Command::Progressive,
         [a] if a == "--fleet" => Command::Fleet,
         [a, n] if a == "--table" => Command::Table(n.clone()),
         [a, n] if a == "--figure" => Command::Figure(n.clone()),

@@ -83,6 +83,20 @@ impl Scale {
         }
     }
 
+    /// Progressive deadline-tradeoff sweep configuration at this scale.
+    pub fn progressive(self) -> robustness::ProgressiveConfig {
+        match self {
+            Scale::Paper => robustness::ProgressiveConfig::paper(),
+            Scale::Bench => robustness::ProgressiveConfig {
+                seed: 83,
+                rows: 16_384,
+                max_groups: 400,
+                workers: 2,
+                budgets_ms: [1, 3, 10, 30, 100],
+            },
+        }
+    }
+
     /// Fleet-serving sweep configuration at this scale.
     ///
     /// Two environment knobs adjust the sweep without changing code:

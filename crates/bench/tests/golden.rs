@@ -81,6 +81,12 @@ fn golden_robustness_table() {
 }
 
 #[test]
+fn golden_progressive_table() {
+    let report = robustness::run_progressive(&robustness::ProgressiveConfig::smoke_test());
+    check_golden("progressive_table.txt", &report.render());
+}
+
+#[test]
 fn golden_fleet_table() {
     let report = fleet::run(&fleet::FleetConfig::smoke_test());
     check_golden("fleet_table.txt", &report.render());

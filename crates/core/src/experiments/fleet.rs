@@ -239,6 +239,7 @@ pub fn run(config: &FleetConfig) -> FleetReport {
     let params = ServeParams {
         workers: config.workers,
         latency_budget: config.latency_budget,
+        deadline: false,
     };
     let admission_policy = AdmissionPolicy {
         tenant_rate: config.tenant_rate,

@@ -329,6 +329,275 @@ impl RobustnessReport {
     }
 }
 
+/// Parameters for the progressive-deadline tradeoff sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressiveConfig {
+    /// RNG seed (drives the workload).
+    pub seed: u64,
+    /// Road-network cardinality.
+    pub rows: usize,
+    /// Cap on query groups replayed.
+    pub max_groups: usize,
+    /// Scheduler worker slots.
+    pub workers: usize,
+    /// Latency budgets swept, ascending, in milliseconds.
+    pub budgets_ms: [u64; 5],
+}
+
+impl ProgressiveConfig {
+    /// Full-scale sweep.
+    pub fn paper() -> ProgressiveConfig {
+        ProgressiveConfig {
+            seed: 83,
+            rows: datasets::road_domain::ROWS,
+            max_groups: usize::MAX,
+            workers: 2,
+            budgets_ms: [1, 3, 10, 30, 100],
+        }
+    }
+
+    /// Reduced scale for tests. Rows stay above 10×1024 so one block —
+    /// deadline mode's minimum read — is finer than the degrade policy's
+    /// 10% floor, keeping the two conditions comparable.
+    pub fn smoke_test() -> ProgressiveConfig {
+        ProgressiveConfig {
+            seed: 83,
+            rows: 16_384,
+            max_groups: 200,
+            workers: 2,
+            budgets_ms: [1, 3, 10, 30, 100],
+        }
+    }
+
+    fn cost_scale(&self) -> f64 {
+        datasets::road_domain::ROWS as f64 / self.rows.max(1) as f64
+    }
+}
+
+/// One latency budget's measurements in the tradeoff sweep.
+#[derive(Debug, Clone)]
+pub struct ProgressivePoint {
+    /// Per-query latency budget, ms.
+    pub budget_ms: u64,
+    /// LCV when over-budget queries simulate a truncated scan
+    /// ([`ResiliencePolicy::degrade_after`]).
+    pub degrade_lcv: LcvReport,
+    /// LCV when over-budget queries spend the remaining budget on real
+    /// block-sampled refinement ([`ResiliencePolicy::deadline`]).
+    pub deadline_lcv: LcvReport,
+    /// Partial answers in the degrade run.
+    pub degrade_partial: usize,
+    /// Partial answers in the deadline run.
+    pub deadline_partial: usize,
+    /// Mean covered fraction over the deadline run's partial answers
+    /// (1.0 when nothing was cut short).
+    pub mean_fraction: f64,
+    /// Mean measured relative error of deadline answers against the
+    /// exact replay (per-value worst case, relative to the exact
+    /// answer's largest value).
+    pub mean_rel_error: f64,
+    /// Worst measured relative error in the deadline run.
+    pub max_rel_error: f64,
+    /// Mean *reported* absolute error bound over the deadline run's
+    /// partial answers, as a fraction of the table's rows — what the
+    /// frontend could display. (The deterministic bound is denominated
+    /// in rows; relative to a highly selective answer it would look
+    /// absurdly conservative.)
+    pub mean_bound_frac: f64,
+    /// Deadline partials whose measured error exceeded the reported
+    /// bound. The bound is sound, so this must be 0.
+    pub bound_violations: usize,
+}
+
+/// The LCV-vs-relative-error tradeoff report.
+#[derive(Debug, Clone)]
+pub struct ProgressiveReport {
+    /// Configuration used.
+    pub config: ProgressiveConfig,
+    /// Query groups replayed per budget.
+    pub groups: usize,
+    /// Individual queries per replay.
+    pub queries: usize,
+    /// One point per configured budget, ascending.
+    pub points: Vec<ProgressivePoint>,
+}
+
+/// Per-value worst-case absolute difference between two result sets of
+/// the same shape (the units [`ResultQuality::Partial`] bounds promise).
+fn max_abs_error(estimate: &ids_engine::ResultSet, exact: &ids_engine::ResultSet) -> f64 {
+    use ids_engine::ResultSet;
+    match (estimate, exact) {
+        (ResultSet::Count(a), ResultSet::Count(b)) => (*a as f64 - *b as f64).abs(),
+        (ResultSet::Histogram(a), ResultSet::Histogram(b)) if a.bins() == b.bins() => a
+            .counts()
+            .iter()
+            .zip(b.counts())
+            .map(|(&x, &y)| (x as f64 - y as f64).abs())
+            .fold(0.0, f64::max),
+        (ResultSet::Rows(a), ResultSet::Rows(b)) => (a.len() as f64 - b.len() as f64).abs(),
+        _ => f64::INFINITY,
+    }
+}
+
+/// Largest value in a result set, ≥ 1 — the denominator that turns
+/// absolute row-count errors into relative ones.
+fn result_magnitude(r: &ids_engine::ResultSet) -> f64 {
+    use ids_engine::ResultSet;
+    let m = match r {
+        ResultSet::Count(c) => *c as f64,
+        ResultSet::Histogram(h) => h.counts().iter().copied().max().unwrap_or(0) as f64,
+        ResultSet::Rows(rows) => rows.len() as f64,
+    };
+    m.max(1.0)
+}
+
+/// Runs the LCV-vs-relative-error tradeoff sweep.
+///
+/// The same calm (fault-free) crossfilter replay is driven at a range of
+/// latency budgets under two policies: *degrade* simulates truncating an
+/// over-budget scan, *deadline* spends the remaining budget on real
+/// block-sampled progressive refinement and reports a sound error bound
+/// alongside the estimate. Each point records both LCVs and the measured
+/// vs. reported error of the deadline answers against the exact replay —
+/// the interactivity/accuracy tradeoff the paper's latency guideline
+/// leaves implicit.
+pub fn run_progressive(config: &ProgressiveConfig) -> ProgressiveReport {
+    let setup = ids_obs::phase("progressive.setup");
+    let ui = CrossfilterUi::for_road();
+    let session = simulate_session(DeviceKind::Mouse, 0, config.seed, &ui);
+    let mut groups = compile_query_groups(&ui, &session.trace);
+    groups.truncate(config.max_groups);
+    let stream = issue_stream(&groups);
+
+    let db = Database::new();
+    db.register(datasets::road_network_sized(config.seed, config.rows));
+    let mem = MemBackend::over_with(
+        db,
+        scale_params(ids_engine::CostParams::mem_default(), config.cost_scale()),
+    );
+    let sched = ReplayScheduler::new(config.workers);
+    // The untruncated replay: exact answers every deadline estimate is
+    // measured against.
+    let exact = sched
+        .replay_with_outcomes(&mem, &stream)
+        .expect("replay over registered tables cannot fail");
+    drop(setup);
+
+    let _p = ids_obs::phase("progressive.sweep");
+    let mut points = Vec::new();
+    for &budget_ms in &config.budgets_ms {
+        let budget = SimDuration::from_millis(budget_ms);
+        let degrade = sched
+            .replay_resilient(&mem, &stream, &ResiliencePolicy::degrade_after(budget))
+            .expect("replay over registered tables cannot fail");
+        let deadline = sched
+            .replay_resilient(&mem, &stream, &ResiliencePolicy::deadline(budget))
+            .expect("replay over registered tables cannot fail");
+
+        let degrade_partial = degrade
+            .iter()
+            .filter(|(_, o)| matches!(o.quality, ResultQuality::Partial { .. }))
+            .count();
+
+        let mut deadline_partial = 0usize;
+        let mut fraction_sum = 0.0;
+        let mut bound_sum = 0.0;
+        let mut err_sum = 0.0;
+        let mut err_max = 0.0f64;
+        let mut bound_violations = 0usize;
+        for ((_, o), (_, e)) in deadline.iter().zip(&exact) {
+            let denom = result_magnitude(&e.result);
+            let err = max_abs_error(&o.result, &e.result);
+            err_sum += err / denom;
+            err_max = err_max.max(err / denom);
+            if let ResultQuality::Partial {
+                fraction,
+                error_bound,
+            } = o.quality
+            {
+                deadline_partial += 1;
+                fraction_sum += fraction;
+                bound_sum += error_bound / config.rows.max(1) as f64;
+                if err > error_bound {
+                    bound_violations += 1;
+                }
+            }
+        }
+        let n = deadline.len().max(1) as f64;
+        points.push(ProgressivePoint {
+            budget_ms,
+            degrade_lcv: budget_violations(&spans(&degrade), budget),
+            deadline_lcv: budget_violations(&spans(&deadline), budget),
+            degrade_partial,
+            deadline_partial,
+            mean_fraction: if deadline_partial == 0 {
+                1.0
+            } else {
+                fraction_sum / deadline_partial as f64
+            },
+            mean_rel_error: err_sum / n,
+            max_rel_error: err_max,
+            mean_bound_frac: if deadline_partial == 0 {
+                0.0
+            } else {
+                bound_sum / deadline_partial as f64
+            },
+            bound_violations,
+        });
+    }
+
+    ProgressiveReport {
+        config: *config,
+        groups: groups.len(),
+        queries: stream.len(),
+        points,
+    }
+}
+
+impl ProgressiveReport {
+    /// Deadline-condition LCV fractions, ascending budget.
+    pub fn deadline_lcv_fractions(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .map(|p| p.deadline_lcv.fraction())
+            .collect()
+    }
+
+    /// Renders the tradeoff table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "budget ms",
+            "LCV degrade",
+            "LCV deadline",
+            "partial dg",
+            "partial dl",
+            "mean frac",
+            "mean err",
+            "max err",
+            "bound/rows",
+        ]);
+        for p in &self.points {
+            t.row([
+                p.budget_ms.to_string(),
+                pct(p.degrade_lcv.fraction()),
+                pct(p.deadline_lcv.fraction()),
+                p.degrade_partial.to_string(),
+                p.deadline_partial.to_string(),
+                format!("{:.3}", p.mean_fraction),
+                pct(p.mean_rel_error),
+                pct(p.max_rel_error),
+                pct(p.mean_bound_frac),
+            ]);
+        }
+        format!(
+            "Progressive deadline tradeoff ({} queries in {} groups, calm backend):\n{}",
+            self.queries,
+            self.groups,
+            t.render()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +675,78 @@ mod tests {
         assert!(text.contains("LCV rigid"));
         for p in &report().points {
             assert!(text.contains(&format!("{:.2}", p.intensity)));
+        }
+    }
+
+    fn progressive_report() -> &'static ProgressiveReport {
+        use std::sync::OnceLock;
+        static REPORT: OnceLock<ProgressiveReport> = OnceLock::new();
+        REPORT.get_or_init(|| run_progressive(&ProgressiveConfig::smoke_test()))
+    }
+
+    #[test]
+    fn deadline_mode_never_violates_more_than_degrade() {
+        for p in &progressive_report().points {
+            assert!(
+                p.deadline_lcv.violations <= p.degrade_lcv.violations,
+                "budget {} ms: deadline {} vs degrade {}",
+                p.budget_ms,
+                p.deadline_lcv.violations,
+                p.degrade_lcv.violations
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_mode_drives_lcv_to_zero_with_bounded_error() {
+        let r = progressive_report();
+        let last = r.points.last().unwrap();
+        assert_eq!(
+            last.deadline_lcv.violations, 0,
+            "the widest budget must be met"
+        );
+        let tight = &r.points[0];
+        assert!(
+            tight.deadline_partial > 0,
+            "the tightest budget must cut queries short"
+        );
+        assert!(tight.mean_fraction < 1.0);
+        assert!(tight.mean_bound_frac > 0.0 && tight.mean_bound_frac.is_finite());
+        for p in &r.points {
+            assert_eq!(
+                p.bound_violations, 0,
+                "budget {} ms: reported bounds must hold",
+                p.budget_ms
+            );
+            assert!(p.max_rel_error.is_finite());
+        }
+    }
+
+    #[test]
+    fn reported_bound_shrinks_with_budget() {
+        // Wider budgets cover more blocks, so the mean reported bound over
+        // partials — and the measured error — must not grow.
+        let r = progressive_report();
+        let bounds: Vec<f64> = r.points.iter().map(|p| p.mean_bound_frac).collect();
+        assert!(
+            bounds.windows(2).all(|w| w[1] <= w[0] + 1e-12),
+            "mean reported bound must be non-increasing in budget: {bounds:?}"
+        );
+        let errs: Vec<f64> = r.points.iter().map(|p| p.mean_rel_error).collect();
+        assert!(
+            errs.windows(2).all(|w| w[1] <= w[0] + 1e-12),
+            "mean measured error must be non-increasing in budget: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn progressive_render_is_a_full_table() {
+        let text = progressive_report().render();
+        assert!(text.contains("Progressive deadline tradeoff"));
+        assert!(text.contains("LCV deadline"));
+        assert!(text.contains("bound/rows"));
+        for p in &progressive_report().points {
+            assert!(text.contains(&p.budget_ms.to_string()));
         }
     }
 }

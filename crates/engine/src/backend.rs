@@ -93,10 +93,16 @@ pub enum ResultQuality {
     /// The full, exact answer.
     Exact,
     /// An estimate extrapolated from a fraction of the data (progressive
-    /// truncation or surviving cluster partitions).
+    /// truncation, deadline-bounded refinement, or surviving cluster
+    /// partitions).
     Partial {
         /// Fraction of the data actually consumed, in `(0, 1)`.
         fraction: f64,
+        /// Conservative absolute error bound: every value in the
+        /// reported result is within this many rows of the exact
+        /// answer. Producers must report a sound (finite, non-negative)
+        /// bound; the simtest partial-bounds oracle verifies it.
+        error_bound: f64,
     },
     /// Execution failed terminally; the result is a placeholder (empty)
     /// answer emitted so the session can continue.

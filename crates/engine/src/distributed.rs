@@ -197,9 +197,30 @@ impl Cluster {
         let (result, quality) = if surviving.len() == self.nodes() {
             (merged, ResultQuality::Exact)
         } else {
+            // Sound absolute bound on any extrapolated value: the
+            // estimate `round(merged/f)` overshoots the truth by at
+            // most `merged·(1/f − 1)` and undershoots by at most the
+            // rows held on the lost partitions, plus rounding.
+            let lost_rows: usize = self
+                .partitions
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| lost.contains(i))
+                .filter_map(|(_, db)| db.table(query.table()).ok())
+                .map(|t| t.rows())
+                .sum();
+            let max_merged = match &merged {
+                ResultSet::Count(c) => *c as f64,
+                ResultSet::Histogram(h) => h.counts().iter().copied().max().unwrap_or(0) as f64,
+                ResultSet::Rows(rows) => rows.len() as f64,
+            };
+            let error_bound = (max_merged * (1.0 / fraction - 1.0)).max(lost_rows as f64) + 0.5;
             (
                 scale_result(merged, 1.0 / fraction),
-                ResultQuality::Partial { fraction },
+                ResultQuality::Partial {
+                    fraction,
+                    error_bound,
+                },
             )
         };
         Ok(DistributedOutcome {

@@ -13,7 +13,7 @@ use ids_simclock::{SimDuration, SimTime};
 use crate::backend::{Backend, QueryOutcome, ResultQuality};
 use crate::cost::QueryFootprint;
 use crate::error::EngineResult;
-use crate::progressive::degrade_result;
+use crate::progressive::{degrade_result, ProgressiveExecutor};
 use crate::query::Query;
 use crate::result::{Histogram, ResultSet};
 
@@ -89,6 +89,24 @@ pub struct ResiliencePolicy {
     /// Virtual cost charged for a query whose backend failed terminally
     /// (models the timeout the frontend waits before giving up).
     pub failure_penalty: SimDuration,
+    /// How an over-budget query is answered (see [`ResilienceMode`]).
+    pub mode: ResilienceMode,
+}
+
+/// What an over-budget query returns under
+/// [`ReplayScheduler::replay_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResilienceMode {
+    /// Simulate a truncated scan: scale the exact answer down to the
+    /// fraction a cut-off would have seen and extrapolate back up
+    /// ([`degrade_result`]).
+    Degrade,
+    /// Actually spend the remaining budget: run block-sampled
+    /// progressive refinement ([`ProgressiveExecutor::run_bounded`])
+    /// and return the best-so-far estimate with its confidence-backed
+    /// error bound. Query shapes progressive execution cannot handle
+    /// (selects, joins) fall back to [`ResilienceMode::Degrade`].
+    Deadline,
 }
 
 impl ResiliencePolicy {
@@ -99,6 +117,7 @@ impl ResiliencePolicy {
             latency_budget: None,
             min_fraction: 1.0,
             failure_penalty: SimDuration::from_millis(100),
+            mode: ResilienceMode::Degrade,
         }
     }
 
@@ -109,6 +128,19 @@ impl ResiliencePolicy {
             latency_budget: Some(budget),
             min_fraction: 0.1,
             failure_penalty: budget,
+            mode: ResilienceMode::Degrade,
+        }
+    }
+
+    /// Spend the budget instead of violating it: over-budget queries are
+    /// re-run as deadline-bounded progressive refinements, returning the
+    /// best-so-far answer with a sound error bound.
+    pub const fn deadline(budget: SimDuration) -> ResiliencePolicy {
+        ResiliencePolicy {
+            latency_budget: Some(budget),
+            min_fraction: 0.1,
+            failure_penalty: budget,
+            mode: ResilienceMode::Deadline,
         }
     }
 }
@@ -325,14 +357,50 @@ impl ReplayScheduler {
             if let (Some(budget), ResultQuality::Exact) = (policy.latency_budget, outcome.quality) {
                 if wait + outcome.cost > budget && !outcome.cost.is_zero() {
                     let allowed = budget.saturating_sub(wait);
-                    let fraction = (allowed.as_secs_f64() / outcome.cost.as_secs_f64())
-                        .clamp(policy.min_fraction.clamp(f64::MIN_POSITIVE, 1.0), 1.0);
-                    if fraction < 1.0 {
-                        degraded_ctr.inc();
-                        record_resilience_instant(backend.name(), "degrade", iq, fraction);
-                        outcome.cost = outcome.cost.mul_f64(fraction);
-                        outcome.result = degrade_result(outcome.result, fraction);
-                        outcome.quality = ResultQuality::Partial { fraction };
+                    // Deadline mode spends the remaining budget on real
+                    // block-sampled refinement; shapes progressive
+                    // execution rejects (selects, joins) fall back to
+                    // the simulated truncation below.
+                    let refined = if policy.mode == ResilienceMode::Deadline {
+                        ProgressiveExecutor::new(backend.database())
+                            .run_bounded(&iq.query, outcome.cost, allowed)
+                            .ok()
+                    } else {
+                        None
+                    };
+                    match refined {
+                        Some(r) if r.fraction < 1.0 => {
+                            degraded_ctr.inc();
+                            record_deadline_instant(backend.name(), iq, r.fraction, r.error_bound);
+                            outcome.cost = r.elapsed;
+                            outcome.result = r.estimate;
+                            outcome.quality = ResultQuality::Partial {
+                                fraction: r.fraction,
+                                error_bound: r.error_bound,
+                            };
+                        }
+                        // An empty table refines to the exact answer in
+                        // one step: nothing to degrade.
+                        Some(_) => {}
+                        None => {
+                            let fraction = (allowed.as_secs_f64() / outcome.cost.as_secs_f64())
+                                .clamp(policy.min_fraction.clamp(f64::MIN_POSITIVE, 1.0), 1.0);
+                            if fraction < 1.0 {
+                                degraded_ctr.inc();
+                                record_resilience_instant(backend.name(), "degrade", iq, fraction);
+                                outcome.cost = outcome.cost.mul_f64(fraction);
+                                outcome.result = degrade_result(outcome.result, fraction);
+                                outcome.quality = ResultQuality::Partial {
+                                    fraction,
+                                    // The degrade round trip only rounds:
+                                    // scaling down truncates at most one
+                                    // row's worth per value, scaling back
+                                    // up multiplies that by 1/fraction
+                                    // and rounds once more.
+                                    error_bound: 0.5 / fraction + 1.0,
+                                };
+                            }
+                        }
                     }
                 }
             }
@@ -378,6 +446,30 @@ fn record_resilience_instant(backend_name: &str, what: &str, iq: &IssuedQuery, f
         vec![
             ("tag", ids_obs::ArgValue::U64(iq.tag)),
             ("fraction", ids_obs::ArgValue::F64(fraction)),
+        ],
+    );
+}
+
+/// Marks a deadline-mode refinement on the trace timeline, carrying the
+/// reported error bound alongside the covered fraction; no-op when the
+/// recorder is off. A separate event name from plain degradation so
+/// lakehouse queries can tell "simulated truncation" from "budget spent
+/// on refinement".
+fn record_deadline_instant(backend_name: &str, iq: &IssuedQuery, fraction: f64, error_bound: f64) {
+    let rec = ids_obs::recorder();
+    if !rec.is_enabled() {
+        return;
+    }
+    let track = rec.track(&format!("{backend_name}/resilience"));
+    rec.record_instant(
+        "resilience",
+        "deadline".to_string(),
+        track,
+        iq.issued_at,
+        vec![
+            ("tag", ids_obs::ArgValue::U64(iq.tag)),
+            ("fraction", ids_obs::ArgValue::F64(fraction)),
+            ("error_bound", ids_obs::ArgValue::F64(error_bound)),
         ],
     );
 }

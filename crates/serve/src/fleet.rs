@@ -42,6 +42,20 @@ pub struct ServeParams {
     pub workers: usize,
     /// Per-query latency budget (drives the fleet LCV).
     pub latency_budget: SimDuration,
+    /// Route over-budget interactive queries to deadline mode: instead
+    /// of letting an admitted query blow the budget, its execution is
+    /// clamped to the remaining budget (down to 10% of the full cost)
+    /// the way the engine's deadline-bounded progressive refinement
+    /// would answer it — best-so-far within the budget.
+    pub deadline: bool,
+}
+
+impl ServeParams {
+    /// Enables deadline routing (builder-style).
+    pub fn with_deadline(mut self) -> ServeParams {
+        self.deadline = true;
+        self
+    }
 }
 
 /// Aggregated result of one serving simulation.
@@ -70,6 +84,9 @@ pub struct FleetOutcome {
     pub drained_at: SimTime,
     /// Sessions that had at least one query admitted.
     pub sessions_served: usize,
+    /// Interactive queries whose execution was clamped by deadline
+    /// routing (always 0 when [`ServeParams::deadline`] is off).
+    pub deadline_routed: usize,
 }
 
 impl FleetOutcome {
@@ -164,6 +181,7 @@ pub fn simulate_service(
     let reg = ids_obs::metrics();
     let admitted_ctr = reg.counter("serve.admitted");
     let shed_ctr = reg.counter("serve.shed");
+    let deadline_ctr = reg.counter("serve.deadline_routed");
 
     let mut pool = WorkerPool::new(params.workers);
     let mut controller = AdmissionController::new(*policy);
@@ -182,6 +200,7 @@ pub fn simulate_service(
     let mut session_hists: HashMap<usize, Histogram> = HashMap::new();
     let mut interactive_stamps: Vec<SimTime> = Vec::new();
     let mut interactive_admitted = 0usize;
+    let mut deadline_routed = 0usize;
     let mut drained_at = SimTime::ZERO;
 
     for (q, &cost) in offered.iter().zip(costs) {
@@ -202,11 +221,27 @@ pub fn simulate_service(
             ready = recovery;
         }
         let available = capacity_at(plan, workers, ready);
-        let effective = if available == workers {
+        let mut effective = if available == workers {
             cost
         } else {
             SimDuration::from_secs_f64(cost.as_secs_f64() * workers as f64 / available as f64)
         };
+        // Deadline routing: an interactive query that would blow the
+        // budget (queueing included) is clamped to the remaining budget
+        // instead — the queueing image of the engine's deadline-bounded
+        // progressive refinement, with the same 10%-of-the-scan floor.
+        if params.deadline && q.lane == Lane::Interactive && !effective.is_zero() {
+            let wait = pool.next_start(ready).saturating_since(ready);
+            if wait + effective > params.latency_budget {
+                let allowed = params.latency_budget.saturating_sub(wait);
+                let clamped = allowed.max(effective.mul_f64(0.1));
+                if clamped < effective {
+                    effective = clamped;
+                    deadline_ctr.inc();
+                    deadline_routed += 1;
+                }
+            }
+        }
         let (_slot, _started, finished) = pool.assign(ready, effective);
         drained_at = drained_at.max(finished);
 
@@ -277,6 +312,7 @@ pub fn simulate_service(
         admitted_qps,
         drained_at,
         sessions_served: session_spans.len(),
+        deadline_routed,
     }
 }
 
@@ -310,6 +346,7 @@ mod tests {
         ServeParams {
             workers: 2,
             latency_budget: SimDuration::from_millis(100),
+            deadline: false,
         }
     }
 
@@ -369,6 +406,65 @@ mod tests {
         );
         assert!(adm.p99 < base.p99, "{:?} vs {:?}", adm.p99, base.p99);
         assert!(adm.lcv.fraction() < base.lcv.fraction());
+    }
+
+    #[test]
+    fn deadline_routing_trims_violations_and_tail() {
+        // 50 ms queries arriving every 10 ms on 2 workers: 2.5x
+        // oversubscribed, so the plain queue grows without bound, while
+        // deadline clamping trades work for latency and stabilizes it.
+        let offered = offered_stream(100, 10);
+        let costs = flat_costs(100, 50);
+        let plan = FaultPlan::calm(1);
+        let base = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &plan,
+            &params(),
+        );
+        let dl = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &plan,
+            &params().with_deadline(),
+        );
+        assert_eq!(base.deadline_routed, 0);
+        assert!(dl.deadline_routed > 0, "overload must trigger routing");
+        assert_eq!(dl.admitted, base.admitted, "routing never sheds");
+        assert!(
+            dl.lcv.fraction() < base.lcv.fraction(),
+            "{} vs {}",
+            dl.lcv.fraction(),
+            base.lcv.fraction()
+        );
+        assert!(dl.p99 <= base.p99, "{:?} vs {:?}", dl.p99, base.p99);
+    }
+
+    #[test]
+    fn deadline_routing_is_idle_under_light_load() {
+        // Well-spaced cheap queries never approach the budget: deadline
+        // mode must not perturb the outcome at all.
+        let offered = offered_stream(50, 50);
+        let costs = flat_costs(50, 5);
+        let plan = FaultPlan::calm(1);
+        let base = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &plan,
+            &params(),
+        );
+        let dl = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &plan,
+            &params().with_deadline(),
+        );
+        assert_eq!(dl.deadline_routed, 0);
+        assert_eq!(dl, base);
     }
 
     #[test]

@@ -16,15 +16,17 @@
 
 use std::sync::{Mutex, MutexGuard};
 
-use ids_engine::progressive::degrade_result;
+use ids_engine::progressive::{
+    degrade_result, interval_coverage, is_anytime_consistent, ProgressiveExecutor,
+};
 use ids_engine::{Backend, ResultQuality, ResultSet};
 use ids_metrics::lcv::{budget_violations, QuerySpan};
 use ids_metrics::qif::qif_windows;
 use ids_simclock::{SimDuration, SimTime};
 
 use crate::pipeline::{build_replay_env, run_pipeline, RunArtifacts};
-use crate::reference::differential_check;
-use crate::scenario::Scenario;
+use crate::reference::{diff_backend, differential_check, raw_tables, reference_execute};
+use crate::scenario::{QuerySpec, Scenario};
 
 /// One oracle's judgement on one scenario.
 #[derive(Debug, Clone)]
@@ -63,7 +65,7 @@ impl Verdict {
         self.reports.iter().find(|r| !r.passed)
     }
 
-    /// One-line summary: `ok (9 oracles)` or `FAIL <name>: <detail>`.
+    /// One-line summary: `ok (11 oracles)` or `FAIL <name>: <detail>`.
     pub fn summary(&self) -> String {
         match self.first_failure() {
             None => format!("ok ({} oracles)", self.reports.len()),
@@ -233,7 +235,62 @@ pub fn check_scenario_unlocked(s: &Scenario) -> Verdict {
     let lake_detail = lakehouse_determinism(&cap_a, &cap_b);
     v.push("lakehouse-determinism", lake_detail.is_empty(), lake_detail);
 
+    // 11. Progressive anytime contract: block-sampled online aggregation
+    //     of every mergeable differential query must (a) end
+    //     byte-identical to the reference interpreter's exact answer,
+    //     (b) bracket the true per-bin values with its confidence
+    //     intervals at the configured coverage, and (c) report a
+    //     never-increasing error bound across refinements.
+    let prog_detail = progressive_anytime(s);
+    v.push("progressive-anytime", prog_detail.is_empty(), prog_detail);
+
     v
+}
+
+/// Oracle 11 body: runs the progressive executor over the scenario's
+/// differential tables and checks the anytime contract against the
+/// row-at-a-time reference interpreter.
+fn progressive_anytime(s: &Scenario) -> String {
+    const COVERAGE: f64 = 0.95;
+    let raw = raw_tables(s.seed, &s.table);
+    let backend = diff_backend(&raw);
+    for (i, spec) in s.queries.iter().enumerate() {
+        if !matches!(spec, QuerySpec::Count { .. } | QuerySpec::Histogram { .. }) {
+            continue;
+        }
+        let executor = ProgressiveExecutor::new(backend.database())
+            .with_seed(s.seed)
+            .with_confidence(COVERAGE);
+        let refinements = executor.run(&spec.query());
+        match (reference_execute(&raw, spec), refinements) {
+            (Err(_), Err(_)) => {} // both reject (invalid bin spec)
+            (Err(e), Ok(_)) => {
+                return format!(
+                    "query {i} {spec:?}: reference rejected ({e}) but progressive accepted"
+                );
+            }
+            (Ok(_), Err(e)) => {
+                return format!(
+                    "query {i} {spec:?}: reference accepted but progressive rejected ({e})"
+                );
+            }
+            (Ok(exact), Ok(refinements)) => {
+                if !is_anytime_consistent(&refinements, &exact) {
+                    return format!(
+                        "query {i} {spec:?}: anytime contract violated (final must equal \
+                         the reference answer bit-for-bit with a monotone error bound)"
+                    );
+                }
+                let coverage = interval_coverage(&refinements, &exact);
+                if coverage < COVERAGE {
+                    return format!(
+                        "query {i} {spec:?}: interval coverage {coverage:.3} below {COVERAGE}"
+                    );
+                }
+            }
+        }
+    }
+    String::new()
 }
 
 /// Oracle 10 body: byte-compares the telemetry tables built from two
@@ -325,9 +382,15 @@ fn replay_integrity(s: &Scenario, base: &RunArtifacts) -> Result<(), String> {
                     ));
                 }
             }
-            ResultQuality::Partial { fraction } => {
+            ResultQuality::Partial {
+                fraction,
+                error_bound,
+            } => {
                 if !(fraction > 0.0 && fraction <= 1.0) {
                     return Err(format!("replay {i}: illegal fraction {fraction}"));
+                }
+                if !(error_bound.is_finite() && error_bound >= 0.0) {
+                    return Err(format!("replay {i}: illegal error bound {error_bound}"));
                 }
                 let expected = degrade_result(exact.clone(), fraction);
                 if r.outcome.result != expected {
@@ -335,9 +398,10 @@ fn replay_integrity(s: &Scenario, base: &RunArtifacts) -> Result<(), String> {
                         "replay {i}: Partial result is not the degradation of the exact answer"
                     ));
                 }
-                // And the degraded estimate honors its stated bound: the
-                // round-trip loses at most one rounding step per scale.
-                let bound = 0.5 / fraction + 1.0;
+                // And the degraded estimate honors its stated bound (the
+                // round-trip loses at most one rounding step per scale,
+                // which is exactly what the degrade path reports).
+                let bound = error_bound.min(0.5 / fraction + 1.0);
                 if let (ResultSet::Count(est), ResultSet::Count(truth)) =
                     (&r.outcome.result, &exact)
                 {
@@ -415,7 +479,7 @@ mod tests {
     fn a_healthy_scenario_passes_every_oracle() {
         let s = Scenario::generate(derive_seed(41, 2));
         let v = check_scenario(&s);
-        assert_eq!(v.reports.len(), 10);
+        assert_eq!(v.reports.len(), 11);
         assert!(v.all_passed(), "{}", v.summary());
         assert!(v.summary().starts_with("ok ("));
     }

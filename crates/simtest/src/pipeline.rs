@@ -193,7 +193,10 @@ pub fn resilience_policy(s: &Scenario) -> ResiliencePolicy {
 fn quality_token(q: &ResultQuality) -> String {
     match q {
         ResultQuality::Exact => "exact".into(),
-        ResultQuality::Partial { fraction } => format!("partial:{fraction:?}"),
+        ResultQuality::Partial {
+            fraction,
+            error_bound,
+        } => format!("partial:{fraction:?}:{error_bound:?}"),
         ResultQuality::Failed => "failed".into(),
     }
 }
@@ -239,6 +242,7 @@ pub fn run_pipeline(s: &Scenario, threads: usize) -> RunArtifacts {
     let params = ServeParams {
         workers: s.workers.max(1),
         latency_budget,
+        deadline: false,
     };
     let admission_policy = AdmissionPolicy {
         tenant_rate: s.tenant_rate,

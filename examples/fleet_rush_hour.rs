@@ -71,6 +71,7 @@ fn main() {
     let serve = ServeParams {
         workers,
         latency_budget: budget,
+        deadline: false,
     };
     let admission = simulate_service(
         &offered,

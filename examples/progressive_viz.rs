@@ -43,14 +43,28 @@ fn main() {
     let refinements = ProgressiveExecutor::new(db)
         .run(&query)
         .expect("progressive");
-    let mut t = TextTable::new(["sample", "elapsed", "rmse/bin", "histogram shape"]);
+    let mut t = TextTable::new([
+        "sample",
+        "elapsed",
+        "rmse/bin",
+        "±bound",
+        "ci width",
+        "histogram shape",
+    ]);
     for r in &refinements {
         let hist = r.estimate.histogram().expect("histogram query");
         let shape: Vec<f64> = hist.counts().iter().map(|&c| c as f64).collect();
+        let max_ci = r
+            .intervals
+            .iter()
+            .map(|ci| ci.width())
+            .fold(0.0f64, f64::max);
         t.row([
             format!("{:.1}%", r.fraction * 100.0),
             format!("{:.2} ms", r.elapsed.as_millis_f64()),
             format!("{:.0}", refinement_error(&r.estimate, &exact).sqrt()),
+            format!("{:.0}", r.error_bound),
+            format!("{:.0}", max_ci),
             sparkline(&shape),
         ]);
     }

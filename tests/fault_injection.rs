@@ -142,14 +142,23 @@ fn node_loss_degrades_cluster_answers_gracefully() {
 
     let lossy = cluster.execute_excluding(&q, plan.lost_nodes()).unwrap();
     assert_eq!(lossy.nodes, 3);
-    assert_eq!(
-        lossy.quality,
-        ResultQuality::Partial { fraction: 0.75 },
-        "losing 1 of 4 nodes marks the answer partial"
-    );
+    let (fraction, error_bound) = match lossy.quality {
+        ResultQuality::Partial {
+            fraction,
+            error_bound,
+        } => (fraction, error_bound),
+        other => panic!("losing 1 of 4 nodes marks the answer partial, got {other:?}"),
+    };
+    assert_eq!(fraction, 0.75);
     // The surviving 3/4 of the rows are extrapolated back to an estimate
-    // of the full answer (round-robin partitions are near-uniform).
+    // of the full answer (round-robin partitions are near-uniform), and
+    // the reported bound really bounds the extrapolation error.
     assert_eq!(lossy.result.scalar_count(), Some(4_000));
+    assert!(error_bound.is_finite() && error_bound >= 0.0);
+    let err = (lossy.result.scalar_count().unwrap() as f64
+        - full.result.scalar_count().unwrap() as f64)
+        .abs();
+    assert!(err <= error_bound, "err {err} > bound {error_bound}");
 
     // Losing everything is transient adversity, not a hard error.
     let all = FaultPlan::builder(11)

@@ -135,6 +135,7 @@ proptest! {
         let params = ServeParams {
             workers,
             latency_budget: SimDuration::from_millis(100),
+            deadline: false,
         };
         for policy in [
             AdmissionPolicy::unlimited(),

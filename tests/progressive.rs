@@ -1,0 +1,112 @@
+//! Integration tests for progressive online aggregation and the
+//! deadline-mode scheduler, end to end.
+//!
+//! Two contracts are checked here rather than in any one crate:
+//!
+//! - **bit determinism** — the `repro --progressive` tradeoff table
+//!   renders byte-identically across runs, and across concurrent runs
+//!   from 1/2/4/8 threads (no process-global state leaks into the
+//!   numbers; the golden snapshot itself lives with the other fixtures
+//!   in `crates/bench/tests/golden/`, regenerable via `IDS_BLESS=1`);
+//! - **zero cost when disabled** — a replay under a non-deadline policy
+//!   never touches the progressive machinery: the rigid resilient
+//!   replay is byte-identical to the plain replay, timing for timing
+//!   and outcome for outcome.
+
+use ids::engine::scheduler::{IssuedQuery, ReplayScheduler, ResiliencePolicy};
+use ids::engine::{Backend, ColumnBuilder, MemBackend, Predicate, Query, TableBuilder};
+use ids::experiments::robustness::{self, ProgressiveConfig};
+use ids::simclock::SimTime;
+
+fn config() -> ProgressiveConfig {
+    ProgressiveConfig::smoke_test()
+}
+
+#[test]
+fn tradeoff_table_is_byte_deterministic_across_runs() {
+    let a = robustness::run_progressive(&config()).render();
+    let b = robustness::run_progressive(&config()).render();
+    assert_eq!(a, b, "same config, same bytes");
+    assert!(a.contains("Progressive deadline tradeoff"));
+}
+
+#[test]
+fn tradeoff_table_is_identical_across_thread_counts() {
+    // The sweep itself is sequential; what concurrency could perturb is
+    // the process-global state it leans on (metrics registry, phase
+    // tracking). Render the table from 1/2/4/8 threads racing each
+    // other and require every copy to match the sequential reference.
+    let small = ProgressiveConfig {
+        max_groups: 60,
+        ..config()
+    };
+    let reference = robustness::run_progressive(&small).render();
+    for threads in [1usize, 2, 4, 8] {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = small;
+                std::thread::spawn(move || robustness::run_progressive(&c).render())
+            })
+            .collect();
+        for h in handles {
+            let rendered = h.join().expect("sweep thread must not panic");
+            assert_eq!(rendered, reference, "at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn deadline_mode_reaches_zero_lcv_in_the_sweep() {
+    let report = robustness::run_progressive(&config());
+    let fractions = report.deadline_lcv_fractions();
+    assert_eq!(
+        *fractions.last().unwrap(),
+        0.0,
+        "the widest budget must be met: {fractions:?}"
+    );
+    // And the tradeoff is real: some tighter budget produced bounded
+    // partial answers rather than violations.
+    assert!(report.points.iter().any(|p| p.deadline_partial > 0));
+    for p in &report.points {
+        assert_eq!(p.bound_violations, 0, "reported bounds must hold");
+    }
+}
+
+#[test]
+fn progressive_machinery_costs_nothing_when_disabled() {
+    // A rigid (non-deadline) resilient replay must be byte-identical to
+    // the plain replay: same virtual timings, same outcomes, proving the
+    // progressive path adds no cost — virtual or otherwise — unless a
+    // deadline policy explicitly invokes it.
+    let backend = MemBackend::new();
+    backend.database().register(
+        TableBuilder::new("t")
+            .column(
+                "x",
+                ColumnBuilder::float((0..5_000).map(|i| (i % 173) as f64)),
+            )
+            .build()
+            .unwrap(),
+    );
+    let stream: Vec<IssuedQuery> = (0..40)
+        .map(|i| {
+            IssuedQuery::new(
+                SimTime::from_millis(5 * i as u64),
+                Query::count("t", Predicate::between("x", 10.0, 20.0 + i as f64)),
+                i as u64,
+            )
+        })
+        .collect();
+    let sched = ReplayScheduler::new(2);
+    let plain = sched.replay_with_outcomes(&backend, &stream).unwrap();
+    let rigid = sched
+        .replay_resilient(&backend, &stream, &ResiliencePolicy::rigid())
+        .unwrap();
+    assert_eq!(plain.len(), rigid.len());
+    for ((ta, oa), (tb, ob)) in plain.iter().zip(&rigid) {
+        assert_eq!(ta, tb, "timings identical");
+        assert_eq!(oa.result, ob.result, "results identical");
+        assert_eq!(oa.cost, ob.cost, "virtual costs identical");
+        assert_eq!(oa.quality, ob.quality, "qualities identical");
+    }
+}

@@ -430,4 +430,119 @@ proptest! {
         let (rs, _) = ids::engine::exec::run_histogram(&table, &spec, &pred).expect("valid");
         prop_assert_eq!(rs.histogram().expect("histogram").counts(), &unfused[..]);
     }
+
+    /// Deadline-mode replay never violates a budget at least as large as
+    /// the most expensive query: the deadline scheduler's LCV is 0 for
+    /// any budget ≥ the exact execution cost (given no queueing).
+    #[test]
+    fn deadline_mode_lcv_is_zero_when_budget_covers_cost(
+        rows in 1usize..5000,
+        budget_slack_ms in 0u64..50,
+    ) {
+        let backend = MemBackend::new();
+        backend.database().register(
+            TableBuilder::new("t")
+                .column("x", ColumnBuilder::float((0..rows).map(|i| i as f64)))
+                .build()
+                .expect("table"),
+        );
+        let query = Query::histogram(
+            "t",
+            BinSpec::new("x", 0.0, rows as f64, 8),
+            Predicate::between("x", 0.2 * rows as f64, 0.9 * rows as f64),
+        );
+        let exact_cost = backend.execute(&query).expect("registered").cost;
+        let budget = exact_cost + SimDuration::from_millis(budget_slack_ms);
+        // Issue gaps ≥ budget so queueing never eats into it; the policy
+        // then has the whole budget for every query.
+        let stream: Vec<ids::engine::scheduler::IssuedQuery> = (0..4)
+            .map(|i| ids::engine::scheduler::IssuedQuery::new(
+                SimTime::ZERO + budget.mul_f64(i as f64 * 1.5),
+                query.clone(),
+                i as u64,
+            ))
+            .collect();
+        let sched = ids::engine::scheduler::ReplayScheduler::new(1);
+        let timings: Vec<QuerySpan> = sched
+            .replay_resilient(
+                &backend,
+                &stream,
+                &ids::engine::scheduler::ResiliencePolicy::deadline(budget),
+            )
+            .expect("replay succeeds")
+            .iter()
+            .map(|(t, _)| QuerySpan { issued_at: t.issued_at, finished_at: t.finished_at })
+            .collect();
+        prop_assert_eq!(budget_violations(&timings, budget).violations, 0);
+    }
+
+    /// The reported deadline error bound is monotone non-increasing in
+    /// the budget: paying more latency never loosens the answer.
+    #[test]
+    fn deadline_error_bound_is_monotone_in_budget(
+        rows in 1100usize..9000,
+        budgets_pct in prop::collection::vec(1u64..100, 2..6),
+    ) {
+        let backend = MemBackend::new();
+        backend.database().register(
+            TableBuilder::new("t")
+                .column("x", ColumnBuilder::float((0..rows).map(|i| (i % 97) as f64)))
+                .build()
+                .expect("table"),
+        );
+        let query = Query::count("t", Predicate::between("x", 10.0, 80.0));
+        let exact_cost = backend.execute(&query).expect("registered").cost;
+        let exec = ids::engine::progressive::ProgressiveExecutor::new(backend.database());
+        let mut sorted = budgets_pct;
+        sorted.sort_unstable();
+        let mut last_bound = f64::INFINITY;
+        for pct in sorted {
+            let budget = exact_cost.mul_f64(pct as f64 / 100.0);
+            let r = exec.run_bounded(&query, exact_cost, budget).expect("count is progressive");
+            prop_assert!(r.error_bound.is_finite() && r.error_bound >= 0.0);
+            prop_assert!(
+                r.error_bound <= last_bound,
+                "bound must not grow with budget: {} then {}",
+                last_bound,
+                r.error_bound
+            );
+            last_bound = r.error_bound;
+        }
+    }
+
+    /// The block-permutation seed changes intermediate estimates but
+    /// never the final answer, which is byte-identical to the exact
+    /// kernel result for every seed.
+    #[test]
+    fn progressive_seed_never_changes_final_answer(
+        rows in 1usize..6000,
+        seed_a in 0u64..10_000,
+        seed_b in 0u64..10_000,
+    ) {
+        let backend = MemBackend::new();
+        backend.database().register(
+            TableBuilder::new("t")
+                .column("x", ColumnBuilder::float((0..rows).map(|i| (i % 211) as f64)))
+                .build()
+                .expect("table"),
+        );
+        let query = Query::histogram(
+            "t",
+            BinSpec::new("x", 0.0, 211.0, 7),
+            Predicate::between("x", 25.0, 190.0),
+        );
+        let exact = backend.execute(&query).expect("registered").result;
+        let run = |seed: u64| {
+            ids::engine::progressive::ProgressiveExecutor::new(backend.database())
+                .with_seed(seed)
+                .run(&query)
+                .expect("histogram is progressive")
+        };
+        let a = run(seed_a);
+        let b = run(seed_b);
+        prop_assert_eq!(&a.last().expect("nonempty").estimate, &exact);
+        prop_assert_eq!(&b.last().expect("nonempty").estimate, &exact);
+        prop_assert!(ids::engine::progressive::is_anytime_consistent(&a, &exact));
+        prop_assert!(ids::engine::progressive::is_anytime_consistent(&b, &exact));
+    }
 }
