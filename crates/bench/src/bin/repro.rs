@@ -74,6 +74,12 @@ fn main() {
             }
             println!("{}", report.render());
             println!("{}", report.render_telemetry());
+            // The weak-scaling shard curve: 10^6 sessions / 10^8 rows at
+            // the 16-shard top point, p99 held flat by scatter-gather.
+            println!(
+                "{}",
+                ids_bench::fleetbench::render(&ids_bench::fleetbench::shard_curve())
+            );
         }
         Command::Help(err) => {
             if let Some(e) = err {

@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleetbench;
 pub mod perf;
 pub mod trend;
 
@@ -99,11 +100,13 @@ impl Scale {
 
     /// Fleet-serving sweep configuration at this scale.
     ///
-    /// Two environment knobs adjust the sweep without changing code:
+    /// Three environment knobs adjust the sweep without changing code:
     /// `IDS_FLEET_SESSIONS` overrides the top concurrency level (the
-    /// sweep keeps its 8×/4×/2× down-steps), and `IDS_CHAOS_INTENSITY`
-    /// — the same toggle the CI fault matrix uses elsewhere — storms
-    /// the serving run, adding node-loss windows on top.
+    /// sweep keeps its 8×/4×/2× down-steps), `IDS_SHARDS` splits the
+    /// fleet's data and workers into shard groups (per-query costs take
+    /// their scatter-gather image), and `IDS_CHAOS_INTENSITY` — the
+    /// same toggle the CI fault matrix uses elsewhere — storms the
+    /// serving run, adding node-loss windows on top.
     pub fn fleet(self) -> fleet::FleetConfig {
         let mut config = match self {
             Scale::Paper => fleet::FleetConfig::paper(),
@@ -116,6 +119,12 @@ impl Scale {
             let top = top.max(1);
             config.session_counts = vec![(top / 8).max(1), (top / 4).max(1), (top / 2).max(1), top];
             config.session_counts.dedup();
+        }
+        if let Some(shards) = std::env::var("IDS_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            config.shards = shards.max(1);
         }
         if let Some(intensity) = std::env::var("IDS_CHAOS_INTENSITY")
             .ok()

@@ -118,6 +118,12 @@ pub fn run_all(quick: bool, rows: usize, reps: usize) -> Vec<BenchReport> {
         reps,
         quick,
     ));
+    // The fleet shard-scaling curve rides along (virtual-only: wall
+    // fields stay None in both modes), so the committed BENCH_*.json
+    // history gates the million-session p99 like any kernel bench.
+    reports.extend(crate::fleetbench::to_reports(
+        &crate::fleetbench::shard_curve(),
+    ));
     reports
 }
 
@@ -331,7 +337,7 @@ mod tests {
     fn quick_runs_are_deterministic() {
         let a = run_all(true, 4_000, 1);
         let b = run_all(true, 4_000, 1);
-        assert_eq!(a.len(), 5);
+        assert_eq!(a.len(), 8, "5 kernel benches + 3 fleet shard points");
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.name, y.name);
             assert_eq!(x.checksum, y.checksum);

@@ -1,32 +1,46 @@
-//! Simulated distributed execution: the substrate for the paper's
-//! throughput and scalability metrics (Section 3.1.1).
+//! Shard-plan primitives and the in-engine cluster facade.
 //!
 //! The survey grounds two backend metrics in distributed systems:
 //! **throughput** (Atlas measures speedup as query throughput vs server
 //! count) and **scalability** (DICE's node sweep shows diminishing
-//! returns past ~8 nodes, and its dimension sweep shows per-tuple
-//! predicate cost overtaking the benefit of selectivity). This module
-//! models a shared-nothing cluster over the columnar engine:
+//! returns past ~8 nodes). This module holds the *canonical* primitives
+//! every sharded layer of the stack shares — deterministic shard
+//! assignment, cell-key hashing, partition materialization, mergeable
+//! partial-aggregate merging, and the coordination cost model — plus a
+//! thin [`Cluster`] facade over them. The full subsystem (hash/range
+//! partition schemes, the scatter-gather executor, sharded progressive
+//! refinement) lives in `ids-shard` and reuses exactly these functions,
+//! which is what guarantees a row lands on the same shard no matter
+//! which layer asked.
 //!
-//! - a table is hash-partitioned across `nodes` workers;
-//! - each worker scans its partition in parallel (virtual time = the
-//!   slowest partition);
-//! - partial results are merged by a coordinator, which pays a per-node,
-//!   per-group **summarization** cost — the part that does *not* get
-//!   faster with more nodes, plus a fixed per-query coordination
-//!   overhead that *grows* with the cluster.
+//! Determinism discipline (the same one `parallel_histogram` proved for
+//! threads): shard assignment is a pure function of `(key, shards)`,
+//! partials are merged in fixed shard order, and only *mergeable*
+//! aggregates (COUNT sums, histogram bin-wise sums) are distributable —
+//! so the merged answer is byte-identical at 1/4/16 shards and any
+//! worker-thread count.
+//!
+//! Fault model: shards may be **replicated**. A query answers exactly as
+//! long as every shard has at least one surviving replica; when all
+//! replicas of a shard are lost the plan fails with the typed
+//! [`EngineError::ShardUnavailable`] instead of silently extrapolating
+//! from the survivors (the old behavior — an estimate masquerading as an
+//! answer — is gone; approximate answers are the progressive layer's
+//! job, where they carry explicit error bounds).
 
 use ids_simclock::SimDuration;
 
 use crate::backend::{Database, ResultQuality};
+use crate::column::{Column, ColumnBuilder};
 use crate::cost::{CostModel, CostParams, LinearCostModel};
 use crate::error::{EngineError, EngineResult};
 use crate::exec::run_query;
-use crate::progressive::scale_result;
 use crate::query::Query;
 use crate::result::{Histogram, ResultSet};
+use crate::table::{Table, TableBuilder};
 
-/// Cost knobs specific to the cluster layer.
+/// Cost knobs specific to the coordination layer of a scatter-gather
+/// plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterParams {
     /// Per-query coordination overhead per participating node, ns
@@ -48,192 +62,131 @@ impl ClusterParams {
             coordinator_ns: 1_000_000,     // 1 ms
         }
     }
-}
 
-/// Outcome of one distributed query.
-#[derive(Debug, Clone)]
-pub struct DistributedOutcome {
-    /// Merged result (identical to single-node execution when every
-    /// partition participated; a scaled estimate under node loss).
-    pub result: ResultSet,
-    /// Virtual wall time: slowest worker + coordination + merge.
-    pub elapsed: SimDuration,
-    /// Sum of all workers' compute time (the throughput denominator).
-    pub total_work: SimDuration,
-    /// Number of partitions that participated.
-    pub nodes: usize,
-    /// Exact when all partitions answered; `Partial` under node loss.
-    pub quality: ResultQuality,
-}
-
-/// A simulated shared-nothing cluster executing queries over hash
-/// partitions of the registered tables.
-#[derive(Debug)]
-pub struct Cluster {
-    /// Per-node databases holding the partitions.
-    partitions: Vec<Database>,
-    model: LinearCostModel,
-    params: ClusterParams,
-}
-
-impl Cluster {
-    /// Partitions every table of `db` across `nodes` workers
-    /// (round-robin on row index — a hash partition on a synthetic key).
-    pub fn partition(db: &Database, nodes: usize) -> EngineResult<Cluster> {
-        Self::partition_with(
-            db,
-            nodes,
-            CostParams::disk_default(),
-            ClusterParams::default_cluster(),
+    /// Coordination cost of gathering `nodes` partials totalling
+    /// `merge_groups` groups: the part of a scatter-gather plan that
+    /// does *not* get faster with more shards.
+    pub fn coordination(&self, nodes: usize, merge_groups: u64) -> SimDuration {
+        SimDuration::from_micros(
+            (self.coordinator_ns
+                + self.per_node_overhead_ns * nodes as u64
+                + self.merge_per_group_ns * merge_groups)
+                / 1_000,
         )
     }
+}
 
-    /// [`partition`](Self::partition) with explicit cost calibrations.
-    pub fn partition_with(
-        db: &Database,
-        nodes: usize,
-        node_costs: CostParams,
-        params: ClusterParams,
-    ) -> EngineResult<Cluster> {
-        let nodes = nodes.max(1);
-        let partitions: Vec<Database> = (0..nodes).map(|_| Database::new()).collect();
-        for name in db.table_names() {
-            let table = db.table(&name)?;
-            // Round-robin row split.
-            let mut selections: Vec<Vec<usize>> = vec![Vec::new(); nodes];
-            for row in 0..table.rows() {
-                selections[row % nodes].push(row);
-            }
-            for (node, rows) in selections.iter().enumerate() {
-                let mut builder = crate::table::TableBuilder::new(table.name());
-                for (col_idx, col_name) in table.column_names().enumerate() {
-                    let col = table.column_at(col_idx).take(rows);
-                    builder = builder.column(col_name, column_to_builder(&col));
-                }
-                partitions[node].register(builder.build()?);
-            }
-        }
-        Ok(Cluster {
-            partitions,
-            model: LinearCostModel::new(node_costs),
-            params,
-        })
+/// SplitMix64: the canonical bit-mixing finalizer behind every shard
+/// hash in the stack (`ids-shard` reuses it for key partitioning, the
+/// simtest scenario grammar for seed derivation).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over raw bytes — the dependency-free string hash shard keys
+/// use (dictionary codes are partition-local, so the *string bytes* are
+/// what must hash identically on every layer).
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
+    h
+}
 
-    /// Number of nodes.
-    pub fn nodes(&self) -> usize {
-        self.partitions.len()
-    }
+/// The shard a *row index* lands on: round-robin, the hash partition on
+/// a synthetic key. Deterministic, total, and exactly balanced.
+pub fn shard_of_row(row: usize, shards: usize) -> usize {
+    row % shards.max(1)
+}
 
-    /// Executes a query across all partitions and merges.
-    ///
-    /// Only mergeable shapes are supported: `Count` (sum) and
-    /// `Histogram` (bin-wise sum). Paginated selects and joins are not
-    /// distributable under a row-partition without a shuffle, which this
-    /// simulator intentionally does not model.
-    pub fn execute(&self, query: &Query) -> EngineResult<DistributedOutcome> {
-        self.execute_excluding(query, &[])
-    }
+/// The shard a pre-hashed 64-bit key lands on, after one more mixing
+/// round so weak keys (sequential integers, duplicate-heavy dimensions)
+/// still spread.
+pub fn shard_of_hash(seed: u64, hash: u64, shards: usize) -> usize {
+    (splitmix64(seed ^ hash) % shards.max(1) as u64) as usize
+}
 
-    /// Executes a query with the partitions in `lost` excluded — a node
-    /// failure mid-session. The surviving partitions' merged answer is
-    /// extrapolated to the full population (round-robin partitions are
-    /// near-uniform samples) and marked [`ResultQuality::Partial`], so an
-    /// interactive view keeps refreshing instead of freezing until the
-    /// node recovers. Losing every node is a transient failure.
-    pub fn execute_excluding(
-        &self,
-        query: &Query,
-        lost: &[usize],
-    ) -> EngineResult<DistributedOutcome> {
-        match query {
-            Query::Count { .. } | Query::Histogram { .. } => {}
-            _ => {
-                return Err(EngineError::TypeMismatch {
-                    column: query.table().to_string(),
-                    expected: "a mergeable query (COUNT or histogram) for distributed execution",
-                })
+/// Canonical 64-bit key of one cell, identical across partitions and
+/// layers:
+///
+/// - `Int` → the value's two's-complement bits;
+/// - `Float` → the IEEE bits with `-0.0` folded into `0.0` and every
+///   NaN folded into the canonical quiet NaN (so equal-comparing floats
+///   always co-locate);
+/// - `Str` → FNV-1a of the string bytes (dictionary codes are
+///   partition-local and must not leak into the key).
+pub fn cell_key(col: &Column, row: usize) -> u64 {
+    match col {
+        Column::Int(v) => v[row] as u64,
+        Column::Float(v) => {
+            let x = v[row];
+            if x.is_nan() {
+                f64::NAN.to_bits()
+            } else if x == 0.0 {
+                0.0f64.to_bits()
+            } else {
+                x.to_bits()
             }
         }
-        let surviving: Vec<&Database> = self
-            .partitions
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !lost.contains(i))
-            .map(|(_, db)| db)
-            .collect();
-        if surviving.is_empty() {
-            return Err(EngineError::TransientFailure {
-                reason: "all cluster nodes lost".into(),
-            });
-        }
+        Column::Str { codes, dict } => fnv1a_bytes(dict[codes[row] as usize].as_bytes()),
+    }
+}
 
-        let mut slowest = SimDuration::ZERO;
-        let mut total_work = SimDuration::ZERO;
-        let mut merged: Option<ResultSet> = None;
-        let mut merge_groups = 0u64;
-        for db in &surviving {
-            let (partial, footprint) = run_query(db, query)?;
-            let cost = self.model.price(&footprint);
-            slowest = slowest.max(cost);
-            total_work += cost;
-            merge_groups += partial.len() as u64;
-            merged = Some(match merged.take() {
-                None => partial,
-                Some(acc) => merge_partials(acc, partial)?,
-            });
-        }
+/// Materializes the selected rows of `table` as a new table with the
+/// same name and schema (string dictionaries are shared, not
+/// re-encoded).
+pub fn take_table(table: &Table, rows: &[usize]) -> EngineResult<Table> {
+    let mut builder = TableBuilder::new(table.name());
+    for (col_idx, col_name) in table.column_names().enumerate() {
+        let col = table.column_at(col_idx).take(rows);
+        builder = builder.column(col_name, column_to_builder(&col));
+    }
+    builder.build()
+}
 
-        let coordination = SimDuration::from_micros(
-            (self.params.coordinator_ns
-                + self.params.per_node_overhead_ns * surviving.len() as u64
-                + self.params.merge_per_group_ns * merge_groups)
-                / 1_000,
-        );
-        let merged = merged.ok_or_else(|| EngineError::TransientFailure {
-            reason: "all cluster nodes lost".into(),
-        })?;
-        let fraction = surviving.len() as f64 / self.nodes() as f64;
-        let (result, quality) = if surviving.len() == self.nodes() {
-            (merged, ResultQuality::Exact)
-        } else {
-            // Sound absolute bound on any extrapolated value: the
-            // estimate `round(merged/f)` overshoots the truth by at
-            // most `merged·(1/f − 1)` and undershoots by at most the
-            // rows held on the lost partitions, plus rounding.
-            let lost_rows: usize = self
-                .partitions
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| lost.contains(i))
-                .filter_map(|(_, db)| db.table(query.table()).ok())
-                .map(|t| t.rows())
-                .sum();
-            let max_merged = match &merged {
-                ResultSet::Count(c) => *c as f64,
-                ResultSet::Histogram(h) => h.counts().iter().copied().max().unwrap_or(0) as f64,
-                ResultSet::Rows(rows) => rows.len() as f64,
-            };
-            let error_bound = (max_merged * (1.0 / fraction - 1.0)).max(lost_rows as f64) + 0.5;
-            (
-                scale_result(merged, 1.0 / fraction),
-                ResultQuality::Partial {
-                    fraction,
-                    error_bound,
-                },
-            )
-        };
-        Ok(DistributedOutcome {
-            result,
-            elapsed: slowest + coordination,
-            total_work: total_work + coordination,
-            nodes: surviving.len(),
-            quality,
+/// Re-wraps a materialized column in a builder (partition tables are
+/// assembled through the normal [`TableBuilder`] path so stats and zone
+/// maps are rebuilt per shard).
+pub fn column_to_builder(col: &Column) -> ColumnBuilder {
+    match col {
+        Column::Int(v) => ColumnBuilder::int(v.iter().copied()),
+        Column::Float(v) => ColumnBuilder::float(v.iter().copied()),
+        Column::Str { codes, dict } => {
+            ColumnBuilder::str(codes.iter().map(|&c| dict[c as usize].as_ref()))
+        }
+    }
+}
+
+/// `true` if the query shape is distributable under a row partition:
+/// COUNT sums and histograms sum bin-wise; paginated selects and joins
+/// would need a shuffle, which this engine intentionally does not model.
+pub fn is_mergeable(query: &Query) -> bool {
+    matches!(query, Query::Count { .. } | Query::Histogram { .. })
+}
+
+/// Rejects non-mergeable query shapes with the typed error every
+/// sharded layer reports.
+pub fn require_mergeable(query: &Query) -> EngineResult<()> {
+    if is_mergeable(query) {
+        Ok(())
+    } else {
+        Err(EngineError::TypeMismatch {
+            column: query.table().to_string(),
+            expected: "a mergeable query (COUNT or histogram) for distributed execution",
         })
     }
 }
 
-fn merge_partials(a: ResultSet, b: ResultSet) -> EngineResult<ResultSet> {
+/// Merges two mergeable partial results: COUNT sums, histograms sum
+/// bin-wise. Partials must be merged in *fixed shard order* — `u64`
+/// sums commute, but keeping one canonical order is what lets every
+/// layer assert byte-identical output instead of arguing about it.
+pub fn merge_partials(a: ResultSet, b: ResultSet) -> EngineResult<ResultSet> {
     match (a, b) {
         (ResultSet::Count(x), ResultSet::Count(y)) => Ok(ResultSet::Count(x + y)),
         (ResultSet::Histogram(x), ResultSet::Histogram(y)) => {
@@ -257,20 +210,197 @@ fn merge_partials(a: ResultSet, b: ResultSet) -> EngineResult<ResultSet> {
     }
 }
 
-fn column_to_builder(col: &crate::column::Column) -> crate::column::ColumnBuilder {
-    use crate::column::{Column, ColumnBuilder};
-    match col {
-        Column::Int(v) => ColumnBuilder::int(v.iter().copied()),
-        Column::Float(v) => ColumnBuilder::float(v.iter().copied()),
-        Column::Str { codes, dict } => {
-            ColumnBuilder::str(codes.iter().map(|&c| dict[c as usize].as_ref()))
+/// The node hosting replica `replica` of shard `shard` in the canonical
+/// striped layout: nodes `0..shards` hold copy 0, `shards..2*shards`
+/// copy 1, and so on.
+pub fn replica_node(shard: usize, shards: usize, replica: usize) -> usize {
+    replica * shards + shard
+}
+
+/// The lowest-numbered surviving node hosting `shard`, or `None` when
+/// every replica is in `lost`. Deterministic: the same loss set always
+/// routes to the same replica.
+pub fn surviving_replica(
+    shard: usize,
+    shards: usize,
+    replicas: usize,
+    lost: &[usize],
+) -> Option<usize> {
+    (0..replicas)
+        .map(|r| replica_node(shard, shards, r))
+        .find(|node| !lost.contains(node))
+}
+
+/// Outcome of one distributed query.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    /// Merged result — always identical to single-node execution (no
+    /// extrapolation: a shard with no surviving replica is a typed
+    /// error, not an estimate).
+    pub result: ResultSet,
+    /// Virtual wall time: slowest shard + coordination + merge.
+    pub elapsed: SimDuration,
+    /// Sum of all shards' compute time (the throughput denominator).
+    pub total_work: SimDuration,
+    /// Number of shards that executed.
+    pub nodes: usize,
+    /// Always [`ResultQuality::Exact`]; kept so callers recording
+    /// quality alongside chaos-degraded paths keep one shape.
+    pub quality: ResultQuality,
+}
+
+/// A simulated shared-nothing cluster: the thin in-engine facade over
+/// the shard-plan primitives above. Every table of the source database
+/// is row-partitioned across `shards` shards, each shard logically
+/// hosted on `replicas` nodes (replicas share one partition image —
+/// this is a simulator, so replication is an availability property, not
+/// extra bytes).
+///
+/// `ids-shard` builds the full subsystem (hash/range key partitioning,
+/// threaded scatter-gather, sharded progressive refinement) on the same
+/// primitives; this facade keeps the engine's scalability experiments
+/// and the chaos node-loss tests self-contained.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Per-shard databases holding the partitions, in shard order.
+    partitions: Vec<Database>,
+    replicas: usize,
+    model: LinearCostModel,
+    params: ClusterParams,
+}
+
+impl Cluster {
+    /// Partitions every table of `db` across `shards` single-replica
+    /// shards (round-robin on row index — [`shard_of_row`]).
+    pub fn partition(db: &Database, shards: usize) -> EngineResult<Cluster> {
+        Self::partition_with(
+            db,
+            shards,
+            CostParams::disk_default(),
+            ClusterParams::default_cluster(),
+        )
+    }
+
+    /// [`partition`](Self::partition) with `replicas` copies of every
+    /// shard, striped as [`replica_node`] describes: a query stays
+    /// exact under node loss as long as each shard keeps one survivor.
+    pub fn partition_replicated(
+        db: &Database,
+        shards: usize,
+        replicas: usize,
+    ) -> EngineResult<Cluster> {
+        let mut cluster = Self::partition(db, shards)?;
+        cluster.replicas = replicas.max(1);
+        Ok(cluster)
+    }
+
+    /// [`partition`](Self::partition) with explicit cost calibrations.
+    pub fn partition_with(
+        db: &Database,
+        shards: usize,
+        node_costs: CostParams,
+        params: ClusterParams,
+    ) -> EngineResult<Cluster> {
+        let shards = shards.max(1);
+        let partitions: Vec<Database> = (0..shards).map(|_| Database::new()).collect();
+        for name in db.table_names() {
+            let table = db.table(&name)?;
+            let mut selections: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            for row in 0..table.rows() {
+                selections[shard_of_row(row, shards)].push(row);
+            }
+            for (shard, rows) in selections.iter().enumerate() {
+                partitions[shard].register(take_table(&table, rows)?);
+            }
         }
+        Ok(Cluster {
+            partitions,
+            replicas: 1,
+            model: LinearCostModel::new(node_costs),
+            params,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Replicas per shard.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Total nodes (`shards × replicas`).
+    pub fn nodes(&self) -> usize {
+        self.partitions.len() * self.replicas
+    }
+
+    /// Executes a query across all shards and merges in shard order.
+    ///
+    /// Only mergeable shapes are supported ([`is_mergeable`]).
+    pub fn execute(&self, query: &Query) -> EngineResult<DistributedOutcome> {
+        self.execute_excluding(query, &[])
+    }
+
+    /// Executes with the nodes in `lost` excluded — node failures
+    /// mid-session. Each shard routes to its lowest-numbered surviving
+    /// replica ([`surviving_replica`]); the answer is therefore *exact*
+    /// under any loss pattern that leaves every shard one survivor. A
+    /// shard with no survivor fails the whole plan with the typed
+    /// [`EngineError::ShardUnavailable`] — no silent extrapolation.
+    pub fn execute_excluding(
+        &self,
+        query: &Query,
+        lost: &[usize],
+    ) -> EngineResult<DistributedOutcome> {
+        require_mergeable(query)?;
+        let shards = self.shards();
+        for shard in 0..shards {
+            if surviving_replica(shard, shards, self.replicas, lost).is_none() {
+                return Err(EngineError::ShardUnavailable {
+                    shard,
+                    replicas: self.replicas,
+                });
+            }
+        }
+
+        let mut slowest = SimDuration::ZERO;
+        let mut total_work = SimDuration::ZERO;
+        let mut merged: Option<ResultSet> = None;
+        let mut merge_groups = 0u64;
+        for db in &self.partitions {
+            let (partial, footprint) = run_query(db, query)?;
+            let cost = self.model.price(&footprint);
+            slowest = slowest.max(cost);
+            total_work += cost;
+            merge_groups += partial.len() as u64;
+            merged = Some(match merged.take() {
+                None => partial,
+                Some(acc) => merge_partials(acc, partial)?,
+            });
+        }
+
+        let coordination = self.params.coordination(shards, merge_groups);
+        let merged = merged.ok_or(EngineError::ShardUnavailable {
+            shard: 0,
+            replicas: self.replicas,
+        })?;
+        Ok(DistributedOutcome {
+            result: merged,
+            elapsed: slowest + coordination,
+            total_work: total_work + coordination,
+            nodes: shards,
+            quality: ResultQuality::Exact,
+        })
     }
 }
 
 /// Throughput of a cluster on a query mix: queries per second of virtual
-/// time, with queries load-balanced round-robin and executed back to
-/// back (the Atlas measurement).
+/// time, each query routed through the scatter-gather plan above and
+/// executed back to back (the Atlas measurement). Any per-query failure
+/// — including a typed [`EngineError::ShardUnavailable`] — propagates
+/// instead of skewing the rate.
 pub fn cluster_throughput(cluster: &Cluster, queries: &[Query]) -> EngineResult<f64> {
     if queries.is_empty() {
         return Ok(0.0);
@@ -327,6 +457,7 @@ mod tests {
             let out = cluster.execute(&histogram_query()).unwrap();
             assert_eq!(out.result, expected, "{nodes} nodes");
             assert_eq!(out.nodes, nodes);
+            assert_eq!(out.quality, ResultQuality::Exact);
         }
     }
 
@@ -401,5 +532,62 @@ mod tests {
         let q = Query::count("pts", Predicate::eq("label", "even"));
         let out = cluster.execute(&q).unwrap();
         assert_eq!(out.result.scalar_count(), Some(500));
+    }
+
+    #[test]
+    fn replica_layout_is_striped() {
+        assert_eq!(replica_node(2, 4, 0), 2);
+        assert_eq!(replica_node(2, 4, 1), 6);
+        // Node 2 lost: shard 2 routes to its copy on node 6.
+        assert_eq!(surviving_replica(2, 4, 2, &[2]), Some(6));
+        // Both copies lost: unavailable.
+        assert_eq!(surviving_replica(2, 4, 2, &[2, 6]), None);
+        // Unreplicated: the shard is its only copy.
+        assert_eq!(surviving_replica(2, 4, 1, &[2]), None);
+    }
+
+    #[test]
+    fn replicated_cluster_stays_exact_under_node_loss() {
+        let database = db(4_000);
+        let cluster = Cluster::partition_replicated(&database, 4, 2).unwrap();
+        assert_eq!(cluster.nodes(), 8);
+        let q = Query::count("pts", Predicate::True);
+        let full = cluster.execute(&q).unwrap();
+        // Losing one copy of shards 1 and 2 changes nothing: the
+        // surviving replicas answer and the result stays exact.
+        let lossy = cluster.execute_excluding(&q, &[1, 2]).unwrap();
+        assert_eq!(lossy.result, full.result);
+        assert_eq!(lossy.quality, ResultQuality::Exact);
+        assert_eq!(lossy.result.scalar_count(), Some(4_000));
+    }
+
+    #[test]
+    fn losing_every_replica_of_a_shard_is_a_typed_error() {
+        let database = db(4_000);
+        let cluster = Cluster::partition_replicated(&database, 4, 2).unwrap();
+        let q = Query::count("pts", Predicate::True);
+        // Shard 1's copies live on nodes 1 and 5 (striped layout).
+        let err = cluster.execute_excluding(&q, &[1, 5]).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ShardUnavailable {
+                shard: 1,
+                replicas: 2
+            }
+        );
+        assert!(err.is_transient(), "lost nodes recover; retries may help");
+    }
+
+    #[test]
+    fn cell_keys_are_canonical() {
+        let f = ColumnBuilder::float([0.0, -0.0, f64::NAN, 1.5]).build();
+        assert_eq!(cell_key(&f, 0), cell_key(&f, 1), "-0.0 folds into 0.0");
+        assert_eq!(cell_key(&f, 2), f64::NAN.to_bits());
+        let s = ColumnBuilder::str(["a", "b", "a"]).build();
+        assert_eq!(cell_key(&s, 0), cell_key(&s, 2));
+        assert_ne!(cell_key(&s, 0), cell_key(&s, 1));
+        // The string key survives re-encoding under a different dict.
+        let s2 = ColumnBuilder::str(["b", "a"]).build();
+        assert_eq!(cell_key(&s, 0), cell_key(&s2, 1));
     }
 }

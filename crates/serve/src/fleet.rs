@@ -48,6 +48,13 @@ pub struct ServeParams {
     /// the way the engine's deadline-bounded progressive refinement
     /// would answer it — best-so-far within the budget.
     pub deadline: bool,
+    /// Shard groups the worker pool is split into. Tenants map to
+    /// groups (`tenant % shards`), each group owning
+    /// `max(1, workers / shards)` of the worker slots, so one hot
+    /// tenant's backlog queues on its own shard group instead of the
+    /// whole fleet. `1` (the default everywhere) is the single shared
+    /// pool and is arithmetically identical to the pre-shard behavior.
+    pub shards: usize,
 }
 
 impl ServeParams {
@@ -55,6 +62,23 @@ impl ServeParams {
     pub fn with_deadline(mut self) -> ServeParams {
         self.deadline = true;
         self
+    }
+
+    /// Splits the worker pool into `shards` tenant-mapped groups
+    /// (builder-style).
+    pub fn with_shards(mut self, shards: usize) -> ServeParams {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Shard groups in force (at least 1).
+    pub fn shard_groups(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    /// Worker slots per shard group.
+    pub fn workers_per_group(&self) -> usize {
+        (self.workers / self.shard_groups()).max(1)
     }
 }
 
@@ -137,15 +161,16 @@ pub fn measure_costs(
         .collect()
 }
 
-/// Worker slots usable at `t`: total minus fault-plan node losses
-/// (losses naming slots outside the pool are ignored).
-fn capacity_at(plan: &FaultPlan, workers: usize, t: SimTime) -> usize {
+/// Worker slots in `[lo, hi)` usable at `t`: the range size minus
+/// fault-plan node losses naming slots inside the range (losses outside
+/// are other groups' problem).
+fn capacity_at(plan: &FaultPlan, lo: usize, hi: usize, t: SimTime) -> usize {
     let lost = plan
         .lost_nodes_at(t)
         .into_iter()
-        .filter(|&n| n < workers)
+        .filter(|&n| n >= lo && n < hi)
         .count();
-    workers - lost
+    (hi - lo) - lost
 }
 
 /// Earliest instant strictly after `t` at which some capacity-affecting
@@ -164,8 +189,11 @@ fn next_recovery(plan: &FaultPlan, t: SimTime) -> SimTime {
 /// `offered` and `costs` must be index-aligned (as produced by
 /// [`measure_costs`] over the same stream). The loop walks the stream
 /// in offered order, asks the admission controller about each query
-/// given the instantaneous backlog, and assigns admitted queries to the
-/// earliest-free worker slot. Per-session LCV reports and latency
+/// given the instantaneous backlog of the query's shard group, and
+/// assigns admitted queries to the earliest-free slot of that group's
+/// pool (tenants map to groups by `tenant % shards`; with `shards == 1`
+/// there is one shared pool and the loop is arithmetically identical to
+/// the pre-shard behavior). Per-session LCV reports and latency
 /// histograms are folded into fleet aggregates at the end — the merge
 /// is order-independent, which is what makes the aggregation safe to
 /// shard in a real deployment.
@@ -183,9 +211,10 @@ pub fn simulate_service(
     let shed_ctr = reg.counter("serve.shed");
     let deadline_ctr = reg.counter("serve.deadline_routed");
 
-    let mut pool = WorkerPool::new(params.workers);
+    let groups = params.shard_groups();
+    let wpg = params.workers_per_group();
+    let mut pools: Vec<WorkerPool> = (0..groups).map(|_| WorkerPool::new(wpg)).collect();
     let mut controller = AdmissionController::new(*policy);
-    let workers = pool.workers();
 
     // Per-query serve spans for the telemetry lakehouse: one span per
     // admitted interactive query on a per-tenant track, carrying the
@@ -204,6 +233,12 @@ pub fn simulate_service(
     let mut drained_at = SimTime::ZERO;
 
     for (q, &cost) in offered.iter().zip(costs) {
+        // The query's shard group: its pool, and its slice of the
+        // worker slots for fault-plan capacity accounting.
+        let group = q.tenant % groups;
+        let (slot_lo, slot_hi) = (group * wpg, (group + 1) * wpg);
+        let pool = &mut pools[group];
+
         let backlog = pool.backlog_at(q.at);
         if controller.admit(q, backlog).is_err() {
             shed_ctr.inc();
@@ -211,20 +246,21 @@ pub fn simulate_service(
         }
         admitted_ctr.inc();
 
-        // Capacity-aware start: a total outage defers the start to the
-        // loss window's end; a partial loss spreads the lost slots'
-        // share over the survivors by inflating the cost.
+        // Capacity-aware start: a total outage of the group defers the
+        // start to the loss window's end; a partial loss spreads the
+        // lost slots' share over the group's survivors by inflating the
+        // cost.
         let mut ready = q.at;
-        while capacity_at(plan, workers, ready) == 0 {
+        while capacity_at(plan, slot_lo, slot_hi, ready) == 0 {
             let recovery = next_recovery(plan, ready);
             debug_assert!(recovery > ready, "loss windows are half-open");
             ready = recovery;
         }
-        let available = capacity_at(plan, workers, ready);
-        let mut effective = if available == workers {
+        let available = capacity_at(plan, slot_lo, slot_hi, ready);
+        let mut effective = if available == wpg {
             cost
         } else {
-            SimDuration::from_secs_f64(cost.as_secs_f64() * workers as f64 / available as f64)
+            SimDuration::from_secs_f64(cost.as_secs_f64() * wpg as f64 / available as f64)
         };
         // Deadline routing: an interactive query that would blow the
         // budget (queueing included) is clamped to the remaining budget
@@ -347,6 +383,7 @@ mod tests {
             workers: 2,
             latency_budget: SimDuration::from_millis(100),
             deadline: false,
+            shards: 1,
         }
     }
 
@@ -564,6 +601,122 @@ mod tests {
             violated as usize, out.lcv.violations,
             "span violation flags agree with the LCV report"
         );
+    }
+
+    #[test]
+    fn one_shard_group_is_one_pool() {
+        // shards == 1 must be the exact pre-shard arithmetic: a single
+        // pool of all workers. Nothing about the outcome may move.
+        let offered = offered_stream(300, 2);
+        let costs = flat_costs(300, 40);
+        let plan = FaultPlan::calm(1);
+        let single = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::interactive(40.0, 4),
+            &plan,
+            &params(),
+        );
+        let explicit = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::interactive(40.0, 4),
+            &plan,
+            &params().with_shards(1),
+        );
+        assert_eq!(single, explicit);
+    }
+
+    #[test]
+    fn shard_groups_isolate_a_hot_tenant() {
+        // Tenant 0 issues second-long monsters; tenant 1 issues 5 ms
+        // blips. On one shared pool the monsters occupy both workers and
+        // the blips queue behind them; with two shard groups tenant 1
+        // keeps its own worker and never waits.
+        let offered: Vec<OfferedQuery> = (0..100)
+            .map(|i| OfferedQuery {
+                session: i,
+                tenant: i % 2,
+                seq: i,
+                at: SimTime::from_millis(i as u64 * 5),
+                lane: Lane::Interactive,
+                query: Query::count("t", Predicate::True),
+            })
+            .collect();
+        let costs: Vec<SimDuration> = (0..100)
+            .map(|i| SimDuration::from_millis(if i % 2 == 0 { 1_000 } else { 5 }))
+            .collect();
+        let plan = FaultPlan::calm(1);
+        let shared = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &plan,
+            &params(),
+        );
+        let sharded = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &plan,
+            &params().with_shards(2),
+        );
+        assert_eq!(sharded.admitted, shared.admitted);
+        // Half the fleet (the blips) now finishes in single-digit
+        // milliseconds, so the fleet median collapses versus the shared
+        // pool, where the monsters queue ahead of everyone.
+        assert!(
+            sharded.p50 < shared.p50,
+            "{:?} vs {:?}",
+            sharded.p50,
+            shared.p50
+        );
+    }
+
+    #[test]
+    fn node_loss_in_one_group_spares_the_other() {
+        // Two groups of one worker each; slot 0 (group 0) is lost for
+        // the whole run. Group 1 tenants must be completely unaffected.
+        let offered: Vec<OfferedQuery> = (0..40)
+            .map(|i| OfferedQuery {
+                session: i,
+                tenant: i % 2,
+                seq: i,
+                at: SimTime::from_millis(i as u64 * 10),
+                lane: Lane::Interactive,
+                query: Query::count("t", Predicate::True),
+            })
+            .collect();
+        let costs = flat_costs(40, 5);
+        let lossy = FaultPlan::builder(1)
+            .lose_node_during(0, SimTime::ZERO, SimDuration::from_millis(200))
+            .build();
+        let p = ServeParams {
+            workers: 2,
+            latency_budget: SimDuration::from_millis(100),
+            deadline: false,
+            shards: 2,
+        };
+        let degraded =
+            simulate_service(&offered, &costs, &AdmissionPolicy::unlimited(), &lossy, &p);
+        let calm = simulate_service(
+            &offered,
+            &costs,
+            &AdmissionPolicy::unlimited(),
+            &FaultPlan::calm(1),
+            &p,
+        );
+        // Group 0's early starts defer past the outage and queue, so
+        // the tail fattens — but group 1 (half the fleet) never waits,
+        // so the median is exactly calm service's.
+        assert_eq!(degraded.admitted, 40);
+        assert!(
+            degraded.p99 > calm.p99,
+            "{:?} vs {:?}",
+            degraded.p99,
+            calm.p99
+        );
+        assert_eq!(degraded.p50, calm.p50, "the spared group sets the median");
     }
 
     #[test]

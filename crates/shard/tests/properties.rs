@@ -1,0 +1,133 @@
+//! Property tests over the sharding invariants: every partition scheme
+//! is total and disjoint, same-seed repartitioning is stable, and
+//! scatter-gather merges equal the single-table reference interpreter —
+//! including on empty, all-NaN, and duplicate-key tables.
+
+use ids_engine::exec::run_query;
+use ids_engine::{BinSpec, ColumnBuilder, Database, Predicate, Query, Table, TableBuilder};
+use ids_shard::{partition_database, shard_assignments, PartitionScheme, ScatterGather};
+use proptest::prelude::*;
+
+fn table(keys: &[i64], xs: &[f64]) -> Table {
+    TableBuilder::new("t")
+        .column("k", ColumnBuilder::int(keys.iter().copied()))
+        .column("x", ColumnBuilder::float(xs.iter().copied()))
+        .build()
+        .expect("table")
+}
+
+fn database(keys: &[i64], xs: &[f64]) -> Database {
+    let db = Database::new();
+    db.register(table(keys, xs));
+    db
+}
+
+fn schemes() -> Vec<PartitionScheme> {
+    vec![
+        PartitionScheme::HashRows,
+        PartitionScheme::hash_key("k"),
+        PartitionScheme::hash_key("x"),
+        PartitionScheme::range("x"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every scheme assigns each row to exactly one shard (total) and
+    /// no row to two shards (disjoint), for any shard count and seed.
+    #[test]
+    fn partitioning_is_total_and_disjoint(
+        keys in prop::collection::vec(-50i64..50, 0..400),
+        seed in 0u64..100_000,
+        shards in 1usize..20,
+    ) {
+        let xs: Vec<f64> = keys.iter().map(|&k| k as f64 * 1.5).collect();
+        let t = table(&keys, &xs);
+        for scheme in schemes() {
+            let sel = shard_assignments(&t, &scheme, seed, shards).expect("assign");
+            prop_assert_eq!(sel.len(), shards);
+            let mut seen = vec![false; keys.len()];
+            for shard in &sel {
+                for &row in shard {
+                    prop_assert!(!seen[row], "row {} assigned twice", row);
+                    seen[row] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "unassigned row under {:?}", scheme);
+        }
+    }
+
+    /// Repartitioning with the same seed reproduces the same assignment
+    /// bit for bit.
+    #[test]
+    fn same_seed_repartition_is_stable(
+        keys in prop::collection::vec(-50i64..50, 1..300),
+        seed in 0u64..100_000,
+        shards in 1usize..17,
+    ) {
+        let xs: Vec<f64> = keys.iter().map(|&k| (k % 13) as f64).collect();
+        let t = table(&keys, &xs);
+        for scheme in schemes() {
+            let a = shard_assignments(&t, &scheme, seed, shards).expect("assign");
+            let b = shard_assignments(&t, &scheme, seed, shards).expect("assign");
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Scatter-gather over any scheme, shard count, and thread count
+    /// merges to exactly the single-table reference answer.
+    #[test]
+    fn scatter_gather_equals_reference(
+        keys in prop::collection::vec(-20i64..20, 0..500),
+        seed in 0u64..100_000,
+        shards in 1usize..17,
+        threads in 1usize..5,
+        lo in -30.0f64..30.0,
+        width in 0.0f64..40.0,
+    ) {
+        let xs: Vec<f64> = keys.iter().map(|&k| k as f64).collect();
+        let db = database(&keys, &xs);
+        let queries = [
+            Query::count("t", Predicate::between("x", lo, lo + width)),
+            Query::histogram(
+                "t",
+                BinSpec::new("x", -20.0, 20.0, 8),
+                Predicate::True,
+            ),
+        ];
+        for scheme in schemes() {
+            let parts = partition_database(&db, &scheme, seed, shards).expect("partition");
+            let sg = ScatterGather::over(parts).with_threads(threads);
+            for q in &queries {
+                let (expected, _) = run_query(&db, q).expect("reference");
+                let out = sg.execute(q).expect("scatter-gather");
+                prop_assert_eq!(&out.result, &expected, "{:?} x{}", scheme, shards);
+            }
+        }
+    }
+
+    /// Degenerate tables — empty, all-NaN, or a single duplicated key —
+    /// shard and merge exactly like the reference.
+    #[test]
+    fn degenerate_tables_match_reference(
+        rows in 0usize..200,
+        kind in 0usize..3,
+        seed in 0u64..100_000,
+        shards in 1usize..10,
+    ) {
+        let (keys, xs): (Vec<i64>, Vec<f64>) = match kind {
+            0 => (Vec::new(), Vec::new()), // empty
+            1 => (vec![7; rows], vec![f64::NAN; rows]), // all-NaN values
+            _ => (vec![-3; rows], vec![1.25; rows]), // one duplicated key
+        };
+        let db = database(&keys, &xs);
+        let q = Query::histogram("t", BinSpec::new("x", 0.0, 10.0, 4), Predicate::True);
+        let (expected, _) = run_query(&db, &q).expect("reference");
+        for scheme in [PartitionScheme::HashRows, PartitionScheme::hash_key("k")] {
+            let parts = partition_database(&db, &scheme, seed, shards).expect("partition");
+            let out = ScatterGather::over(parts).execute(&q).expect("scatter-gather");
+            prop_assert_eq!(&out.result, &expected);
+        }
+    }
+}

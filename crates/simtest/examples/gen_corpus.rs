@@ -230,6 +230,85 @@ fn corpus() -> Vec<(&'static str, &'static str, Scenario)> {
         },
     ];
 
+    let mut shard_empty = base(0x109);
+    shard_empty.shape = SessionShape::Composite;
+    shard_empty.table = TableSpec {
+        rows: 24,
+        key_mod: 1, // one key value: hash-key routing leaves most shards empty
+        nan_every: 0,
+        dim_rows: 6,
+    };
+    shard_empty.queries = vec![
+        QuerySpec::Count {
+            filter: FilterSpec::True,
+        },
+        QuerySpec::Histogram {
+            bins: 6,
+            lo: 0.0,
+            hi: 100.0,
+            filter: FilterSpec::True,
+        },
+        QuerySpec::Histogram {
+            bins: 4,
+            lo: 0.0,
+            hi: 60.0,
+            filter: FilterSpec::KCmp {
+                op: CmpToken::Eq,
+                value: 0,
+            },
+        },
+    ];
+
+    let mut shard_skew = base(0x10a);
+    shard_skew.device = DeviceKind::Touch;
+    shard_skew.table = TableSpec {
+        rows: 600,
+        key_mod: 2,   // two key values over 16 shards: maximal hash skew
+        nan_every: 3, // NaN rows pile onto range shard 0
+        dim_rows: 10,
+    };
+    shard_skew.queries = vec![
+        QuerySpec::Histogram {
+            bins: 10,
+            lo: 0.0,
+            hi: 100.0,
+            filter: FilterSpec::True,
+        },
+        QuerySpec::Count {
+            filter: FilterSpec::VBetween { lo: 25.0, hi: 75.0 },
+        },
+        QuerySpec::Histogram {
+            bins: 5,
+            lo: -10.0,
+            hi: 45.0,
+            filter: FilterSpec::SEq { word: 1 },
+        },
+    ];
+
+    let mut shard_overcount = base(0x10b);
+    shard_overcount.shape = SessionShape::Scrolling;
+    shard_overcount.table = TableSpec {
+        rows: 5, // fewer rows than the oracle's widest shard count (16)
+        key_mod: 3,
+        nan_every: 0,
+        dim_rows: 4,
+    };
+    shard_overcount.queries = vec![
+        QuerySpec::Count {
+            filter: FilterSpec::True,
+        },
+        QuerySpec::Histogram {
+            bins: 3,
+            lo: 0.0,
+            hi: 100.0,
+            filter: FilterSpec::True,
+        },
+        QuerySpec::Join {
+            limit: 0,
+            offset: 0,
+        },
+    ];
+
     let mut scroll_degrade = base(0x107);
     scroll_degrade.shape = SessionShape::Scrolling;
     scroll_degrade.device = DeviceKind::Trackpad;
@@ -272,6 +351,24 @@ fn corpus() -> Vec<(&'static str, &'static str, Scenario)> {
             "scroll-degrade",
             "scroll replay under faults with a degrade-after budget (partial answers)",
             scroll_degrade,
+        ),
+        (
+            "shard-empty-shards",
+            "single-key table: hash-key partitioning leaves most shards empty, \
+             the merge must still be exact",
+            shard_empty,
+        ),
+        (
+            "shard-skewed-keys",
+            "two-key table with periodic NaNs: maximal hash skew and a NaN-heavy \
+             range shard 0",
+            shard_skew,
+        ),
+        (
+            "shard-count-exceeds-rows",
+            "five-row table under 16 shards: more shards than rows, empty-partial \
+             merges stay exact",
+            shard_overcount,
         ),
         (
             "block-boundary-kernels",

@@ -25,7 +25,9 @@ use ids_metrics::qif::qif_windows;
 use ids_simclock::{SimDuration, SimTime};
 
 use crate::pipeline::{build_replay_env, run_pipeline, RunArtifacts};
-use crate::reference::{diff_backend, differential_check, raw_tables, reference_execute};
+use crate::reference::{
+    build_tables, diff_backend, differential_check, raw_tables, reference_execute,
+};
 use crate::scenario::{QuerySpec, Scenario};
 
 /// One oracle's judgement on one scenario.
@@ -65,7 +67,7 @@ impl Verdict {
         self.reports.iter().find(|r| !r.passed)
     }
 
-    /// One-line summary: `ok (11 oracles)` or `FAIL <name>: <detail>`.
+    /// One-line summary: `ok (12 oracles)` or `FAIL <name>: <detail>`.
     pub fn summary(&self) -> String {
         match self.first_failure() {
             None => format!("ok ({} oracles)", self.reports.len()),
@@ -244,7 +246,113 @@ pub fn check_scenario_unlocked(s: &Scenario) -> Verdict {
     let prog_detail = progressive_anytime(s);
     v.push("progressive-anytime", prog_detail.is_empty(), prog_detail);
 
+    // 12. Shard invariance: partitioning the differential fact table
+    //     across 1/4/16 shards (hash-rows, hash-key, and range schemes)
+    //     and scatter-gathering every mergeable query merges to the
+    //     exact reference answer, with byte-identical costs and
+    //     per-shard telemetry on replay.
+    let shard_detail = shard_invariance(s);
+    v.push("shard-invariance", shard_detail.is_empty(), shard_detail);
+
     v
+}
+
+/// Oracle 12 body: scatter-gathers every mergeable differential query
+/// across 1/4/16 shards under each partition scheme and demands the
+/// merged answer equal the reference interpreter's exact answer, with
+/// the whole outcome (result, virtual costs, per-shard breakdown)
+/// replaying byte-identically.
+fn shard_invariance(s: &Scenario) -> String {
+    use ids_shard::{partition_table, PartitionScheme, ScatterGather};
+    let raw = raw_tables(s.seed, &s.table);
+    let (fact, _) = build_tables(&raw);
+    let schemes = [
+        PartitionScheme::HashRows,
+        PartitionScheme::hash_key("k"),
+        PartitionScheme::range("v"),
+    ];
+    for (i, spec) in s.queries.iter().enumerate() {
+        if !matches!(spec, QuerySpec::Count { .. } | QuerySpec::Histogram { .. }) {
+            continue;
+        }
+        let query = spec.query();
+        let reference = reference_execute(&raw, spec);
+        for scheme in &schemes {
+            for shards in [1usize, 4, 16] {
+                let parts = match partition_table(&fact, scheme, s.seed, shards) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        return format!(
+                            "query {i}: partitioning fact under {} x{shards} failed: {e}",
+                            scheme.describe()
+                        );
+                    }
+                };
+                let dbs: Vec<ids_engine::Database> = parts
+                    .into_iter()
+                    .map(|t| {
+                        let db = ids_engine::Database::new();
+                        db.register(t);
+                        db
+                    })
+                    .collect();
+                let sg = ScatterGather::over(dbs).with_threads(s.threads);
+                match (&reference, sg.execute(&query)) {
+                    (Err(_), Err(_)) => {} // both reject (invalid bin spec)
+                    (Err(e), Ok(_)) => {
+                        return format!(
+                            "query {i} {spec:?}: reference rejected ({e}) but \
+                             scatter-gather accepted at {} x{shards}",
+                            scheme.describe()
+                        );
+                    }
+                    (Ok(_), Err(e)) => {
+                        return format!(
+                            "query {i} {spec:?}: reference accepted but scatter-gather \
+                             rejected ({e}) at {} x{shards}",
+                            scheme.describe()
+                        );
+                    }
+                    (Ok(exact), Ok(out)) => {
+                        if &out.result != exact {
+                            return format!(
+                                "query {i} {spec:?}: merged result diverges from the \
+                                 reference at {} x{shards}",
+                                scheme.describe()
+                            );
+                        }
+                        if out.shards() != shards {
+                            return format!(
+                                "query {i}: {} shards executed, expected {shards}",
+                                out.shards()
+                            );
+                        }
+                        let again = sg
+                            .execute(&query)
+                            .expect("an accepted plan replays without error");
+                        let stable = again.result == out.result
+                            && again.elapsed == out.elapsed
+                            && again.total_work == out.total_work
+                            && again.per_shard.len() == out.per_shard.len()
+                            && again.per_shard.iter().zip(&out.per_shard).all(|(a, b)| {
+                                a.shard == b.shard
+                                    && a.rows_scanned == b.rows_scanned
+                                    && a.blocks_pruned == b.blocks_pruned
+                                    && a.cost == b.cost
+                            });
+                        if !stable {
+                            return format!(
+                                "query {i} {spec:?}: shard outcome not byte-stable on \
+                                 replay at {} x{shards}",
+                                scheme.describe()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    String::new()
 }
 
 /// Oracle 11 body: runs the progressive executor over the scenario's
@@ -479,7 +587,7 @@ mod tests {
     fn a_healthy_scenario_passes_every_oracle() {
         let s = Scenario::generate(derive_seed(41, 2));
         let v = check_scenario(&s);
-        assert_eq!(v.reports.len(), 11);
+        assert_eq!(v.reports.len(), 12);
         assert!(v.all_passed(), "{}", v.summary());
         assert!(v.summary().starts_with("ok ("));
     }

@@ -243,6 +243,7 @@ pub fn run_pipeline(s: &Scenario, threads: usize) -> RunArtifacts {
         workers: s.workers.max(1),
         latency_budget,
         deadline: false,
+        shards: 1,
     };
     let admission_policy = AdmissionPolicy {
         tenant_rate: s.tenant_rate,

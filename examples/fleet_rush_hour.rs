@@ -72,6 +72,7 @@ fn main() {
         workers,
         latency_budget: budget,
         deadline: false,
+        shards: 1,
     };
     let admission = simulate_service(
         &offered,

@@ -29,6 +29,10 @@
 //! - [`serve`] — multi-tenant serving: seeded session fleets,
 //!   token-bucket admission with priority lanes, and mergeable
 //!   fleet-scale tail-latency aggregation;
+//! - [`shard`] — sharded scatter-gather execution for million-session
+//!   fleets: hash/range partitioning with per-shard zone maps, a
+//!   deterministic merge of mergeable partials, replicated routing with
+//!   typed shard-loss errors, and sharded progressive refinement;
 //! - [`simtest`] — deterministic simulation testing: seeded end-to-end
 //!   scenarios, invariant and differential oracles, and automatic
 //!   scenario shrinking into checked-in repro files;
@@ -63,6 +67,7 @@ pub use ids_metrics as metrics;
 pub use ids_obs as obs;
 pub use ids_opt as opt;
 pub use ids_serve as serve;
+pub use ids_shard as shard;
 pub use ids_simclock as simclock;
 pub use ids_simtest as simtest;
 pub use ids_study as study;

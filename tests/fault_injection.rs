@@ -123,7 +123,7 @@ fn resilient_replay_is_reproducible() {
 }
 
 #[test]
-fn node_loss_degrades_cluster_answers_gracefully() {
+fn node_loss_routes_to_replicas_and_stays_exact() {
     // No obs lock needed: the cluster layer never reads the chaos clock.
     let db = Database::new();
     db.register(
@@ -132,7 +132,8 @@ fn node_loss_degrades_cluster_answers_gracefully() {
             .build()
             .unwrap(),
     );
-    let cluster = Cluster::partition(&db, 4).unwrap();
+    // 4 shards × 2 replicas, striped: shard s lives on nodes s and s+4.
+    let cluster = Cluster::partition_replicated(&db, 4, 2).unwrap();
     let q = Query::count("t", Predicate::True);
 
     let plan = FaultPlan::builder(11).lose_node(2).build();
@@ -140,35 +141,27 @@ fn node_loss_degrades_cluster_answers_gracefully() {
     let full = cluster.execute(&q).unwrap();
     assert_eq!(full.quality, ResultQuality::Exact);
 
+    // Losing one copy of shard 2 changes nothing: the surviving replica
+    // answers and the result stays exact — no extrapolated estimate.
     let lossy = cluster.execute_excluding(&q, plan.lost_nodes()).unwrap();
-    assert_eq!(lossy.nodes, 3);
-    let (fraction, error_bound) = match lossy.quality {
-        ResultQuality::Partial {
-            fraction,
-            error_bound,
-        } => (fraction, error_bound),
-        other => panic!("losing 1 of 4 nodes marks the answer partial, got {other:?}"),
-    };
-    assert_eq!(fraction, 0.75);
-    // The surviving 3/4 of the rows are extrapolated back to an estimate
-    // of the full answer (round-robin partitions are near-uniform), and
-    // the reported bound really bounds the extrapolation error.
+    assert_eq!(lossy.quality, ResultQuality::Exact);
+    assert_eq!(lossy.result, full.result);
     assert_eq!(lossy.result.scalar_count(), Some(4_000));
-    assert!(error_bound.is_finite() && error_bound >= 0.0);
-    let err = (lossy.result.scalar_count().unwrap() as f64
-        - full.result.scalar_count().unwrap() as f64)
-        .abs();
-    assert!(err <= error_bound, "err {err} > bound {error_bound}");
 
-    // Losing everything is transient adversity, not a hard error.
-    let all = FaultPlan::builder(11)
-        .lose_node(0)
-        .lose_node(1)
-        .lose_node(2)
-        .lose_node(3)
-        .build();
-    let err = cluster.execute_excluding(&q, all.lost_nodes()).unwrap_err();
-    assert!(err.is_transient());
+    // Losing *both* copies of a shard is a typed, transient error — the
+    // plan refuses to answer rather than extrapolating from survivors.
+    let both = FaultPlan::builder(11).lose_node(2).lose_node(6).build();
+    let err = cluster
+        .execute_excluding(&q, both.lost_nodes())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ids::engine::EngineError::ShardUnavailable {
+            shard: 2,
+            replicas: 2
+        }
+    );
+    assert!(err.is_transient(), "lost nodes recover; retries may help");
 }
 
 #[test]

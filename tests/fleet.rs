@@ -136,6 +136,7 @@ proptest! {
             workers,
             latency_budget: SimDuration::from_millis(100),
             deadline: false,
+            shards: 1,
         };
         for policy in [
             AdmissionPolicy::unlimited(),

@@ -1,0 +1,196 @@
+//! Integration tests for the sharded scatter-gather layer through the
+//! `ids::` facade: every partition scheme agrees with single-node
+//! execution, outcomes are invariant across worker-thread counts,
+//! replica routing degrades to a typed error (never an estimate), and
+//! per-shard spans flow into the telemetry lakehouse's canned queries.
+
+use std::sync::Mutex;
+
+use ids::engine::exec::run_query;
+use ids::engine::{
+    BinSpec, ColumnBuilder, CostParams, Database, EngineError, Predicate, Query, TableBuilder,
+};
+use ids::lakehouse::{Lakehouse, TimeWindow};
+use ids::obs;
+use ids::shard::{partition_database, PartitionScheme, ScatterGather, ShardedCluster};
+
+/// The obs recorder is process-global; the telemetry test takes this
+/// lock and starts from `reset_all()` so parallel tests cannot
+/// interleave spans into its capture.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A session-log-shaped dataset: a clustered virtual-time axis `t`, a
+/// uniform measure `v`, and a low-cardinality key `k` with duplicates.
+fn dataset(rows: usize) -> Database {
+    let db = Database::new();
+    db.register(
+        TableBuilder::new("sessions")
+            .column("t", ColumnBuilder::float((0..rows).map(|i| i as f64)))
+            .column(
+                "v",
+                ColumnBuilder::float((0..rows).map(|i| (i * 37 % 101) as f64)),
+            )
+            .column("k", ColumnBuilder::int((0..rows).map(|i| (i % 13) as i64)))
+            .build()
+            .expect("dataset table"),
+    );
+    db
+}
+
+fn schemes() -> Vec<PartitionScheme> {
+    vec![
+        PartitionScheme::HashRows,
+        PartitionScheme::hash_key("k"),
+        PartitionScheme::range("t"),
+    ]
+}
+
+/// Mergeable query shapes covering brushes on the clustered axis, full
+/// scans, and a count over the uniform measure.
+fn mergeable_queries() -> Vec<Query> {
+    vec![
+        Query::count("sessions", Predicate::between("v", 10.0, 90.0)),
+        Query::histogram(
+            "sessions",
+            BinSpec::new("v", 0.0, 101.0, 16),
+            Predicate::between("t", 100.0, 900.0),
+        ),
+        Query::histogram(
+            "sessions",
+            BinSpec::new("v", 0.0, 101.0, 8),
+            Predicate::True,
+        ),
+    ]
+}
+
+#[test]
+fn every_scheme_matches_single_node_execution() {
+    let db = dataset(2_000);
+    for scheme in schemes() {
+        for shards in [1usize, 3, 8] {
+            let parts = partition_database(&db, &scheme, 11, shards).expect("partition");
+            let sg = ScatterGather::over(parts);
+            for query in mergeable_queries() {
+                let (reference, _) = run_query(&db, &query).expect("single-node");
+                let out = sg.execute(&query).expect("scatter-gather");
+                assert_eq!(
+                    out.result, reference,
+                    "merged result drifted from single-node under {scheme:?} at {shards} shards"
+                );
+                assert_eq!(out.per_shard.len(), shards);
+            }
+        }
+    }
+}
+
+#[test]
+fn outcome_is_invariant_across_worker_threads() {
+    let db = dataset(3_000);
+    let query = &mergeable_queries()[1];
+    let parts = partition_database(&db, &PartitionScheme::range("t"), 11, 8).expect("partition");
+    let reference = ScatterGather::over(parts.clone())
+        .with_threads(1)
+        .execute(query)
+        .expect("reference");
+    for threads in [2usize, 4, 8, 16] {
+        let out = ScatterGather::over(parts.clone())
+            .with_threads(threads)
+            .execute(query)
+            .expect("threaded");
+        assert_eq!(
+            out.result, reference.result,
+            "result drifted at {threads} threads"
+        );
+        assert_eq!(
+            out.elapsed, reference.elapsed,
+            "cost drifted at {threads} threads"
+        );
+        assert_eq!(out.total_work, reference.total_work);
+        assert_eq!(
+            out.per_shard, reference.per_shard,
+            "telemetry drifted at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn losing_every_replica_is_a_typed_error_not_an_estimate() {
+    let db = dataset(1_000);
+    let cluster = ShardedCluster::partition(&db, PartitionScheme::hash_key("k"), 11, 4)
+        .expect("cluster")
+        .with_replicas(2);
+    let query = &mergeable_queries()[0];
+    let healthy = cluster.execute(query).expect("healthy");
+
+    // Losing one full replica stripe leaves every shard a survivor:
+    // still exact, byte-identical to the healthy run.
+    let degraded = cluster
+        .execute_excluding(query, &[0, 1, 2, 3])
+        .expect("one survivor per shard");
+    assert_eq!(degraded.result, healthy.result);
+
+    // Losing both replicas of shard 2 (nodes 2 and 6 in the striped
+    // layout) must surface the typed transient error, never a partial
+    // answer extrapolated from the survivors.
+    let lost: Vec<usize> = cluster.nodes_of_shard(2);
+    match cluster.execute_excluding(query, &lost) {
+        Err(EngineError::ShardUnavailable { shard, replicas }) => {
+            assert_eq!(shard, 2);
+            assert_eq!(replicas, 2);
+            assert!(
+                EngineError::ShardUnavailable { shard, replicas }.is_transient(),
+                "shard loss recovers with the fault window"
+            );
+        }
+        other => panic!("expected ShardUnavailable, got {other:?}"),
+    }
+}
+
+/// Per-shard `shard` spans — one per shard per query, tagged
+/// `tenant = shard/N` — land in the lakehouse spans table, so the canned
+/// `p99_by_tenant` query answers "p99 by shard" directly.
+#[test]
+fn shard_spans_feed_the_lakehouse_p99_by_shard() {
+    let _guard = lock();
+    obs::reset_all();
+    obs::enable();
+
+    let db = dataset(4_000);
+    let parts = partition_database(&db, &PartitionScheme::range("t"), 11, 4).expect("partition");
+    let sg = ScatterGather::over(parts).with_costs(CostParams::mem_default());
+    let out = sg.execute(&mergeable_queries()[2]).expect("scatter-gather");
+
+    let rec = obs::recorder();
+    let events: Vec<_> = rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e, obs::TraceEvent::Span { cat, .. } if *cat == "shard"))
+        .cloned()
+        .collect();
+    let tracks = rec.tracks();
+    obs::disable();
+    obs::reset_all();
+
+    assert_eq!(events.len(), 4, "one shard span per shard");
+    let mut lake = Lakehouse::new();
+    let stats = lake.ingest_events(&events, &tracks);
+    assert_eq!(stats.spans, 4);
+    let mut queries = lake.queries().expect("spans table");
+    let p99 = queries
+        .p99_by_tenant(TimeWindow::all())
+        .expect("p99 by shard");
+    assert_eq!(p99.len(), 4, "one tenant row per shard");
+    for (shard, row) in p99.iter().enumerate() {
+        assert_eq!(row.tenant, format!("shard/{shard}"));
+        assert_eq!(row.spans, 1);
+        assert_eq!(
+            row.p99_us,
+            out.per_shard[shard].cost.as_micros() as i64,
+            "lakehouse p99 must equal the shard's priced cost"
+        );
+    }
+}
