@@ -9,6 +9,7 @@
 //! repro --robustness             # fault-injection robustness table
 //! repro --progressive            # deadline-mode LCV/error tradeoff table
 //! repro --fleet                  # multi-tenant fleet-serving table
+//! repro --sql                    # case-study SQL through the planner
 //! repro --trace-out trace.json --figure 13
 //!                                # also export a Chrome/Perfetto trace
 //! repro --metrics-out run.tsv ...# write the metrics snapshot as TSV
@@ -81,13 +82,17 @@ fn main() {
                 ids_bench::fleetbench::render(&ids_bench::fleetbench::shard_curve())
             );
         }
+        Command::Sql => {
+            println!("{}", ids_bench::sqlrepro::render_all());
+        }
         Command::Help(err) => {
             if let Some(e) = err {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
                 "usage: repro [--all | --index | --table N | --figure N\n\
-                 \x20            | --scalability | --robustness | --progressive | --fleet]\n\
+                 \x20            | --scalability | --robustness | --progressive | --fleet\n\
+                 \x20            | --sql]\n\
                  \x20      [--trace-out FILE] [--metrics-out FILE]\n\
                  scale: set IDS_SCALE=paper for full study sizes"
             );
@@ -164,6 +169,7 @@ enum Command {
     Robustness,
     Progressive,
     Fleet,
+    Sql,
     Help(Option<String>),
 }
 
@@ -181,6 +187,7 @@ fn parse(args: &[String]) -> Command {
         [a] if a == "--robustness" => Command::Robustness,
         [a] if a == "--progressive" => Command::Progressive,
         [a] if a == "--fleet" => Command::Fleet,
+        [a] if a == "--sql" => Command::Sql,
         [a, n] if a == "--table" => Command::Table(n.clone()),
         [a, n] if a == "--figure" => Command::Figure(n.clone()),
         [a] if a == "--help" || a == "-h" => Command::Help(None),

@@ -11,6 +11,7 @@
 
 pub mod fleetbench;
 pub mod perf;
+pub mod sqlrepro;
 pub mod trend;
 
 use ids_core::experiments::{case1, case2, case3, fleet, robustness, scalability};

@@ -91,3 +91,22 @@ fn golden_fleet_table() {
     let report = fleet::run(&fleet::FleetConfig::smoke_test());
     check_golden("fleet_table.txt", &report.render());
 }
+
+/// One `EXPLAIN` fixture per case-study query. The rendered case (plan
+/// tree + actual counters + cost) must be byte-identical on every run;
+/// re-rendering after executing at 2/4/8 threads must not perturb it.
+#[test]
+fn golden_explain_case_studies() {
+    for case in ids_bench::sqlrepro::CASES {
+        let text = ids_bench::sqlrepro::render_case(case);
+        for _ in 0..2 {
+            assert_eq!(
+                text,
+                ids_bench::sqlrepro::render_case(case),
+                "EXPLAIN for {} is not replay-stable",
+                case.name
+            );
+        }
+        check_golden(&format!("explain_{}.txt", case.name), &text);
+    }
+}

@@ -39,6 +39,14 @@ pub enum EngineError {
     },
     /// Histogram bin specification is degenerate (zero bins or width).
     InvalidBinSpec(String),
+    /// SQL text failed to parse. `pos` is the byte offset into the
+    /// statement where the parser gave up.
+    SqlParse {
+        /// Byte offset of the offending token in the input.
+        pos: usize,
+        /// What the parser expected or rejected.
+        msg: String,
+    },
     /// The scheduler rejected or dropped the query (e.g. shut down).
     SchedulerClosed,
     /// The backend failed transiently (injected fault, dropped
@@ -89,6 +97,9 @@ impl fmt::Display for EngineError {
                 write!(f, "column `{column}`: expected {expected}")
             }
             EngineError::InvalidBinSpec(why) => write!(f, "invalid bin spec: {why}"),
+            EngineError::SqlParse { pos, msg } => {
+                write!(f, "SQL parse error at byte {pos}: {msg}")
+            }
             EngineError::SchedulerClosed => write!(f, "query scheduler is closed"),
             EngineError::TransientFailure { reason } => {
                 write!(f, "transient backend failure: {reason}")

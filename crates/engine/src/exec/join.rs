@@ -105,7 +105,7 @@ pub fn run_join(
     Ok((ResultSet::Rows(rows), footprint))
 }
 
-fn int_key_column<'t>(table: &'t Table, key: &str) -> EngineResult<&'t [i64]> {
+pub(crate) fn int_key_column<'t>(table: &'t Table, key: &str) -> EngineResult<&'t [i64]> {
     match table.column(key)? {
         Column::Int(v) => Ok(v),
         _ => Err(EngineError::TypeMismatch {
@@ -118,7 +118,7 @@ fn int_key_column<'t>(table: &'t Table, key: &str) -> EngineResult<&'t [i64]> {
 /// Projects a joined row; column references resolve against the left
 /// table first, then the right (matching the unqualified names in the
 /// paper's SQL, where projected columns come from the `movie` side).
-fn project_joined(
+pub(crate) fn project_joined(
     left: &Table,
     right: &Table,
     l_row: usize,

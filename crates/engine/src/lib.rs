@@ -62,6 +62,7 @@ pub mod exec;
 pub mod kernels;
 mod page;
 pub mod parallel;
+pub mod planner;
 mod predicate;
 pub mod progressive;
 mod query;
@@ -82,6 +83,7 @@ pub use cost::{CostModel, CostParams, LinearCostModel, QueryFootprint};
 pub use error::{EngineError, EngineResult};
 pub use kernels::{KernelOptions, KernelStats, SelectionVector};
 pub use page::{Page, PageId, Pager, PAGE_SIZE};
+pub use planner::{plan, BuildSide, HistogramPath, Plan, PlanNode, PlannedExecution};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{BinSpec, JoinSpec, Projection, Query, SelectSpec};
 pub use result::{Histogram, ResultSet, Row};

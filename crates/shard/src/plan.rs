@@ -25,6 +25,11 @@ use ids_engine::{
 };
 use ids_simclock::SimDuration;
 
+/// One shard-local execution: a partial result plus its footprint.
+type ShardPartial = EngineResult<(ResultSet, QueryFootprint)>;
+/// The per-shard runner [`ScatterGather::scatter_with`] fans out.
+type ShardRunner<'a> = &'a (dyn Fn(&Database, &Query) -> ShardPartial + Sync);
+
 /// One shard's contribution to a scatter-gather plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardExecution {
@@ -115,20 +120,56 @@ impl ScatterGather {
     /// error before any shard runs.
     pub fn execute(&self, query: &Query) -> EngineResult<ShardOutcome> {
         require_mergeable(query)?;
-        let partials = self.scatter(query)?;
+        let partials = self.scatter_with(query, &|db, q| run_query(db, q))?;
         self.gather(query, partials)
     }
 
-    /// Runs `query` on every shard, returning `(partial, footprint)`
-    /// per shard in shard order. Slot-indexed: worker threads pull
-    /// shards off a shared cursor but each writes only its own slot.
-    fn scatter(&self, query: &Query) -> EngineResult<Vec<(ResultSet, QueryFootprint)>> {
-        let mut slots: Vec<Option<EngineResult<(ResultSet, QueryFootprint)>>> =
-            (0..self.shards.len()).map(|_| None).collect();
+    /// Like [`ScatterGather::execute`], but each shard's fragment goes
+    /// through the engine's cost-based planner (predicate reordering,
+    /// fused/unfused and parallel bin paths) instead of the fixed
+    /// kernel path. The planner's footprint-identity guarantee makes
+    /// the merged result, virtual costs, and telemetry byte-identical
+    /// to `execute` — planning only changes *how* partials compute.
+    pub fn execute_planned(&self, query: &Query) -> EngineResult<ShardOutcome> {
+        require_mergeable(query)?;
+        let partials = self.scatter_with(query, &|db, q| {
+            let out = ids_engine::plan(db, q)?.execute(db)?;
+            Ok((out.result, out.footprint))
+        })?;
+        self.gather(query, partials)
+    }
+
+    /// Renders every shard's plan as one stable text tree, in fixed
+    /// shard order — byte-identical across runs and thread counts.
+    pub fn explain(&self, query: &Query) -> EngineResult<String> {
+        require_mergeable(query)?;
+        let mut out = String::new();
+        for (shard, db) in self.shards.iter().enumerate() {
+            let plan = ids_engine::plan(db, query)?;
+            out.push_str(&format!("shard {shard}:\n"));
+            for line in plan.explain().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs `query` on every shard via `run`, returning
+    /// `(partial, footprint)` per shard in shard order. Slot-indexed:
+    /// worker threads pull shards off a shared cursor but each writes
+    /// only its own slot.
+    fn scatter_with(
+        &self,
+        query: &Query,
+        run: ShardRunner<'_>,
+    ) -> EngineResult<Vec<(ResultSet, QueryFootprint)>> {
+        let mut slots: Vec<Option<ShardPartial>> = (0..self.shards.len()).map(|_| None).collect();
         let workers = self.threads.min(self.shards.len()).max(1);
         if workers == 1 {
             for (shard, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(run_query(&self.shards[shard], query));
+                *slot = Some(run(&self.shards[shard], query));
             }
         } else {
             let cursor = std::sync::atomic::AtomicUsize::new(0);
@@ -142,7 +183,7 @@ impl ScatterGather {
                             if shard >= self.shards.len() {
                                 break;
                             }
-                            local.push((shard, run_query(&self.shards[shard], query)));
+                            local.push((shard, run(&self.shards[shard], query)));
                         }
                         results.lock().unwrap().extend(local);
                     });
@@ -299,6 +340,44 @@ mod tests {
         let slowest = out.per_shard.iter().map(|s| s.cost).max().unwrap();
         assert!(out.elapsed > slowest);
         assert!(out.elapsed < out.total_work);
+    }
+
+    #[test]
+    fn planned_dispatch_matches_unplanned_and_explains_stably() {
+        let source = db(30_000);
+        for query in [
+            hist(),
+            Query::count(
+                "t",
+                Predicate::and([
+                    Predicate::ge("k", 2.0),
+                    Predicate::between("x", 40.0, 120.0),
+                ]),
+            ),
+        ] {
+            let parts = partition_database(&source, &PartitionScheme::range("x"), 0, 4).unwrap();
+            let sg = ScatterGather::over(parts);
+            let plain = sg.execute(&query).unwrap();
+            let explain = sg.explain(&query).unwrap();
+            for threads in [1usize, 4] {
+                let sg = sg_clone(&sg, threads);
+                let planned = sg.execute_planned(&query).unwrap();
+                assert_eq!(planned.result, plain.result);
+                assert_eq!(
+                    planned.elapsed, plain.elapsed,
+                    "virtual cost must not drift"
+                );
+                assert_eq!(planned.total_work, plain.total_work);
+                assert_eq!(planned.per_shard, plain.per_shard);
+                assert_eq!(sg.explain(&query).unwrap(), explain);
+            }
+            assert!(explain.starts_with("shard 0:\n"));
+            assert!(explain.contains("shard 3:\n"));
+        }
+    }
+
+    fn sg_clone(sg: &ScatterGather, threads: usize) -> ScatterGather {
+        ScatterGather::over(sg.partitions().to_vec()).with_threads(threads)
     }
 
     #[test]

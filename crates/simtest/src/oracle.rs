@@ -254,7 +254,113 @@ pub fn check_scenario_unlocked(s: &Scenario) -> Verdict {
     let shard_detail = shard_invariance(s);
     v.push("shard-invariance", shard_detail.is_empty(), shard_detail);
 
+    // 13. Planner equivalence: every query the cost-based planner
+    //     plans must execute byte-identically to the unplanned kernel
+    //     path — result, footprint, and error behavior — and therefore
+    //     to the reference interpreter; plan text must be replay- and
+    //     thread-stable.
+    let planner_detail = planner_equivalence(s);
+    v.push(
+        "planner-equivalence",
+        planner_detail.is_empty(),
+        planner_detail,
+    );
+
     v
+}
+
+/// Oracle 13 body: plans every differential query with the cost-based
+/// planner and demands (a) planned execution equal `exec::run_query`
+/// bit-for-bit — results, all footprint counters, and errors — which
+/// transitively pins it to the reference interpreter through oracle 7;
+/// (b) results equal the reference interpreter directly; (c) plan text
+/// render byte-identically on replay and at every thread count.
+fn planner_equivalence(s: &Scenario) -> String {
+    let raw = raw_tables(s.seed, &s.table);
+    let backend = diff_backend(&raw);
+    let db = backend.database();
+    for (i, spec) in s.queries.iter().enumerate() {
+        let query = spec.query();
+        let planned = ids_engine::plan(&db, &query).and_then(|p| p.execute(&db));
+        let unplanned = ids_engine::exec::run_query(&db, &query);
+        match (&planned, &unplanned) {
+            (Ok(p), Ok(u)) => {
+                if p.result != u.0 {
+                    return format!(
+                        "query {i} {spec:?}: planned result {:?} != unplanned {:?}",
+                        p.result, u.0
+                    );
+                }
+                if p.footprint != u.1 {
+                    return format!(
+                        "query {i} {spec:?}: planned footprint {:?} != unplanned {:?}",
+                        p.footprint, u.1
+                    );
+                }
+                if let Ok(r) = reference_execute(&raw, spec) {
+                    if p.result != r {
+                        return format!(
+                            "query {i} {spec:?}: planned result {:?} != reference {r:?}",
+                            p.result
+                        );
+                    }
+                }
+            }
+            (Err(p), Err(u)) => {
+                if p != u {
+                    return format!("query {i} {spec:?}: planned error `{p}` != unplanned `{u}`");
+                }
+            }
+            (Ok(_), Err(e)) => {
+                return format!(
+                    "query {i} {spec:?}: planner accepted but unplanned rejected ({e})"
+                );
+            }
+            (Err(e), Ok(_)) => {
+                return format!(
+                    "query {i} {spec:?}: planner rejected ({e}) but unplanned accepted"
+                );
+            }
+        }
+        // Plan text replay- and thread-stability, plus threaded
+        // execution identity, for plannable queries.
+        if let Ok(plan) = ids_engine::plan(&db, &query) {
+            let text = plan.explain();
+            let again = match ids_engine::plan(&db, &query) {
+                Ok(p) => p.explain(),
+                Err(e) => return format!("query {i} {spec:?}: replan failed ({e})"),
+            };
+            if text != again {
+                return format!("query {i} {spec:?}: plan text not replay-stable");
+            }
+            if let Ok(base) = &planned {
+                for threads in [2usize, s.threads.max(1)] {
+                    match plan.execute_with_threads(&db, threads) {
+                        Ok(out) => {
+                            if out.result != base.result || out.footprint != base.footprint {
+                                return format!(
+                                    "query {i} {spec:?}: {threads}-thread planned execution \
+                                     diverged from single-threaded"
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            return format!(
+                                "query {i} {spec:?}: {threads}-thread planned execution \
+                                 failed ({e})"
+                            );
+                        }
+                    }
+                    if plan.explain() != text {
+                        return format!(
+                            "query {i} {spec:?}: plan text changed after {threads}-thread run"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    String::new()
 }
 
 /// Oracle 12 body: scatter-gathers every mergeable differential query
@@ -587,7 +693,7 @@ mod tests {
     fn a_healthy_scenario_passes_every_oracle() {
         let s = Scenario::generate(derive_seed(41, 2));
         let v = check_scenario(&s);
-        assert_eq!(v.reports.len(), 12);
+        assert_eq!(v.reports.len(), 13);
         assert!(v.all_passed(), "{}", v.summary());
         assert!(v.summary().starts_with("ok ("));
     }

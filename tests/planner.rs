@@ -1,0 +1,348 @@
+//! Planner-differential tests: generated `(table, SQL)` pairs where the
+//! cost-based planner's execution must match both the unplanned kernel
+//! path (`exec::run_query`) — results *and* every footprint counter —
+//! and an independent row-at-a-time reference interpreter, including
+//! empty, all-NaN, and 1023/1024/1025-row block-boundary tables.
+
+use ids::engine::exec::run_query;
+use ids::engine::{
+    plan, sql, BinSpec, ColumnBuilder, Database, Predicate, Query, ResultSet, TableBuilder,
+};
+use proptest::prelude::*;
+
+const WORDS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Raw generated data (the reference interpreter reads this, never the
+/// engine's columns).
+#[derive(Debug, Clone)]
+struct Raw {
+    x: Vec<f64>,
+    k: Vec<i64>,
+    s: Vec<usize>,
+}
+
+fn register(db: &Database, raw: &Raw) {
+    db.register(
+        TableBuilder::new("t")
+            .column("x", ColumnBuilder::float(raw.x.iter().copied()))
+            .column("k", ColumnBuilder::int(raw.k.iter().copied()))
+            .column("s", ColumnBuilder::str(raw.s.iter().map(|&w| WORDS[w])))
+            .build()
+            .expect("static schema"),
+    );
+}
+
+/// One generated conjunct: its SQL spelling and its row-at-a-time
+/// meaning over `(x, k, s)`.
+#[derive(Debug, Clone)]
+enum Conjunct {
+    XCmp(usize, f64),
+    XBetween(f64, f64),
+    KCmp(usize, i64),
+    SEq(usize),
+}
+
+const OPS: [&str; 6] = [">=", "<=", ">", "<", "=", "<>"];
+
+impl Conjunct {
+    fn sql(&self) -> String {
+        match self {
+            Conjunct::XCmp(op, v) => format!("x {} {}", OPS[*op], v),
+            Conjunct::XBetween(lo, hi) => format!("x BETWEEN {lo} AND {hi}"),
+            Conjunct::KCmp(op, v) => format!("k {} {}", OPS[*op], v),
+            Conjunct::SEq(w) => format!("s = '{}'", WORDS[*w]),
+        }
+    }
+
+    fn eval(&self, x: f64, k: i64, s: usize) -> bool {
+        fn cmp(a: f64, op: usize, b: f64) -> bool {
+            match op {
+                0 => a >= b,
+                1 => a <= b,
+                2 => a > b,
+                3 => a < b,
+                4 => a == b,
+                _ => a != b,
+            }
+        }
+        match self {
+            Conjunct::XCmp(op, v) => cmp(x, *op, *v),
+            Conjunct::XBetween(lo, hi) => x >= *lo && x <= *hi,
+            Conjunct::KCmp(op, v) => cmp(k as f64, *op, *v as f64),
+            Conjunct::SEq(w) => s == *w,
+        }
+    }
+}
+
+fn where_clause(conjuncts: &[Conjunct]) -> String {
+    if conjuncts.is_empty() {
+        String::new()
+    } else {
+        format!(
+            " WHERE {}",
+            conjuncts
+                .iter()
+                .map(Conjunct::sql)
+                .collect::<Vec<_>>()
+                .join(" AND ")
+        )
+    }
+}
+
+fn matching(raw: &Raw, conjuncts: &[Conjunct]) -> Vec<usize> {
+    (0..raw.x.len())
+        .filter(|&i| {
+            conjuncts
+                .iter()
+                .all(|c| c.eval(raw.x[i], raw.k[i], raw.s[i]))
+        })
+        .collect()
+}
+
+/// Reference histogram: ROUND binning with the top-bin clamp, NaN and
+/// out-of-domain rows skipped — mirroring `BinSpec::bin_of`.
+fn reference_histogram(raw: &Raw, keep: &[usize], lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0u64; bins + 1];
+    for &i in keep {
+        let x = raw.x[i];
+        if x.is_nan() || x < lo || x > hi {
+            continue;
+        }
+        counts[(((x - lo) / width).round() as usize).min(bins)] += 1;
+    }
+    counts
+}
+
+/// Runs one SQL statement three ways — planned, unplanned, and against
+/// a supplied reference result — and demands exact agreement plus plan
+/// replay-stability.
+fn check(raw: &Raw, statement: &str, reference: ResultSet) -> Result<(), TestCaseError> {
+    let db = Database::new();
+    register(&db, raw);
+    let query = sql::parse(statement)
+        .map_err(|e| TestCaseError::fail(format!("`{statement}` failed to parse: {e}")))?;
+    let p = plan(&db, &query)
+        .map_err(|e| TestCaseError::fail(format!("`{statement}` failed to plan: {e}")))?;
+    let planned = p
+        .execute(&db)
+        .map_err(|e| TestCaseError::fail(format!("`{statement}` failed planned: {e}")))?;
+    let (result, footprint) = run_query(&db, &query)
+        .map_err(|e| TestCaseError::fail(format!("`{statement}` failed unplanned: {e}")))?;
+    prop_assert_eq!(
+        &planned.result,
+        &result,
+        "planned != unplanned: {}",
+        statement
+    );
+    prop_assert_eq!(
+        &planned.footprint,
+        &footprint,
+        "footprint drift: {}",
+        statement
+    );
+    prop_assert_eq!(
+        &planned.result,
+        &reference,
+        "planned != reference: {}",
+        statement
+    );
+    prop_assert_eq!(p.explain(), plan(&db, &query).unwrap().explain());
+    Ok(())
+}
+
+/// Raw-row sample: `(nan_die, x, k, word)` — `nan_die == 0` makes the
+/// float NaN (a 1-in-5 chance), exercising NaN comparison semantics.
+type RawTuple = (usize, f64, i64, usize);
+
+type RawTupleStrategy = prop::collection::VecStrategy<(
+    std::ops::Range<usize>,
+    std::ops::Range<f64>,
+    std::ops::Range<i64>,
+    std::ops::Range<usize>,
+)>;
+
+fn raw_strategy(max_rows: usize) -> RawTupleStrategy {
+    prop::collection::vec(
+        (0usize..5, -100.0f64..100.0, 0i64..12, 0usize..WORDS.len()),
+        0..max_rows,
+    )
+}
+
+fn build_raw(rows: &[RawTuple]) -> Raw {
+    Raw {
+        x: rows
+            .iter()
+            .map(|r| if r.0 == 0 { f64::NAN } else { r.1 })
+            .collect(),
+        k: rows.iter().map(|r| r.2).collect(),
+        s: rows.iter().map(|r| r.3).collect(),
+    }
+}
+
+/// Conjunct sample: `(kind, op, f1, f2, int_lit, word)`.
+type ConjTuple = (usize, usize, f64, f64, i64, usize);
+
+type ConjTupleStrategy = prop::collection::VecStrategy<(
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+    std::ops::Range<f64>,
+    std::ops::Range<f64>,
+    std::ops::Range<i64>,
+    std::ops::Range<usize>,
+)>;
+
+fn conjunct_strategy() -> ConjTupleStrategy {
+    prop::collection::vec(
+        (
+            0usize..4,
+            0usize..OPS.len(),
+            -60.0f64..60.0,
+            -60.0f64..60.0,
+            -2i64..14,
+            0usize..WORDS.len(),
+        ),
+        0..4,
+    )
+}
+
+fn build_conjuncts(samples: &[ConjTuple]) -> Vec<Conjunct> {
+    samples
+        .iter()
+        .map(|&(kind, op, f1, f2, ki, w)| match kind {
+            0 => Conjunct::XCmp(op, f1),
+            1 => Conjunct::XBetween(f1, f2),
+            2 => Conjunct::KCmp(op, ki),
+            _ => Conjunct::SEq(w),
+        })
+        .collect()
+}
+
+proptest! {
+    /// COUNT(*) with a generated WHERE: planned == unplanned ==
+    /// row-at-a-time reference.
+    #[test]
+    fn planned_count_matches_reference(
+        raw_rows in raw_strategy(600),
+        conj_rows in conjunct_strategy(),
+    ) {
+        let raw = build_raw(&raw_rows);
+        let conjuncts = build_conjuncts(&conj_rows);
+        let statement = format!("SELECT COUNT(*) FROM t{}", where_clause(&conjuncts));
+        let expected = ResultSet::Count(matching(&raw, &conjuncts).len() as u64);
+        check(&raw, &statement, expected)?;
+    }
+
+    /// Paginated SELECT * with a generated WHERE: planned row ids equal
+    /// the reference's page of matching rows, in order.
+    #[test]
+    fn planned_select_matches_reference(
+        raw_rows in raw_strategy(400),
+        conj_rows in conjunct_strategy(),
+        limit in 1usize..50,
+        offset in 0usize..60,
+    ) {
+        let raw = build_raw(&raw_rows);
+        let conjuncts = build_conjuncts(&conj_rows);
+        let statement = format!(
+            "SELECT k FROM t{} LIMIT {limit} OFFSET {offset}",
+            where_clause(&conjuncts)
+        );
+        let keep = matching(&raw, &conjuncts);
+        let end = (offset + limit).min(keep.len());
+        let rows = keep[offset.min(end)..end]
+            .iter()
+            .map(|&i| vec![ids::engine::Value::Int(raw.k[i])])
+            .collect();
+        check(&raw, &statement, ResultSet::Rows(rows))?;
+    }
+
+    /// Filtered HISTOGRAM with generated bins: planned counts equal the
+    /// reference binning (ROUND semantics, NaN skipped).
+    #[test]
+    fn planned_histogram_matches_reference(
+        raw_rows in raw_strategy(1400),
+        conj_rows in conjunct_strategy(),
+        bins in 1usize..24,
+        lo in -80.0f64..0.0,
+        width in 1.0f64..160.0,
+    ) {
+        let raw = build_raw(&raw_rows);
+        let conjuncts = build_conjuncts(&conj_rows);
+        let hi = lo + width;
+        let statement = format!(
+            "SELECT HISTOGRAM(x, {lo}, {hi}, {bins}), COUNT(*) FROM t{} GROUP BY 1 ORDER BY 1",
+            where_clause(&conjuncts)
+        );
+        let keep = matching(&raw, &conjuncts);
+        let expected = ResultSet::Histogram(ids::engine::Histogram::from_counts(
+            reference_histogram(&raw, &keep, lo, hi, bins),
+        ));
+        check(&raw, &statement, expected)?;
+    }
+}
+
+/// Deterministic block-boundary battery: 0, 1, 1023, 1024, 1025 rows and
+/// an all-NaN table, across every query shape the planner handles.
+#[test]
+fn block_boundary_and_all_nan_tables() {
+    for rows in [0usize, 1, 1023, 1024, 1025] {
+        for nan in [false, true] {
+            let raw = Raw {
+                x: (0..rows)
+                    .map(|i| if nan { f64::NAN } else { (i % 700) as f64 })
+                    .collect(),
+                k: (0..rows).map(|i| (i % 9) as i64).collect(),
+                s: (0..rows).map(|i| i % WORDS.len()).collect(),
+            };
+            let db = Database::new();
+            register(&db, &raw);
+            let queries = [
+                Query::count("t", Predicate::between("x", 100.0, 500.0)),
+                Query::count("t", Predicate::True),
+                Query::select("t", vec![], Predicate::ge("x", 650.0), Some(7), 3),
+                Query::histogram(
+                    "t",
+                    BinSpec::new("x", 0.0, 700.0, 14),
+                    Predicate::and([Predicate::le("k", 5.0), Predicate::ge("x", 50.0)]),
+                ),
+            ];
+            for q in &queries {
+                let planned = plan(&db, q).unwrap().execute(&db).unwrap();
+                let (result, footprint) = run_query(&db, q).unwrap();
+                assert_eq!(planned.result, result, "rows={rows} nan={nan} {q}");
+                assert_eq!(planned.footprint, footprint, "rows={rows} nan={nan} {q}");
+            }
+        }
+    }
+}
+
+/// The paper's case-study SQL plans identically and executes
+/// byte-identically at 1, 2, 4, and 8 threads, with thread-invariant
+/// EXPLAIN text.
+#[test]
+fn case_study_sql_is_thread_stable() {
+    use ids::workload::datasets;
+    let db = Database::new();
+    db.register(datasets::road_network_sized(1, 50_000));
+    let q = sql::parse(
+        "SELECT HISTOGRAM(y, 56.582, 57.774, 20), COUNT(*) FROM dataroad \
+         WHERE x >= 8.146 AND x <= 11.2616367163 \
+           AND y >= 56.582 AND y <= 57.774 \
+           AND z >= -8.608 AND z <= 137.361 \
+         GROUP BY 1 ORDER BY 1",
+    )
+    .expect("case-study SQL parses");
+    let p = plan(&db, &q).expect("plans");
+    let text = p.explain();
+    let base = p.execute_with_threads(&db, 1).expect("executes");
+    for threads in [2usize, 4, 8] {
+        let out = p.execute_with_threads(&db, threads).expect("executes");
+        assert_eq!(out.result, base.result, "{threads} threads");
+        assert_eq!(out.footprint, base.footprint, "{threads} threads");
+        assert_eq!(p.explain(), text, "plan text after {threads}-thread run");
+    }
+    let (result, footprint) = run_query(&db, &q).expect("unplanned");
+    assert_eq!(base.result, result);
+    assert_eq!(base.footprint, footprint);
+}

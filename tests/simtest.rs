@@ -68,6 +68,56 @@ fn corpus_replays_clean() {
     }
 }
 
+/// The two planner corpus scenarios exercise the plan shapes they are
+/// named for: `planner-predicate-reorder` actually reorders a
+/// conjunction, and `planner-fused-vs-unfused` plans both histogram
+/// paths. (Oracle 13 already pins their execution to the unplanned
+/// path; this pins their *coverage*.)
+#[test]
+fn planner_corpus_scenarios_cover_their_plan_shapes() {
+    use ids::engine::planner::{HistogramPath, PlanNode};
+    use ids::engine::Backend;
+    use ids::simtest::reference::{diff_backend, raw_tables};
+
+    let load = |name: &str| {
+        let body = std::fs::read_to_string(corpus_dir().join(name)).expect("corpus file");
+        from_toml(&body).unwrap_or_else(|e| panic!("{name}: parse error: {e}"))
+    };
+    let plan_of = |s: &Scenario, i: usize| {
+        let backend = diff_backend(&raw_tables(s.seed, &s.table));
+        ids::engine::plan(&backend.database(), &s.queries[i].query()).expect("plans")
+    };
+
+    let reorder = load("planner-predicate-reorder.toml");
+    match plan_of(&reorder, 0).node() {
+        PlanNode::Count { pred } => {
+            assert!(pred.reordered, "query 0 must reorder its conjuncts");
+            assert!(
+                pred.conjuncts[0].0.starts_with("k "),
+                "selective k-conjunct must come first, got {:?}",
+                pred.conjuncts
+            );
+        }
+        other => panic!("expected a count plan, got {other:?}"),
+    }
+    match plan_of(&reorder, 2).node() {
+        PlanNode::Count { pred } => {
+            assert!(!pred.reordered, "query 2 is already best-ordered");
+        }
+        other => panic!("expected a count plan, got {other:?}"),
+    }
+
+    let fused = load("planner-fused-vs-unfused.toml");
+    for (i, want) in [(0, HistogramPath::Unfused), (1, HistogramPath::Fused)] {
+        match plan_of(&fused, i).node() {
+            PlanNode::Histogram { path, .. } => {
+                assert_eq!(*path, want, "query {i} must plan the {want:?} bin path");
+            }
+            other => panic!("expected a histogram plan, got {other:?}"),
+        }
+    }
+}
+
 /// Corpus files survive a parse → serialize → parse loop unchanged, so
 /// repro files pasted from simtest output stay canonical.
 #[test]
