@@ -8,6 +8,7 @@
 //! repro --figure 13              # one figure
 //! repro --robustness             # fault-injection robustness table
 //! repro --progressive            # deadline-mode LCV/error tradeoff table
+//! repro --adaptive               # open-loop vs closed-loop workload table
 //! repro --fleet                  # multi-tenant fleet-serving table
 //! repro --sql                    # case-study SQL through the planner
 //! repro --trace-out trace.json --figure 13
@@ -19,7 +20,9 @@
 use std::collections::BTreeSet;
 
 use ids_bench::Scale;
-use ids_core::experiments::{case1, case2, case3, fleet, methodology, robustness, scalability};
+use ids_core::experiments::{
+    adaptive, case1, case2, case3, fleet, methodology, robustness, scalability,
+};
 use ids_core::registry;
 use ids_core::report;
 
@@ -63,6 +66,9 @@ fn main() {
                 robustness::run_progressive(&scale.progressive()).render()
             );
         }
+        Command::Adaptive => {
+            println!("{}", adaptive::run(&scale.adaptive()).render());
+        }
         Command::Fleet => {
             // Fleet telemetry is captured through the obs recorder and
             // served back out of the lakehouse tables, so the recorder
@@ -91,8 +97,8 @@ fn main() {
             }
             eprintln!(
                 "usage: repro [--all | --index | --table N | --figure N\n\
-                 \x20            | --scalability | --robustness | --progressive | --fleet\n\
-                 \x20            | --sql]\n\
+                 \x20            | --scalability | --robustness | --progressive\n\
+                 \x20            | --adaptive | --fleet | --sql]\n\
                  \x20      [--trace-out FILE] [--metrics-out FILE]\n\
                  scale: set IDS_SCALE=paper for full study sizes"
             );
@@ -168,6 +174,7 @@ enum Command {
     Scalability,
     Robustness,
     Progressive,
+    Adaptive,
     Fleet,
     Sql,
     Help(Option<String>),
@@ -186,6 +193,7 @@ fn parse(args: &[String]) -> Command {
         [a] if a == "--scalability" => Command::Scalability,
         [a] if a == "--robustness" => Command::Robustness,
         [a] if a == "--progressive" => Command::Progressive,
+        [a] if a == "--adaptive" => Command::Adaptive,
         [a] if a == "--fleet" => Command::Fleet,
         [a] if a == "--sql" => Command::Sql,
         [a, n] if a == "--table" => Command::Table(n.clone()),

@@ -14,7 +14,7 @@ pub mod perf;
 pub mod sqlrepro;
 pub mod trend;
 
-use ids_core::experiments::{case1, case2, case3, fleet, robustness, scalability};
+use ids_core::experiments::{adaptive, case1, case2, case3, fleet, robustness, scalability};
 use ids_simclock::SimDuration;
 
 /// Experiment scale.
@@ -96,6 +96,15 @@ impl Scale {
                 workers: 2,
                 budgets_ms: [1, 3, 10, 30, 100],
             },
+        }
+    }
+
+    /// Closed-loop adaptive-workload comparison configuration at this
+    /// scale.
+    pub fn adaptive(self) -> adaptive::AdaptiveConfig {
+        match self {
+            Scale::Paper => adaptive::AdaptiveConfig::paper(),
+            Scale::Bench => adaptive::AdaptiveConfig::smoke_test(),
         }
     }
 

@@ -18,7 +18,7 @@
 
 use std::path::PathBuf;
 
-use ids_core::experiments::{case1, fleet, methodology, robustness, scalability};
+use ids_core::experiments::{adaptive, case1, fleet, methodology, robustness, scalability};
 
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -84,6 +84,12 @@ fn golden_robustness_table() {
 fn golden_progressive_table() {
     let report = robustness::run_progressive(&robustness::ProgressiveConfig::smoke_test());
     check_golden("progressive_table.txt", &report.render());
+}
+
+#[test]
+fn golden_adaptive_table() {
+    let report = adaptive::run(&adaptive::AdaptiveConfig::smoke_test());
+    check_golden("adaptive_table.txt", &report.render());
 }
 
 #[test]

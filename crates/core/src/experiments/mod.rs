@@ -6,6 +6,7 @@
 //! a typed report, and `render` methods that print the paper's tables
 //! and figure series.
 
+pub mod adaptive;
 pub mod case1;
 pub mod case2;
 pub mod case3;

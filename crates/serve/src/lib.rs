@@ -30,10 +30,18 @@
 //! windows shrink serving capacity mid-run — degrading throughput, never
 //! wedging the loop.
 
+//!
+//! The [`closedloop`] layer inverts the fleet pipeline: instead of
+//! offering a pre-scripted stream, an `ids-workload` behavior model
+//! *reacts* to each answer — admission shedding and deadline-bounded
+//! partials feed back into what the simulated user does next.
+
 pub mod admission;
+pub mod closedloop;
 pub mod fleet;
 pub mod session;
 
 pub use admission::{AdmissionController, AdmissionPolicy, ShedCounts, ShedReason, TokenBucket};
+pub use closedloop::{drive_session, ClosedLoopOutcome, ClosedLoopParams, ClosedLoopQuery};
 pub use fleet::{measure_costs, simulate_service, FleetOutcome, ServeParams};
 pub use session::{synthesize_fleet, ArrivalProcess, FleetSpec, Lane, OfferedQuery, SessionSpec};

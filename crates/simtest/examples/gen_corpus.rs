@@ -37,6 +37,8 @@ fn base(seed: u64) -> Scenario {
         shape: SessionShape::Crossfilter,
         device: DeviceKind::Mouse,
         resilience_budget_ms: 0,
+        abandon_ms: 400,
+        adaptive_steps: 12,
         table: TableSpec {
             rows: 32,
             key_mod: 4,
@@ -309,6 +311,23 @@ fn corpus() -> Vec<(&'static str, &'static str, Scenario)> {
         },
     ];
 
+    let mut adaptive_zoom = base(0x10c);
+    adaptive_zoom.shape = SessionShape::Adaptive;
+    adaptive_zoom.rows = 400;
+    adaptive_zoom.abandon_ms = 5_000; // patient user: the loop runs its course
+    adaptive_zoom.adaptive_steps = 16;
+
+    let mut adaptive_abandon = base(0x10d);
+    adaptive_abandon.shape = SessionShape::Adaptive;
+    adaptive_abandon.chaos_intensity = 0.9;
+    adaptive_abandon.abandon_ms = 1; // hair-trigger user under a storm
+    adaptive_abandon.adaptive_steps = 12;
+
+    let mut mined_replay = base(0x10e);
+    mined_replay.shape = SessionShape::Mined;
+    mined_replay.device = DeviceKind::Trackpad;
+    mined_replay.adaptive_steps = 14;
+
     let mut scroll_degrade = base(0x107);
     scroll_degrade.shape = SessionShape::Scrolling;
     scroll_degrade.device = DeviceKind::Trackpad;
@@ -369,6 +388,24 @@ fn corpus() -> Vec<(&'static str, &'static str, Scenario)> {
             "five-row table under 16 shards: more shards than rows, empty-partial \
              merges stay exact",
             shard_overcount,
+        ),
+        (
+            "adaptive-zoom-loop",
+            "patient closed-loop user on a calm backend: the content-driven \
+             zoom/drill transitions fire and the loop runs to its action bound",
+            adaptive_zoom,
+        ),
+        (
+            "adaptive-abandon-under-chaos",
+            "hair-trigger closed-loop user in a 0.9-intensity storm: slow \
+             answers end the session through the abandon transition",
+            adaptive_abandon,
+        ),
+        (
+            "mined-interface-replay",
+            "open-loop trackpad trace mined into a composite interface \
+             (sliders + brush + dropdown) and replayed as a novel workload",
+            mined_replay,
         ),
         (
             "block-boundary-kernels",

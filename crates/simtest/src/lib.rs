@@ -25,7 +25,19 @@
 //!   `Exact` answers match a plain re-execution, `Failed` answers are
 //!   empty placeholders;
 //! - **obs-stability** — exported traces and metrics are byte-stable
-//!   across identical runs.
+//!   across identical runs;
+//! - **lakehouse-determinism** — telemetry tables fold byte-identically
+//!   and the vectorized p99-by-tenant kernel matches its reference;
+//! - **progressive-anytime** — online aggregation ends exact, brackets
+//!   the truth at the configured coverage, and never widens its bound;
+//! - **shard-invariance** — scatter-gather over 1/4/16 partitions merges
+//!   to the reference answer with byte-stable costs;
+//! - **planner-equivalence** — planned execution equals the unplanned
+//!   kernel path bit-for-bit, with replay- and thread-stable plan text;
+//! - **adaptive-determinism** — the closed feedback loop (behavior model
+//!   reacting to answers, admission shedding, deadline-bounded partials)
+//!   replays byte-identically and is invariant to gather threads and
+//!   shard count, including the interface mined from its own trace.
 //!
 //! On failure, [`shrink`] minimizes the scenario while preserving the
 //! failing oracle, and the result serializes to a self-contained TOML
@@ -45,7 +57,7 @@ pub mod shrink;
 pub mod toml;
 
 pub use oracle::{check_scenario, gate, OracleReport, Verdict};
-pub use pipeline::{run_pipeline, RunArtifacts};
+pub use pipeline::{adaptive_run, behavior_config, closed_loop_params, run_pipeline, RunArtifacts};
 pub use reference::{differential_check, reference_execute};
 pub use scenario::{derive_seed, QuerySpec, Scenario, SessionShape, TableSpec};
 pub use shrink::{shrink, ShrinkOutcome};

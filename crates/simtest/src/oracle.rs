@@ -24,7 +24,7 @@ use ids_metrics::lcv::{budget_violations, QuerySpan};
 use ids_metrics::qif::qif_windows;
 use ids_simclock::{SimDuration, SimTime};
 
-use crate::pipeline::{build_replay_env, run_pipeline, RunArtifacts};
+use crate::pipeline::{adaptive_run, build_replay_env, run_pipeline, RunArtifacts};
 use crate::reference::{
     build_tables, diff_backend, differential_check, raw_tables, reference_execute,
 };
@@ -266,7 +266,63 @@ pub fn check_scenario_unlocked(s: &Scenario) -> Verdict {
         planner_detail,
     );
 
+    // 14. Adaptive determinism: the closed feedback loop — behavior
+    //     model reacting to answers, admission shedding, deadline
+    //     degradation to Partial — replays byte-identically and is
+    //     invariant to gather threads (1/2/4/8) and shard count
+    //     (1/4/16), including the interface mined back from its own
+    //     request trace.
+    let adaptive_detail = adaptive_determinism(s);
+    v.push(
+        "adaptive-determinism",
+        adaptive_detail.is_empty(),
+        adaptive_detail,
+    );
+
     v
+}
+
+/// Oracle 14 body: drives the closed-loop adaptive session once as the
+/// base leg, then demands byte-identical digests on replay, across
+/// gather thread counts, and across shard counts. Feedback latencies
+/// are shard-invariant by construction (costs come from the unsharded
+/// backend), so any divergence here is a real nondeterminism in the
+/// loop or a sharded-result divergence.
+fn adaptive_determinism(s: &Scenario) -> String {
+    let base = adaptive_run(s, s.threads, 4);
+    let again = adaptive_run(s, s.threads, 4);
+    if base != again {
+        return format!(
+            "closed loop not replay-stable: {}",
+            diff_digests(&base, &again)
+        );
+    }
+    for threads in [1usize, 2, 4, 8] {
+        if threads == s.threads {
+            continue;
+        }
+        let leg = adaptive_run(s, threads, 4);
+        if leg != base {
+            return format!(
+                "closed loop diverges at {threads} gather threads (base {}): {}",
+                s.threads,
+                diff_digests(&base, &leg)
+            );
+        }
+    }
+    for shards in [1usize, 4, 16] {
+        if shards == 4 {
+            continue;
+        }
+        let leg = adaptive_run(s, s.threads, shards);
+        if leg != base {
+            return format!(
+                "closed loop diverges at {shards} shards (base 4): {}",
+                diff_digests(&base, &leg)
+            );
+        }
+    }
+    String::new()
 }
 
 /// Oracle 13 body: plans every differential query with the cost-based
@@ -693,7 +749,7 @@ mod tests {
     fn a_healthy_scenario_passes_every_oracle() {
         let s = Scenario::generate(derive_seed(41, 2));
         let v = check_scenario(&s);
-        assert_eq!(v.reports.len(), 13);
+        assert_eq!(v.reports.len(), 14);
         assert!(v.all_passed(), "{}", v.summary());
         assert!(v.summary().starts_with("ok ("));
     }

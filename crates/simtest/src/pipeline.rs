@@ -23,15 +23,17 @@
 use ids_chaos::{query_fingerprint, ChaosBackend, FaultPlan};
 use ids_engine::scheduler::{IssuedQuery, QueryTiming, ReplayScheduler, ResiliencePolicy};
 use ids_engine::{
-    Backend, CostParams, DiskBackend, EvictionPolicy, MemBackend, Predicate, Query, QueryOutcome,
-    ResultQuality, RetryPolicy, RetryingBackend,
+    Backend, CostParams, Database, DiskBackend, EngineResult, EvictionPolicy, MemBackend,
+    Predicate, Query, QueryOutcome, ResultQuality, RetryPolicy, RetryingBackend,
 };
 use ids_serve::{
-    measure_costs, simulate_service, synthesize_fleet, AdmissionPolicy, ArrivalProcess,
-    FleetOutcome, FleetSpec, ServeParams,
+    drive_session, measure_costs, simulate_service, synthesize_fleet, AdmissionPolicy,
+    ArrivalProcess, ClosedLoopParams, FleetOutcome, FleetSpec, ServeParams,
 };
+use ids_shard::{partition_table, PartitionScheme, ScatterGather};
 use ids_simclock::{SimDuration, SimTime};
-use ids_workload::{composite, crossfilter, datasets, scrolling};
+use ids_workload::adaptive::{BehaviorConfig, BehaviorPolicy};
+use ids_workload::{adaptive, composite, crossfilter, datasets, mining, scrolling};
 
 use crate::scenario::{derive_seed, ArrivalShape, Scenario, SessionShape};
 
@@ -176,9 +178,66 @@ pub fn build_replay_env(s: &Scenario) -> (MemBackend, Vec<IssuedQuery>) {
                 stream.push(IssuedQuery::new(step.at, q, stream.len() as u64));
             }
         }
+        SessionShape::Adaptive => {
+            // Closed loop: the behavior model reacts to each answer from
+            // the calm backend under the scenario's admission/resilience
+            // policies; the action stream it settles on becomes the
+            // replay-stage stream (which then runs under chaos).
+            let table = "simtest_adaptive";
+            db.register(datasets::road_network_named(table, s.seed, s.rows.min(600)));
+            let ui = crossfilter::CrossfilterUi::for_table(table);
+            let policy = BehaviorPolicy::adaptive(s.seed, ui).with_config(behavior_config(s));
+            let outcome = drive_session(&backend, &policy, &closed_loop_params(s));
+            for a in &outcome.actions {
+                let g = adaptive::compile_action(policy.ui(), a);
+                for q in &g.queries {
+                    stream.push(IssuedQuery::new(g.at, q.clone(), stream.len() as u64));
+                }
+            }
+        }
+        SessionShape::Mined => {
+            // Mine an open-loop crossfilter trace into widget signatures,
+            // graft them into a novel composite interface, and replay a
+            // synthesized session of that interface.
+            let table = "simtest_mined";
+            db.register(datasets::road_network_named(table, s.seed, s.rows.min(600)));
+            let ui = crossfilter::CrossfilterUi::for_table(table);
+            let session = crossfilter::simulate_session(s.device, 0, s.seed, &ui);
+            let mined = mining::mine(&mining::crossfilter_request_trace(&ui, &session.trace));
+            let novel = mining::compose_novel(&mined, &ui);
+            let trace = novel.synthesize(derive_seed(s.seed, 0x51ed), s.adaptive_steps.max(1));
+            for (at, q) in novel.compile(&trace) {
+                stream.push(IssuedQuery::new(at, q, stream.len() as u64));
+            }
+        }
     }
     stream.truncate(MAX_REPLAY_QUERIES);
     (backend, stream)
+}
+
+/// The behavior-model configuration a scenario pins down.
+pub fn behavior_config(s: &Scenario) -> BehaviorConfig {
+    BehaviorConfig {
+        max_actions: s.adaptive_steps.max(1),
+        abandon_after: SimDuration::from_millis(s.abandon_ms.max(1)),
+        ..BehaviorConfig::default()
+    }
+}
+
+/// The closed-loop service parameters a scenario pins down: the fleet
+/// admission policy and the replay-stage resilience policy.
+pub fn closed_loop_params(s: &Scenario) -> ClosedLoopParams {
+    ClosedLoopParams {
+        workers: s.workers.max(1),
+        admission: AdmissionPolicy {
+            tenant_rate: s.tenant_rate,
+            tenant_burst: s.tenant_burst,
+            queue_limit: s.queue_limit,
+            prefetch_queue_limit: 0,
+        },
+        resilience: resilience_policy(s),
+        ..ClosedLoopParams::default()
+    }
 }
 
 /// The resilience policy the replay stage schedules under.
@@ -353,6 +412,93 @@ pub fn run_pipeline(s: &Scenario, threads: usize) -> RunArtifacts {
     }
 }
 
+/// A backend whose *answers* come from a scatter-gather over `shards`
+/// partitions while its *costs* (and failure/latency behavior) come from
+/// the unsharded inner backend. This is the oracle-14 instrument: the
+/// closed loop's feedback latencies stay shard-invariant by
+/// construction, so any divergence a shard count introduces must be a
+/// result divergence — and lands in the digest, where the oracle sees
+/// it.
+struct ShardedBackend<'a> {
+    inner: &'a dyn Backend,
+    gather: ScatterGather,
+}
+
+impl Backend for ShardedBackend<'_> {
+    fn name(&self) -> &str {
+        "sharded-adaptive"
+    }
+
+    fn database(&self) -> Database {
+        self.inner.database()
+    }
+
+    fn execute(&self, query: &Query) -> EngineResult<QueryOutcome> {
+        let mut out = self.inner.execute(query)?;
+        // Failed placeholders keep their placeholder results; exact
+        // answers are replaced by the merged sharded answer.
+        if out.quality == ResultQuality::Exact {
+            out.result = self.gather.execute(query)?.result;
+        }
+        Ok(out)
+    }
+}
+
+/// Drives one closed-loop adaptive session for oracle 14: answers are
+/// scatter-gathered across `shards` hash partitions with `threads`
+/// gather threads, costs and faults come from the chaos-wrapped
+/// unsharded backend, and the resilience mode always degrades (so
+/// `Partial` answers flow through the feedback loop). Returns the
+/// canonical digest — action stream, request trace, per-query timings
+/// and qualities, plus the interface mined back out of the trace — that
+/// must be byte-identical across replays, thread counts, and shard
+/// counts.
+pub fn adaptive_run(s: &Scenario, threads: usize, shards: usize) -> String {
+    let rows = s.rows.clamp(50, 600);
+    let table = datasets::road_network_named("simtest_adaptive", s.seed, rows);
+    let parts = partition_table(&table, &PartitionScheme::HashRows, s.seed, shards.max(1))
+        .expect("hash partitioning a road table cannot fail");
+    let dbs: Vec<Database> = parts
+        .into_iter()
+        .map(|t| {
+            let db = Database::new();
+            db.register(t);
+            db
+        })
+        .collect();
+    let gather = ScatterGather::over(dbs).with_threads(threads.max(1));
+
+    let mem = MemBackend::new();
+    mem.database().register(table);
+    // A generous horizon: the session is action-bounded, and each action
+    // costs at most think time (~1.5s) plus the abandon threshold.
+    let horizon =
+        SimDuration::from_millis(s.adaptive_steps.max(1) as u64 * (s.abandon_ms + 2_000) + 10_000);
+    let plan = if s.chaos_intensity > 0.0 {
+        FaultPlan::storm(derive_seed(s.seed, 0xada), s.chaos_intensity, horizon)
+    } else {
+        FaultPlan::calm(s.seed)
+    };
+    let chaos = ChaosBackend::new(&mem, plan);
+    let retrying = RetryingBackend::new(&chaos, RetryPolicy::interactive());
+    let sharded = ShardedBackend {
+        inner: &retrying,
+        gather,
+    };
+
+    let ui = crossfilter::CrossfilterUi::for_table("simtest_adaptive");
+    let policy = BehaviorPolicy::adaptive(s.seed, ui).with_config(behavior_config(s));
+    let mut params = closed_loop_params(s);
+    params.resilience = ResiliencePolicy::degrade_after(SimDuration::from_millis(
+        s.resilience_budget_ms.max(s.latency_budget_ms).max(50),
+    ));
+    let outcome = drive_session(&sharded, &policy, &params);
+
+    let mut digest = outcome.digest();
+    digest.push_str(&mining::mine(&outcome.trace).render());
+    digest
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,7 +523,15 @@ mod tests {
             );
             seen.insert(s.shape.token());
         }
-        assert_eq!(seen.len(), 3, "all shapes exercised");
+        assert_eq!(seen.len(), 5, "all shapes exercised");
+    }
+
+    #[test]
+    fn adaptive_run_digest_is_stable() {
+        let _g = gate();
+        let mut s = Scenario::generate(derive_seed(43, 0));
+        s.shape = crate::scenario::SessionShape::Adaptive;
+        assert_eq!(adaptive_run(&s, 2, 4), adaptive_run(&s, 2, 4));
     }
 
     #[test]

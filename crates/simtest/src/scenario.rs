@@ -46,6 +46,12 @@ pub enum SessionShape {
     Scrolling,
     /// Composite search-and-browse compiled to viewport counts.
     Composite,
+    /// Closed-loop adaptive session: the behavior model reacts to each
+    /// answer (zoom / drill / backtrack / abandon).
+    Adaptive,
+    /// Interface mined from a crossfilter trace and re-synthesized as a
+    /// novel composite (slider + brush + dropdown) session.
+    Mined,
 }
 
 impl SessionShape {
@@ -55,6 +61,8 @@ impl SessionShape {
             SessionShape::Crossfilter => "crossfilter",
             SessionShape::Scrolling => "scrolling",
             SessionShape::Composite => "composite",
+            SessionShape::Adaptive => "adaptive",
+            SessionShape::Mined => "mined",
         }
     }
 }
@@ -318,6 +326,11 @@ pub struct Scenario {
     /// Resilience budget for the replay stage, milliseconds; 0 replays
     /// rigidly (no degraded answers).
     pub resilience_budget_ms: u64,
+    /// Closed-loop abandon threshold, milliseconds: a query group
+    /// slower than this reads as a slow answer to the behavior model.
+    pub abandon_ms: u64,
+    /// Closed-loop session length, actions.
+    pub adaptive_steps: usize,
     /// Differential table shape.
     pub table: TableSpec,
     /// Differential queries checked against the reference interpreter.
@@ -448,13 +461,17 @@ impl Scenario {
                 SessionShape::Crossfilter,
                 SessionShape::Scrolling,
                 SessionShape::Composite,
-            ][r.uniform_usize(0, 3)],
+                SessionShape::Adaptive,
+                SessionShape::Mined,
+            ][r.uniform_usize(0, 5)],
             device: DeviceKind::ALL[r.uniform_usize(0, DeviceKind::ALL.len())],
             resilience_budget_ms: if r.chance(0.5) {
                 20 + r.uniform_usize(0, 10) as u64 * 20
             } else {
                 0
             },
+            abandon_ms: 100 + r.uniform_usize(0, 8) as u64 * 100,
+            adaptive_steps: r.uniform_usize(6, 21),
             table,
             queries,
         }
@@ -489,7 +506,7 @@ mod tests {
                 empty_tables += 1;
             }
         }
-        assert_eq!(shapes.len(), 3, "all session shapes reachable");
+        assert_eq!(shapes.len(), 5, "all session shapes reachable");
         assert!(stormy > 20, "storms reachable");
         assert!(empty_tables > 0, "empty differential tables reachable");
     }

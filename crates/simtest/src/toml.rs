@@ -41,6 +41,8 @@ pub fn to_toml(s: &Scenario) -> String {
     kv("shape", format!("{:?}", s.shape.token()));
     kv("device", format!("{:?}", s.device.label()));
     kv("resilience_budget_ms", s.resilience_budget_ms.to_string());
+    kv("abandon_ms", s.abandon_ms.to_string());
+    kv("adaptive_steps", s.adaptive_steps.to_string());
 
     out.push_str("\n[arrival]\n");
     match s.arrival {
@@ -155,6 +157,23 @@ impl Section {
         self.raw(key)?
             .parse()
             .map_err(|e| format!("key `{key}`: {e}"))
+    }
+
+    /// Like [`Section::u64`] but falls back to `default` when the key is
+    /// absent, so corpus files written before the key existed still parse.
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.raw(key) {
+            Ok(_) => self.u64(key),
+            Err(_) => Ok(default),
+        }
+    }
+
+    /// Like [`Section::usize`] but with a default for absent keys.
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.raw(key) {
+            Ok(_) => self.usize(key),
+            Err(_) => Ok(default),
+        }
     }
 
     fn i64(&self, key: &str) -> Result<i64, String> {
@@ -291,6 +310,8 @@ pub fn from_toml(text: &str) -> Result<Scenario, String> {
         SessionShape::Crossfilter,
         SessionShape::Scrolling,
         SessionShape::Composite,
+        SessionShape::Adaptive,
+        SessionShape::Mined,
     ]
     .into_iter()
     .find(|s| s.token() == shape_tok)
@@ -350,6 +371,8 @@ pub fn from_toml(text: &str) -> Result<Scenario, String> {
         shape,
         device,
         resilience_budget_ms: sc.u64("resilience_budget_ms")?,
+        abandon_ms: sc.u64_or("abandon_ms", 400)?,
+        adaptive_steps: sc.usize_or("adaptive_steps", 12)?.max(1),
         table: TableSpec {
             rows: table_sec.usize("rows")?,
             key_mod: table_sec.usize("key_mod")?.max(1),

@@ -17,11 +17,20 @@
 //! - [`composite`] — case study 3: multi-widget exploration sessions
 //!   (map, slider, checkbox, text box) with the request → render →
 //!   explore loop of Fig 17.
+//! - [`adaptive`] — the closed-loop behavior model: a seeded state
+//!   machine (zoom / drill / backtrack / abandon) whose next action is
+//!   a pure function of the previous answer's content, quality, and
+//!   latency.
+//! - [`mining`] — interface mining: recovers slider/brush/dropdown
+//!   signatures from request traces by diffing consecutive widget
+//!   states, and synthesizes novel composite interfaces from them.
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod composite;
 pub mod crossfilter;
 pub mod datasets;
+pub mod mining;
 pub mod scrolling;
 pub mod trace;

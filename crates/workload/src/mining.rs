@@ -1,0 +1,645 @@
+//! Interface mining from request traces.
+//!
+//! Zhang & Sellam's *Mining Precision Interfaces From Query Logs*
+//! observes that an interaction log is itself an interface description:
+//! each widget manipulation perturbs the serialized query state in a
+//! characteristic way, so diffing consecutive states recovers the
+//! widget structure. We apply the idea to our own [`Trace`] schema: the
+//! composite-interface `url_update` records carry the full widget state
+//! as URL parameters ([`crate::adaptive::state_url`]), consecutive
+//! states are diffed into canonical fingerprints, and the fingerprints
+//! classify into [`WidgetKind`] signatures:
+//!
+//! - one interval parameter moved → **slider**;
+//! - two interval parameters moved in one step → **brush** (a 2-D
+//!   region selection);
+//! - one discrete parameter moved → **dropdown**.
+//!
+//! The mined [`MinedInterface`] then round-trips: an [`InterfaceSpec`]
+//! synthesizes a fresh seeded session whose trace mines back to the
+//! same signature set, and [`compose_novel`] grafts brushes and
+//! dropdowns onto mined sliders — novel composite interfaces as
+//! first-class workload families.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ids_engine::{BinSpec, Predicate, Query};
+use ids_simclock::rng::SimRng;
+use ids_simclock::SimTime;
+
+use crate::crossfilter::CrossfilterUi;
+use crate::trace::{RequestEvent, RequestRecord, ResourceType, SliderRecord, Trace};
+
+/// Widget classes recoverable from query-diff fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WidgetKind {
+    /// 1-D range selection: one interval parameter per step.
+    Slider,
+    /// 2-D region selection: two interval parameters per step.
+    Brush,
+    /// Discrete selection: one enumerated parameter per step.
+    Dropdown,
+}
+
+impl fmt::Display for WidgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WidgetKind::Slider => "slider",
+            WidgetKind::Brush => "brush",
+            WidgetKind::Dropdown => "dropdown",
+        })
+    }
+}
+
+/// A parameterized widget structure: the kind plus the (sorted) state
+/// parameters it manipulates.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WidgetSignature {
+    /// Widget class.
+    pub kind: WidgetKind,
+    /// State parameters the widget owns, sorted.
+    pub params: Vec<String>,
+}
+
+impl WidgetSignature {
+    /// Canonical rendering, e.g. `brush(x,y)`.
+    pub fn render(&self) -> String {
+        format!("{}({})", self.kind, self.params.join(","))
+    }
+}
+
+/// The interface recovered from a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedInterface {
+    /// Backing table named by the state URLs.
+    pub table: String,
+    /// Distinct widget signatures observed.
+    pub widgets: BTreeSet<WidgetSignature>,
+    /// Number of widget states (url_update records) consumed.
+    pub states: usize,
+}
+
+impl MinedInterface {
+    /// Stable multi-line rendering for digests and tables.
+    pub fn render(&self) -> String {
+        let mut out = format!("mined table={} states={}\n", self.table, self.states);
+        for w in &self.widgets {
+            out.push_str("  ");
+            out.push_str(&w.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses a canonical state URL into `(table, param map)`.
+pub fn parse_state_url(url: &str) -> Option<(String, BTreeMap<String, String>)> {
+    let (head, query) = url.split_once('?')?;
+    let table = head.rsplit('/').next()?.to_string();
+    let mut params = BTreeMap::new();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=')?;
+        params.insert(k.to_string(), v.to_string());
+    }
+    Some((table, params))
+}
+
+/// Classifies one state diff (the set of changed parameter keys) into a
+/// widget signature. Keys ending in `_min`/`_max` fold into one
+/// interval parameter; anything else is discrete. Mixed or wider diffs
+/// are not canonical single-widget steps and mine to `None`.
+fn classify(changed: &BTreeSet<String>) -> Option<WidgetSignature> {
+    let mut intervals: BTreeSet<String> = BTreeSet::new();
+    let mut discrete: BTreeSet<String> = BTreeSet::new();
+    for key in changed {
+        match key
+            .strip_suffix("_min")
+            .or_else(|| key.strip_suffix("_max"))
+        {
+            Some(base) => {
+                intervals.insert(base.to_string());
+            }
+            None => {
+                discrete.insert(key.clone());
+            }
+        }
+    }
+    let sig = |kind, params: BTreeSet<String>| {
+        Some(WidgetSignature {
+            kind,
+            params: params.into_iter().collect(),
+        })
+    };
+    match (intervals.len(), discrete.len()) {
+        (1, 0) => sig(WidgetKind::Slider, intervals),
+        (2, 0) => sig(WidgetKind::Brush, intervals),
+        (0, 1) => sig(WidgetKind::Dropdown, discrete),
+        _ => None,
+    }
+}
+
+/// Mines the widget structure out of a request trace: every
+/// `url_update` state is diffed against its predecessor and the diff
+/// fingerprints classify into widget signatures.
+pub fn mine(trace: &Trace<RequestRecord>) -> MinedInterface {
+    let states: Vec<(String, BTreeMap<String, String>)> = trace
+        .records()
+        .iter()
+        .filter(|r| r.event == RequestEvent::UrlUpdate)
+        .filter_map(|r| parse_state_url(&r.tab_url))
+        .collect();
+    let mut widgets = BTreeSet::new();
+    for pair in states.windows(2) {
+        let (prev, next) = (&pair[0].1, &pair[1].1);
+        let changed: BTreeSet<String> = prev
+            .keys()
+            .chain(next.keys())
+            .filter(|k| prev.get(*k) != next.get(*k))
+            .cloned()
+            .collect();
+        if let Some(sig) = classify(&changed) {
+            widgets.insert(sig);
+        }
+    }
+    MinedInterface {
+        table: states.first().map(|(t, _)| t.clone()).unwrap_or_default(),
+        widgets,
+        states: states.len(),
+    }
+}
+
+/// Re-serializes an open-loop crossfilter slider trace as a request
+/// trace (full widget state per event), so the miner can consume the
+/// traces the rest of the crate already emits.
+pub fn crossfilter_request_trace(
+    ui: &CrossfilterUi,
+    trace: &Trace<SliderRecord>,
+) -> Trace<RequestRecord> {
+    let mut ranges = ui.initial_ranges();
+    let mut out = Trace::new();
+    for (i, rec) in trace.records().iter().enumerate() {
+        let idx = rec.slider_idx as usize;
+        if idx < ranges.len() {
+            ranges[idx] = (rec.min_val, rec.max_val);
+        }
+        out.push(RequestRecord {
+            timestamp_ms: rec.timestamp_ms,
+            tab_url: crate::adaptive::state_url(&ui.table, ui, &ranges),
+            request_id: i as u64,
+            resource_type: ResourceType::Data,
+            event: RequestEvent::UrlUpdate,
+            status: 200,
+        });
+    }
+    out
+}
+
+/// A concrete widget: the signature plus enough domain information to
+/// synthesize sessions and compile states into queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WidgetSpec {
+    /// Range slider over a numeric column. Requires `min < max`.
+    Slider {
+        /// Column / state parameter.
+        param: String,
+        /// Domain minimum.
+        min: f64,
+        /// Domain maximum.
+        max: f64,
+    },
+    /// 2-D brush over two numeric columns. Requires nonempty domains.
+    Brush {
+        /// Horizontal axis: `(column, min, max)`.
+        x: (String, f64, f64),
+        /// Vertical axis: `(column, min, max)`.
+        y: (String, f64, f64),
+    },
+    /// Named presets, each a range over one column. Requires at least
+    /// two options (a one-option dropdown can never register a diff).
+    Dropdown {
+        /// State parameter the selection serializes under.
+        param: String,
+        /// Column the presets constrain.
+        column: String,
+        /// `(name, lo, hi)` presets.
+        options: Vec<(String, f64, f64)>,
+    },
+}
+
+impl WidgetSpec {
+    /// The signature this widget mines back to.
+    pub fn signature(&self) -> WidgetSignature {
+        match self {
+            WidgetSpec::Slider { param, .. } => WidgetSignature {
+                kind: WidgetKind::Slider,
+                params: vec![param.clone()],
+            },
+            WidgetSpec::Brush { x, y } => {
+                let mut params = vec![x.0.clone(), y.0.clone()];
+                params.sort();
+                WidgetSignature {
+                    kind: WidgetKind::Brush,
+                    params,
+                }
+            }
+            WidgetSpec::Dropdown { param, .. } => WidgetSignature {
+                kind: WidgetKind::Dropdown,
+                params: vec![param.clone()],
+            },
+        }
+    }
+}
+
+/// A synthesized composite interface: a table plus concrete widgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceSpec {
+    /// Backing table.
+    pub table: String,
+    /// The widgets, in layout order.
+    pub widgets: Vec<WidgetSpec>,
+}
+
+/// One interval's serialized state.
+fn put_range(state: &mut BTreeMap<String, String>, param: &str, lo: f64, hi: f64) {
+    state.insert(format!("{param}_min"), format!("{lo:?}"));
+    state.insert(format!("{param}_max"), format!("{hi:?}"));
+}
+
+/// Draws a sub-range of `[min, max]`, guaranteed to serialize
+/// differently from `(cur_lo, cur_hi)` whenever `min < max`.
+fn fresh_range(rng: &mut SimRng, min: f64, max: f64, cur: (f64, f64)) -> (f64, f64) {
+    for _ in 0..4 {
+        let a = rng.uniform(min, max);
+        let b = rng.uniform(min, max);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if (lo, hi) != cur {
+            return (lo, hi);
+        }
+    }
+    // Astronomically unlikely fallback: toggle full range ↔ lower half.
+    let mid = min + (max - min) * 0.5;
+    if cur == (min, max) {
+        (min, mid)
+    } else {
+        (min, max)
+    }
+}
+
+impl InterfaceSpec {
+    /// The signature set this interface mines back to.
+    pub fn signatures(&self) -> BTreeSet<WidgetSignature> {
+        self.widgets.iter().map(|w| w.signature()).collect()
+    }
+
+    /// The initial widget state: sliders and brushes at full domain,
+    /// dropdowns on their first option.
+    fn initial_state(&self) -> BTreeMap<String, String> {
+        let mut state = BTreeMap::new();
+        for w in &self.widgets {
+            match w {
+                WidgetSpec::Slider { param, min, max } => put_range(&mut state, param, *min, *max),
+                WidgetSpec::Brush { x, y } => {
+                    put_range(&mut state, &x.0, x.1, x.2);
+                    put_range(&mut state, &y.0, y.1, y.2);
+                }
+                WidgetSpec::Dropdown { param, options, .. } => {
+                    if let Some((name, _, _)) = options.first() {
+                        state.insert(param.clone(), name.clone());
+                    }
+                }
+            }
+        }
+        state
+    }
+
+    /// Synthesizes a seeded session of `steps` manipulations as a
+    /// request trace. Each widget is manipulated at least once (when
+    /// `steps >= widgets.len()`), and every step perturbs exactly its
+    /// widget's parameters, so `mine(synthesize(..))` recovers exactly
+    /// [`InterfaceSpec::signatures`].
+    pub fn synthesize(&self, seed: u64, steps: usize) -> Trace<RequestRecord> {
+        let mut rng = SimRng::seed(seed).split("mining/synthesize");
+        let mut state = self.initial_state();
+        let mut out = Trace::new();
+        let mut now: u64 = 0;
+        let push = |out: &mut Trace<RequestRecord>, step: usize, now: u64, url: String| {
+            out.push(RequestRecord {
+                timestamp_ms: now,
+                tab_url: url,
+                request_id: step as u64,
+                resource_type: ResourceType::Data,
+                event: RequestEvent::UrlUpdate,
+                status: 200,
+            });
+        };
+        push(&mut out, 0, now, self.url(&state));
+        if self.widgets.is_empty() {
+            return out;
+        }
+        for step in 1..=steps {
+            // Round-robin first so every widget registers, then random.
+            let which = if step <= self.widgets.len() {
+                step - 1
+            } else {
+                rng.uniform_usize(0, self.widgets.len())
+            };
+            match &self.widgets[which] {
+                WidgetSpec::Slider { param, min, max } => {
+                    let cur = read_range(&state, param).unwrap_or((*min, *max));
+                    let (lo, hi) = fresh_range(&mut rng, *min, *max, cur);
+                    put_range(&mut state, param, lo, hi);
+                }
+                WidgetSpec::Brush { x, y } => {
+                    let cx = read_range(&state, &x.0).unwrap_or((x.1, x.2));
+                    let cy = read_range(&state, &y.0).unwrap_or((y.1, y.2));
+                    let (xl, xh) = fresh_range(&mut rng, x.1, x.2, cx);
+                    let (yl, yh) = fresh_range(&mut rng, y.1, y.2, cy);
+                    put_range(&mut state, &x.0, xl, xh);
+                    put_range(&mut state, &y.0, yl, yh);
+                }
+                WidgetSpec::Dropdown { param, options, .. } => {
+                    if options.len() >= 2 {
+                        let cur = state.get(param).cloned().unwrap_or_default();
+                        let cur_idx = options.iter().position(|(n, _, _)| *n == cur).unwrap_or(0);
+                        let next =
+                            (cur_idx + 1 + rng.uniform_usize(0, options.len() - 1)) % options.len();
+                        let next = if next == cur_idx {
+                            (cur_idx + 1) % options.len()
+                        } else {
+                            next
+                        };
+                        state.insert(param.clone(), options[next].0.clone());
+                    }
+                }
+            }
+            now += 400 + (rng.uniform(0.0, 1200.0) as u64);
+            push(&mut out, step, now, self.url(&state));
+        }
+        out
+    }
+
+    /// Serializes `state` as this interface's canonical URL (sorted
+    /// parameter order — the miner diffs maps, not strings).
+    pub fn url(&self, state: &BTreeMap<String, String>) -> String {
+        let params = state
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("&");
+        format!("ids://xf/{}?{params}", self.table)
+    }
+
+    /// Compiles every `url_update` state in `trace` into queries: one
+    /// filtered histogram per slider (and per brush axis) under the
+    /// conjunction of all widget constraints, plus one count.
+    pub fn compile(&self, trace: &Trace<RequestRecord>) -> Vec<(SimTime, Query)> {
+        let mut out = Vec::new();
+        for rec in trace.records() {
+            if rec.event != RequestEvent::UrlUpdate {
+                continue;
+            }
+            let Some((_, state)) = parse_state_url(&rec.tab_url) else {
+                continue;
+            };
+            let at = SimTime::from_millis(rec.timestamp_ms);
+            let filter = self.state_predicate(&state);
+            for w in &self.widgets {
+                let hist = |col: &str, lo: f64, hi: f64| {
+                    Query::histogram(
+                        self.table.clone(),
+                        BinSpec::new(col.to_string(), lo, hi, 12),
+                        filter.clone(),
+                    )
+                };
+                match w {
+                    WidgetSpec::Slider { param, min, max } => {
+                        out.push((at, hist(param, *min, *max)))
+                    }
+                    WidgetSpec::Brush { x, y } => {
+                        out.push((at, hist(&x.0, x.1, x.2)));
+                        out.push((at, hist(&y.0, y.1, y.2)));
+                    }
+                    WidgetSpec::Dropdown { .. } => {}
+                }
+            }
+            out.push((at, Query::count(self.table.clone(), filter)));
+        }
+        out
+    }
+
+    /// The conjunction a widget state constrains the table by.
+    fn state_predicate(&self, state: &BTreeMap<String, String>) -> Predicate {
+        let mut preds = Vec::new();
+        for w in &self.widgets {
+            match w {
+                WidgetSpec::Slider { param, min, max } => {
+                    let (lo, hi) = read_range(state, param).unwrap_or((*min, *max));
+                    preds.push(Predicate::between(param.clone(), lo, hi));
+                }
+                WidgetSpec::Brush { x, y } => {
+                    let (xl, xh) = read_range(state, &x.0).unwrap_or((x.1, x.2));
+                    let (yl, yh) = read_range(state, &y.0).unwrap_or((y.1, y.2));
+                    preds.push(Predicate::between(x.0.clone(), xl, xh));
+                    preds.push(Predicate::between(y.0.clone(), yl, yh));
+                }
+                WidgetSpec::Dropdown {
+                    param,
+                    column,
+                    options,
+                } => {
+                    let chosen = state.get(param);
+                    if let Some((_, lo, hi)) = options
+                        .iter()
+                        .find(|(n, _, _)| Some(n) == chosen)
+                        .or_else(|| options.first())
+                    {
+                        preds.push(Predicate::between(column.clone(), *lo, *hi));
+                    }
+                }
+            }
+        }
+        Predicate::and(preds)
+    }
+}
+
+/// Reads an interval parameter back out of a serialized state.
+fn read_range(state: &BTreeMap<String, String>, param: &str) -> Option<(f64, f64)> {
+    let lo = state.get(&format!("{param}_min"))?.parse().ok()?;
+    let hi = state.get(&format!("{param}_max"))?.parse().ok()?;
+    Some((lo, hi))
+}
+
+/// Synthesizes a **novel composite interface** from a mined one:
+/// every mined slider whose parameter matches a `ui` dimension becomes
+/// a concrete slider, the first two become a 2-D brush, and the last
+/// dimension gains a three-preset dropdown (low/mid/high thirds of its
+/// domain). This is how mined open-loop traces graduate into workload
+/// families the original interface never had.
+pub fn compose_novel(mined: &MinedInterface, ui: &CrossfilterUi) -> InterfaceSpec {
+    let mut widgets: Vec<WidgetSpec> = Vec::new();
+    let dim_of = |param: &str| ui.dims.iter().find(|d| d.column == param);
+    let sliders: Vec<_> = mined
+        .widgets
+        .iter()
+        .filter(|w| w.kind == WidgetKind::Slider)
+        .filter_map(|w| dim_of(&w.params[0]))
+        .collect();
+    for d in &sliders {
+        widgets.push(WidgetSpec::Slider {
+            param: d.column.clone(),
+            min: d.min,
+            max: d.max,
+        });
+    }
+    if sliders.len() >= 2 {
+        // The brush reuses the real column names (so compiled queries
+        // execute against the backing table); it still mines distinctly
+        // because one brush step perturbs two intervals at once.
+        let (a, b) = (sliders[0], sliders[1]);
+        widgets.push(WidgetSpec::Brush {
+            x: (a.column.clone(), a.min, a.max),
+            y: (b.column.clone(), b.min, b.max),
+        });
+    }
+    if let Some(d) = sliders.last() {
+        let third = d.span() / 3.0;
+        widgets.push(WidgetSpec::Dropdown {
+            param: format!("{}_preset", d.column),
+            column: d.column.clone(),
+            options: vec![
+                ("low".into(), d.min, d.min + third),
+                ("mid".into(), d.min + third, d.min + 2.0 * third),
+                ("high".into(), d.min + 2.0 * third, d.max),
+            ],
+        });
+    }
+    InterfaceSpec {
+        table: if mined.table.is_empty() {
+            ui.table.clone()
+        } else {
+            mined.table.clone()
+        },
+        widgets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossfilter;
+    use ids_devices::DeviceKind;
+
+    fn spec() -> InterfaceSpec {
+        InterfaceSpec {
+            table: "listings".into(),
+            widgets: vec![
+                WidgetSpec::Slider {
+                    param: "price".into(),
+                    min: 10.0,
+                    max: 900.0,
+                },
+                WidgetSpec::Brush {
+                    x: ("lon".into(), -74.1, -73.7),
+                    y: ("lat".into(), 40.5, 40.95),
+                },
+                WidgetSpec::Dropdown {
+                    param: "room".into(),
+                    column: "room_code".into(),
+                    options: vec![
+                        ("entire".into(), 0.0, 0.5),
+                        ("private".into(), 0.5, 1.5),
+                        ("shared".into(), 1.5, 2.5),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn synthesize_then_mine_round_trips() {
+        let s = spec();
+        for seed in [1, 7, 99] {
+            let trace = s.synthesize(seed, 12);
+            let mined = mine(&trace);
+            assert_eq!(mined.widgets, s.signatures(), "seed {seed}");
+            assert_eq!(mined.table, "listings");
+            assert_eq!(mined.states, 13);
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_and_seed_sensitive() {
+        let s = spec();
+        assert_eq!(s.synthesize(5, 10).to_tsv(), s.synthesize(5, 10).to_tsv());
+        assert_ne!(s.synthesize(5, 10).to_tsv(), s.synthesize(6, 10).to_tsv());
+    }
+
+    #[test]
+    fn mining_a_crossfilter_trace_recovers_its_sliders() {
+        let ui = crossfilter::CrossfilterUi::for_road();
+        let session = crossfilter::simulate_session(DeviceKind::Mouse, 0, 11, &ui);
+        let mined = mine(&crossfilter_request_trace(&ui, &session.trace));
+        assert_eq!(mined.table, "dataroad");
+        assert!(
+            mined.widgets.iter().all(|w| w.kind == WidgetKind::Slider),
+            "{:?}",
+            mined.widgets
+        );
+        assert!(!mined.widgets.is_empty());
+        for w in &mined.widgets {
+            assert!(["x", "y", "z"].contains(&w.params[0].as_str()));
+        }
+    }
+
+    #[test]
+    fn composed_interface_is_novel_and_round_trips() {
+        let ui = crossfilter::CrossfilterUi::for_road();
+        let session = crossfilter::simulate_session(DeviceKind::LeapMotion, 1, 13, &ui);
+        let mined = mine(&crossfilter_request_trace(&ui, &session.trace));
+        let novel = compose_novel(&mined, &ui);
+        let kinds: BTreeSet<WidgetKind> =
+            novel.widgets.iter().map(|w| w.signature().kind).collect();
+        assert!(kinds.contains(&WidgetKind::Brush), "brush grafted on");
+        assert!(kinds.contains(&WidgetKind::Dropdown), "dropdown grafted on");
+        let remined = mine(&novel.synthesize(21, 16));
+        assert_eq!(remined.widgets, novel.signatures());
+    }
+
+    #[test]
+    fn compile_emits_filtered_queries_per_state() {
+        let s = spec();
+        let trace = s.synthesize(3, 4);
+        let queries = s.compile(&trace);
+        // Per state: 1 slider hist + 2 brush hists + 1 count = 4.
+        assert_eq!(queries.len(), 5 * 4);
+        for (at, q) in &queries {
+            assert!(at.as_millis() <= trace.records().last().unwrap().timestamp_ms);
+            let filter = q.filter().expect("every query is filtered");
+            // price + lon + lat + room preset = 4 conjuncts.
+            assert_eq!(filter.condition_count(), 4);
+        }
+    }
+
+    #[test]
+    fn mixed_diffs_are_not_canonical_widgets() {
+        let mut changed = BTreeSet::new();
+        changed.insert("a_min".to_string());
+        changed.insert("b".to_string());
+        assert_eq!(classify(&changed), None);
+        let mut three = BTreeSet::new();
+        three.insert("a_min".to_string());
+        three.insert("b_max".to_string());
+        three.insert("c_min".to_string());
+        assert_eq!(classify(&three), None);
+    }
+
+    #[test]
+    fn url_parsing_rejects_garbage() {
+        assert_eq!(parse_state_url("no-query-string"), None);
+        assert_eq!(parse_state_url("ids://xf/t?broken-pair"), None);
+        let (t, p) = parse_state_url("ids://xf/road?x_min=1.5&x_max=2.5").unwrap();
+        assert_eq!(t, "road");
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -316,8 +316,15 @@ impl<R: TraceRecord> Trace<R> {
     }
 
     /// Parses a trace serialized by [`to_tsv`](Self::to_tsv).
+    ///
+    /// Normalization is uniform across record types: lines are taken
+    /// with either `\n` or `\r\n` endings (plus a defensive stray-`\r`
+    /// strip), and **whitespace-only** lines — not just empty ones —
+    /// are skipped wherever they appear. Before this was normalized,
+    /// a trailing `" "` or `"\t"` line parsed differently per record
+    /// type (whichever error its first field's parser produced).
     pub fn from_tsv(text: &str) -> Result<Trace<R>, TraceParseError> {
-        let mut lines = text.lines();
+        let mut lines = text.lines().map(|l| l.strip_suffix('\r').unwrap_or(l));
         match lines.next() {
             Some(h) if h == R::header() => {}
             Some(other) => {
@@ -330,7 +337,7 @@ impl<R: TraceRecord> Trace<R> {
         }
         let mut records = Vec::new();
         for line in lines {
-            if line.is_empty() {
+            if line.trim().is_empty() {
                 continue;
             }
             records.push(R::parse_line(line)?);
@@ -433,5 +440,76 @@ mod tests {
         let tsv = format!("{}\n\n1\t2\t3\t4\n\n", ScrollRecord::header());
         let t: Trace<ScrollRecord> = Trace::from_tsv(&tsv).unwrap();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn whitespace_only_lines_are_skipped_for_every_record_type() {
+        // Interior and trailing lines of spaces/tabs parse as blanks —
+        // uniformly, for all three record shapes.
+        let scroll = format!("{}\n \n1\t2\t3\t4\n\t\n  \t \n", ScrollRecord::header());
+        let t: Trace<ScrollRecord> = Trace::from_tsv(&scroll).unwrap();
+        assert_eq!(t.len(), 1);
+
+        let slider = format!("{}\n\t\t\n1\t2\t3\t0\n   \n", SliderRecord::header());
+        let t: Trace<SliderRecord> = Trace::from_tsv(&slider).unwrap();
+        assert_eq!(t.len(), 1);
+
+        let request = format!(
+            "{}\n \n1\tu\t2\tdata\turl_update\t200\n\t \t\n",
+            RequestRecord::header()
+        );
+        let t: Trace<RequestRecord> = Trace::from_tsv(&request).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn crlf_traces_parse_identically() {
+        let mut t = Trace::new();
+        t.push(SliderRecord {
+            timestamp_ms: 5,
+            min_val: 1.25,
+            max_val: 2.5,
+            slider_idx: 1,
+        });
+        let crlf = t.to_tsv().replace('\n', "\r\n");
+        let back: Trace<SliderRecord> = Trace::from_tsv(&crlf).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn negative_parse_battery_rejects_malformed_traces() {
+        // Non-blank garbage lines still fail — skipping is only for
+        // whitespace, never for unparseable content.
+        let cases: &[(&str, &str)] = &[
+            ("garbage line", "x y z"),
+            ("too few fields", "1\t2"),
+            ("too many fields", "1\t2\t3\t4\t5"),
+            ("bad number", "one\t2\t3\t4"),
+        ];
+        for (what, line) in cases {
+            let tsv = format!("{}\n{line}\n", ScrollRecord::header());
+            assert!(
+                Trace::<ScrollRecord>::from_tsv(&tsv).is_err(),
+                "scroll trace accepted {what}"
+            );
+        }
+        for (what, line) in &[
+            ("too few fields", "1\tu\t2\tdata\turl_update"),
+            ("extra field", "1\tu\t2\tdata\turl_update\t200\tx"),
+            ("unknown resource", "1\tu\t2\tvideo\turl_update\t200"),
+            ("unknown event", "1\tu\t2\tdata\tnavigated\t200"),
+            ("bad status", "1\tu\t2\tdata\turl_update\tOK"),
+        ] {
+            let tsv = format!("{}\n{line}\n", RequestRecord::header());
+            assert!(
+                Trace::<RequestRecord>::from_tsv(&tsv).is_err(),
+                "request trace accepted {what}"
+            );
+        }
+        let slider_bad = format!("{}\n1\t2\t3\t300\n", SliderRecord::header());
+        assert!(
+            Trace::<SliderRecord>::from_tsv(&slider_bad).is_err(),
+            "slider_idx 300 overflows u8"
+        );
     }
 }

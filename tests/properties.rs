@@ -2,6 +2,7 @@
 
 use ids::chaos::FaultPlan;
 use ids::engine::kernels::{self, KernelOptions, KernelStats};
+use ids::engine::ResultQuality;
 use ids::engine::{Backend, MemBackend};
 use ids::engine::{BinSpec, ColumnBuilder, Histogram, Predicate, Query, Table, TableBuilder};
 use ids::metrics::lcv::{budget_violations, cascade_violations, supply_violations, QuerySpan};
@@ -11,6 +12,9 @@ use ids::opt::klfilter::kl_divergence;
 use ids::simclock::rng::SimRng;
 use ids::simclock::{EventQueue, SimDuration, SimTime};
 use ids::study::assignment::{balanced_latin_square, is_latin_square, latin_square};
+use ids::workload::adaptive::{BehaviorConfig, BehaviorPolicy, Feedback};
+use ids::workload::crossfilter::CrossfilterUi;
+use ids::workload::mining::{self, InterfaceSpec, WidgetSpec};
 use ids::workload::trace::{ScrollRecord, SliderRecord, Trace, TraceRecord};
 use proptest::prelude::*;
 
@@ -507,6 +511,139 @@ proptest! {
                 r.error_bound
             );
             last_bound = r.error_bound;
+        }
+    }
+
+    /// Mining inverts synthesis: for any composite interface (sliders,
+    /// an optional brush, an optional dropdown) and any seed, mining
+    /// the synthesized request trace recovers exactly the interface's
+    /// signature set — no widget lost, none invented.
+    #[test]
+    fn mined_interface_round_trips(
+        seed in 0u64..1_000_000,
+        n_sliders in 1usize..4,
+        slider_lo in -100.0f64..100.0,
+        slider_width in 0.5f64..100.0,
+        with_brush in 0usize..2,
+        dropdown_options in 0usize..5,
+        extra_steps in 0usize..6,
+    ) {
+        let mut widgets: Vec<WidgetSpec> = (0..n_sliders)
+            .map(|i| WidgetSpec::Slider {
+                param: format!("s{i}"),
+                min: slider_lo,
+                max: slider_lo + slider_width,
+            })
+            .collect();
+        if with_brush == 1 {
+            widgets.push(WidgetSpec::Brush {
+                x: ("bx".into(), slider_lo, slider_lo + slider_width),
+                y: ("by".into(), slider_lo, slider_lo + slider_width),
+            });
+        }
+        if dropdown_options >= 2 {
+            widgets.push(WidgetSpec::Dropdown {
+                param: "s0_preset".into(),
+                column: "s0".into(),
+                options: (0..dropdown_options)
+                    .map(|i| (format!("opt{i}"), slider_lo, slider_lo + slider_width))
+                    .collect(),
+            });
+        }
+        let spec = InterfaceSpec { table: "mined_t".into(), widgets };
+        let steps = spec.widgets.len() + extra_steps;
+        let trace = spec.synthesize(seed, steps);
+        let mined = mining::mine(&trace);
+        prop_assert_eq!(&mined.table, "mined_t");
+        prop_assert_eq!(mined.states, steps + 1, "initial state plus one per step");
+        prop_assert_eq!(mined.widgets, spec.signatures());
+    }
+
+    /// The behavior state machine is total: any feedback sequence —
+    /// `Partial`/`Failed` answers, empty or foreign-width histograms,
+    /// out-of-range `hist_dim` — yields actions with strictly advancing
+    /// time until a terminal `None` within `max_actions`, and the ended
+    /// session stays ended. No input can wedge a closed-loop session.
+    #[test]
+    fn behavior_transitions_are_total(
+        seed in 0u64..1_000_000,
+        max_actions in 1usize..32,
+        feedbacks in prop::collection::vec(
+            (
+                0u64..10_000,                          // latency ms
+                0usize..3,                             // quality selector
+                prop::collection::vec(0u64..500, 0..12), // histogram counts
+                0usize..10,                            // hist_dim (may be out of range)
+            ),
+            1..40,
+        ),
+    ) {
+        let policy = BehaviorPolicy::adaptive(seed, CrossfilterUi::for_road()).with_config(
+            BehaviorConfig { max_actions, ..BehaviorConfig::default() },
+        );
+        let mut session = policy.session();
+        let mut emitted = 0usize;
+        let mut last_at = SimTime::ZERO;
+        for round in 0..max_actions + 2 {
+            let (ms, q, counts, dim) = &feedbacks[round % feedbacks.len()];
+            let feedback = Feedback {
+                latency: SimDuration::from_millis(*ms),
+                quality: match q {
+                    0 => ResultQuality::Exact,
+                    1 => ResultQuality::Partial { fraction: 0.5, error_bound: 3.0 },
+                    _ => ResultQuality::Failed,
+                },
+                histogram: if counts.is_empty() {
+                    None
+                } else {
+                    Some(Histogram::from_counts(counts.clone()))
+                },
+                hist_dim: *dim,
+            };
+            match session.next_action(&feedback) {
+                Some(action) => {
+                    prop_assert!(action.at > last_at, "time must strictly advance");
+                    last_at = action.at;
+                    prop_assert_eq!(action.step, emitted);
+                    emitted += 1;
+                }
+                None => break,
+            }
+        }
+        prop_assert!(emitted <= max_actions, "sessions are action-bounded");
+        // Terminal is sticky: the ended session never resurrects.
+        prop_assert!(session.next_action(&Feedback::initial()).is_none());
+    }
+
+    /// Closed-loop sessions are seed-sensitive pure functions: the same
+    /// seed replays the same action digest under identical feedback,
+    /// and distinct seeds diverge.
+    #[test]
+    fn behavior_digest_is_seeded(
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+        latency_ms in 0u64..300,
+    ) {
+        let digest = |seed: u64| {
+            let policy = BehaviorPolicy::adaptive(seed, CrossfilterUi::for_road());
+            let mut session = policy.session();
+            let feedback = Feedback {
+                latency: SimDuration::from_millis(latency_ms),
+                quality: ResultQuality::Exact,
+                histogram: Some(Histogram::from_counts(vec![40, 1, 3, 1])),
+                hist_dim: 0,
+            };
+            let mut out = String::new();
+            while let Some(action) = session.next_action(&feedback) {
+                out.push_str(&action.digest_line());
+                out.push('\n');
+            }
+            out
+        };
+        let a = digest(seed_a);
+        prop_assert_eq!(&a, &digest(seed_a), "same seed replays byte-identically");
+        if seed_a != seed_b {
+            prop_assert_ne!(a, digest(seed_b), "distinct seeds diverge");
         }
     }
 

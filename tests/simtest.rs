@@ -118,6 +118,72 @@ fn planner_corpus_scenarios_cover_their_plan_shapes() {
     }
 }
 
+/// The three adaptive corpus scenarios exercise the closed-loop
+/// transitions they are named for: the zoom loop actually zooms and
+/// runs to its action bound, the chaos scenario actually abandons, and
+/// the mined replay actually synthesizes a multi-kind composite
+/// interface. (Oracle 14 already pins their determinism; this pins
+/// their *coverage* — a behavior-model change that stops the named
+/// transitions from firing fails here, not silently.)
+#[test]
+fn adaptive_corpus_scenarios_cover_their_transitions() {
+    use ids::simtest::{adaptive_run, gate};
+    use ids::workload::crossfilter::{self, CrossfilterUi};
+    use ids::workload::mining;
+
+    let load = |name: &str| {
+        let body = std::fs::read_to_string(corpus_dir().join(name)).expect("corpus file");
+        from_toml(&body).unwrap_or_else(|e| panic!("{name}: parse error: {e}"))
+    };
+
+    {
+        let _g = gate();
+        let zoom = load("adaptive-zoom-loop.toml");
+        let digest = adaptive_run(&zoom, zoom.threads, 4);
+        assert!(
+            digest.contains("\tzoom\t"),
+            "the patient user must hit the zoom transition"
+        );
+        assert!(
+            digest.contains("abandoned\tfalse"),
+            "a calm backend never loses the patient user"
+        );
+        let actions = digest.lines().filter(|l| l.starts_with("action\t")).count();
+        assert_eq!(
+            actions, zoom.adaptive_steps,
+            "the un-abandoned loop runs to its action bound"
+        );
+
+        let storm = load("adaptive-abandon-under-chaos.toml");
+        let digest = adaptive_run(&storm, storm.threads, 4);
+        assert!(
+            digest.contains("abandoned\ttrue"),
+            "the hair-trigger user must abandon under the storm"
+        );
+        let actions = digest.lines().filter(|l| l.starts_with("action\t")).count();
+        assert!(
+            actions < storm.adaptive_steps,
+            "abandonment must end the session early ({actions} actions)"
+        );
+    }
+
+    // The mined scenario replays the composite interface the pipeline
+    // synthesizes from its open-loop trace: it must mine back at least
+    // two distinct widget kinds (a pure-slider interface would make the
+    // "novel composite" claim vacuous).
+    let mined_sc = load("mined-interface-replay.toml");
+    let ui = CrossfilterUi::for_table("simtest_mined");
+    let session = crossfilter::simulate_session(mined_sc.device, 0, mined_sc.seed, &ui);
+    let mined = mining::mine(&mining::crossfilter_request_trace(&ui, &session.trace));
+    let novel = mining::compose_novel(&mined, &ui);
+    let kinds: std::collections::BTreeSet<_> = novel.signatures().iter().map(|s| s.kind).collect();
+    assert!(
+        kinds.len() >= 2,
+        "the composite interface mixes widget kinds, got {:?}",
+        kinds
+    );
+}
+
 /// Corpus files survive a parse → serialize → parse loop unchanged, so
 /// repro files pasted from simtest output stay canonical.
 #[test]
